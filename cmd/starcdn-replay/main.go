@@ -1,0 +1,99 @@
+// Command starcdn-replay drives a trace through the distributed TCP cache
+// replayer: every satellite's cache runs behind a loopback TCP endpoint and
+// ISL fetches are real network round trips (the paper's §5.1 multi-process
+// replayer). It reads a binary trace produced by the spacegen tool.
+//
+// Usage:
+//
+//	spacegen -synthesize-production -requests 100000 -out prod.sctr
+//	starcdn-replay -in prod.sctr -cache-mb 256 -buckets 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/geo"
+	"starcdn/internal/orbit"
+	"starcdn/internal/replayer"
+	"starcdn/internal/topo"
+	"starcdn/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("starcdn-replay: ")
+	var (
+		in      = flag.String("in", "", "input trace file (binary format, required)")
+		cacheMB = flag.Int64("cache-mb", 256, "per-satellite cache size in MB")
+		buckets = flag.Int("buckets", 4, "consistent hashing bucket count (perfect square)")
+		noRelay = flag.Bool("no-relay", false, "disable relayed fetch")
+		noHash  = flag.Bool("no-hashing", false, "disable consistent hashing")
+		outage  = flag.Int("outage", 0, "deactivate this many satellites")
+		seed    = flag.Int64("seed", 1, "scheduler/outage seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace locations must be resolvable to coordinates.
+	cities := geo.ExtendedCities()
+	users := make([]geo.Point, len(tr.Locations))
+	for i, name := range tr.Locations {
+		city, err := geo.CityByName(cities, name)
+		if err != nil {
+			log.Fatalf("trace location %q is not a known city", name)
+		}
+		users[i] = city.Point
+	}
+
+	c := orbit.MustNew(orbit.DefaultStarlinkShell())
+	if *outage > 0 {
+		c.ApplyOutageMask(*outage, *seed)
+	}
+	h, err := core.NewHashScheme(topo.NewGrid(c, topo.StarlinkTable1()), *buckets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := replayer.NewCluster(cache.LRU, *cacheMB<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	start := time.Now()
+	meter, err := replayer.Replay(h, cluster, users, tr, replayer.Options{
+		Hashing: !*noHash,
+		Relay:   !*noRelay,
+		Seed:    *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("requests:         %d (%.0f req/s through TCP)\n",
+		meter.Requests, float64(meter.Requests)/elapsed.Seconds())
+	fmt.Printf("request hit rate: %.2f%%\n", 100*meter.RequestHitRate())
+	fmt.Printf("byte hit rate:    %.2f%%\n", 100*meter.ByteHitRate())
+	fmt.Printf("uplink traffic:   %.2f GB (%.1f%% of total)\n",
+		float64(meter.BytesMissed)/(1<<30),
+		100*(1-meter.ByteHitRate()))
+	fmt.Printf("satellite caches: %d spun up\n", cluster.Len())
+	fmt.Printf("wall time:        %s\n", elapsed.Round(time.Millisecond))
+}

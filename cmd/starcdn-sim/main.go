@@ -1,0 +1,75 @@
+// Command starcdn-sim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	starcdn-sim -list
+//	starcdn-sim -experiment fig7-l4
+//	starcdn-sim -experiment all -scale medium
+//
+// Each experiment prints its measured series next to the values the paper
+// reports so the reproduction can be checked at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starcdn/internal/experiments"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		experiment = flag.String("experiment", "all", "experiment name, or 'all'")
+		scaleName  = flag.String("scale", "small", "experiment scale: small or medium")
+		requests   = flag.Int("requests", 0, "override trace length (requests)")
+		objects    = flag.Int("objects", 0, "override catalogue size (objects)")
+		seed       = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.Small()
+	case "medium":
+		scale = experiments.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (small or medium)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *requests > 0 {
+		scale.Requests = *requests
+	}
+	if *objects > 0 {
+		scale.Objects = *objects
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	env := experiments.NewEnv(scale)
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := experiments.Run(env, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

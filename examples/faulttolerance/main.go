@@ -1,0 +1,84 @@
+// Faulttolerance reproduces §3.4/§5.4: with 126 out-of-slot satellites, the
+// consistent hashing scheme remaps dead satellites' buckets to their nearest
+// active neighbours, so the system keeps serving — at a modest hit-rate cost
+// for the satellites that inherit extra buckets (Fig. 11).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"starcdn"
+)
+
+func main() {
+	// Healthy and degraded systems share one workload.
+	healthy, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 9, Outage: 126, OutageSeed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy: %d active satellites; degraded: %d active\n",
+		healthy.Constellation.NumActive(), degraded.Constellation.NumActive())
+
+	class := starcdn.VideoClass()
+	class.NumObjects = 8_000
+	class.MaxSizeBytes = 64 << 20
+	tr, err := starcdn.GenerateWorkload(class, healthy.Cities, 7, 100_000, 3*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: 256 << 20}
+	for _, sys := range []*starcdn.System{healthy, degraded} {
+		m, err := sys.Simulate(tr, sys.StarCDN(cfg),
+			starcdn.SimConfig{Seed: 1, CollectPerSat: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "healthy"
+		if sys == degraded {
+			label = "126 dead"
+		}
+		fmt.Printf("%-9s RHR=%.1f%% BHR=%.1f%% uplink=%.1f%%\n", label,
+			100*m.Meter.RequestHitRate(), 100*m.Meter.ByteHitRate(), 100*m.UplinkFraction())
+
+		if sys == degraded {
+			// Group serving satellites by how many buckets they inherited.
+			duties := sys.Hash.Duties()
+			type group struct {
+				meter starcdn.Meter
+				sats  int
+			}
+			groups := map[int]*group{}
+			for id, meter := range m.PerSat {
+				n := len(duties[id])
+				if n > 4 {
+					n = 4
+				}
+				g := groups[n]
+				if g == nil {
+					g = &group{}
+					groups[n] = g
+				}
+				g.meter.Merge(*meter)
+				g.sats++
+			}
+			keys := make([]int, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			fmt.Println("  buckets-served  sats     RHR     BHR")
+			for _, k := range keys {
+				g := groups[k]
+				fmt.Printf("  %-15d %5d %6.1f%% %6.1f%%\n", k, g.sats,
+					100*g.meter.RequestHitRate(), 100*g.meter.ByteHitRate())
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Httpgateway exposes the simulated StarCDN as a real HTTP content service:
+// an HTTP front-end plays the role of the user terminal's network gateway,
+// resolves the first-contact satellite for the client's city, runs the
+// StarCDN request flow (hashing, relayed fetch, ground fallback), and
+// reports the outcome and simulated latency in response headers. It then
+// fires a small self-test workload against itself.
+//
+//	GET /content/{objectID}?city=New%20York
+//
+// Response headers:
+//
+//	X-Starcdn-Source:  local | bucket | relay-west | relay-east | ground
+//	X-Starcdn-Sat:     serving satellite slot
+//	X-Starcdn-Latency: simulated end-to-end latency in ms
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"starcdn"
+	"starcdn/internal/sched"
+	"starcdn/internal/sim"
+	"starcdn/internal/trace"
+)
+
+// gateway glues HTTP to the simulator.
+type gateway struct {
+	mu        sync.Mutex
+	sys       *starcdn.System
+	policy    starcdn.Policy
+	scheduler *sched.Scheduler
+	rng       *rand.Rand
+	latency   sim.LatencyModel
+	cityIdx   map[string]int
+	start     time.Time
+	sizes     map[starcdn.ObjectID]int64
+}
+
+func newGateway() (*gateway, error) {
+	sys, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 4})
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := sched.New(sys.Constellation, sys.UserPoints(), 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	g := &gateway{
+		sys:       sys,
+		policy:    sys.StarCDN(starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: 256 << 20}),
+		scheduler: scheduler,
+		rng:       rand.New(rand.NewSource(2)),
+		latency:   sim.DefaultLatencyModel(),
+		cityIdx:   map[string]int{},
+		start:     time.Now(),
+		sizes:     map[starcdn.ObjectID]int64{},
+	}
+	for i, c := range sys.Cities {
+		g.cityIdx[strings.ToLower(c.Name)] = i
+	}
+	return g, nil
+}
+
+func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/content/")
+	objID, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad object id", http.StatusBadRequest)
+		return
+	}
+	city := strings.ToLower(r.URL.Query().Get("city"))
+	loc, ok := g.cityIdx[city]
+	if !ok {
+		http.Error(w, "unknown city", http.StatusNotFound)
+		return
+	}
+
+	g.mu.Lock()
+	// Simulated time advances with wall time so the constellation moves.
+	now := time.Since(g.start).Seconds() * 60 // 1 wall second = 1 sim minute
+	size, ok := g.sizes[starcdn.ObjectID(objID)]
+	if !ok {
+		size = int64(4<<10 + g.rng.Intn(60<<10))
+		g.sizes[starcdn.ObjectID(objID)] = size
+	}
+	first, visible := g.scheduler.FirstContact(loc, now)
+	if !visible {
+		first = -1
+	}
+	req := trace.Request{TimeSec: now, Object: starcdn.ObjectID(objID), Size: size, Location: loc}
+	ctx := sim.ServeContext{First: first, Req: &req, Rng: g.rng, Latency: g.latency}
+	out := g.policy.Serve(&ctx)
+	totalMs := out.SpaceMs + g.latency.UserLinkRTTMs(2, g.rng)
+	g.mu.Unlock()
+
+	w.Header().Set("X-Starcdn-Source", out.Source.String())
+	w.Header().Set("X-Starcdn-Sat", strconv.Itoa(int(out.ServerSat)))
+	w.Header().Set("X-Starcdn-Latency", fmt.Sprintf("%.1f", totalMs))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	// Deterministic filler body standing in for the object bytes.
+	const chunk = "starcdn-content-block-"
+	var written int64
+	for written < size {
+		n := int64(len(chunk))
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := io.WriteString(w, chunk[:n]); err != nil {
+			return
+		}
+		written += n
+	}
+}
+
+func main() {
+	g, err := newGateway()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/content/", g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("StarCDN HTTP gateway listening on %s\n", base)
+
+	// Self-test: a Zipf workload of clients in two cities.
+	client := &http.Client{Timeout: 5 * time.Second}
+	rng := rand.New(rand.NewSource(9))
+	zipf := rand.NewZipf(rng, 1.2, 1, 499)
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		city := "New York"
+		if i%3 == 0 {
+			city = "London"
+		}
+		url := fmt.Sprintf("%s/content/%d?city=%s", base, zipf.Uint64()+1,
+			strings.ReplaceAll(city, " ", "%20"))
+		resp, err := client.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		counts[resp.Header.Get("X-Starcdn-Source")]++
+	}
+	fmt.Println("requests by source after 400 fetches:")
+	for src, n := range counts {
+		fmt.Printf("  %-12s %d\n", src, n)
+	}
+	srv.Close()
+}

@@ -1,0 +1,38 @@
+// Quickstart: build a constellation, synthesise a workload, and compare
+// StarCDN against a naive per-satellite LRU in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starcdn"
+)
+
+func main() {
+	sys, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A production-like video trace over the paper's nine cities.
+	class := starcdn.VideoClass()
+	class.NumObjects = 10_000
+	tr, err := starcdn.GenerateWorkload(class, sys.Cities, 42, 100_000, 2*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d requests, %.1f GB over %d cities\n",
+		tr.Len(), float64(tr.TotalBytes())/(1<<30), len(tr.Locations))
+
+	cacheCfg := starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: 256 << 20}
+	for _, p := range []starcdn.Policy{sys.NaiveLRU(cacheCfg), sys.StarCDN(cacheCfg)} {
+		m, err := sys.Simulate(tr, p, starcdn.SimConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s request hit rate %.1f%%  byte hit rate %.1f%%  uplink %.1f%% of no-cache\n",
+			p.Name(), 100*m.Meter.RequestHitRate(), 100*m.Meter.ByteHitRate(),
+			100*m.UplinkFraction())
+	}
+}

@@ -1,0 +1,105 @@
+// Secureedge demonstrates the §7 deployment prerequisites working together:
+// the satdns resolver maps a user to its first-contact satellite with an
+// epoch-bounded TTL, and the KMI verifies that content served from space was
+// signed by a satellite holding a valid, unrevoked certificate for its hash
+// bucket — including what happens when a satellite fails and is revoked.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"starcdn"
+	"starcdn/internal/kmi"
+	"starcdn/internal/satdns"
+	"starcdn/internal/sched"
+)
+
+func main() {
+	sys, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Provision certificates for the whole active fleet.
+	authority, err := kmi.NewAuthority(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := kmi.NewFleet(authority)
+	if err := fleet.Provision(rand.Reader, sys.Hash, 0, 86400); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provisioned %d satellite certificates under one ground authority\n", fleet.Size())
+
+	// 2. Run the first-contact resolver over UDP.
+	scheduler, err := sched.New(sys.Constellation, sys.UserPoints(), 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock := satdns.WallClock(60) // 1 wall second = 1 simulated minute
+	server, err := satdns.NewServer(scheduler, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	resolver, err := satdns.NewClient(server.Addr(), clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resolver.Close()
+
+	// 3. A New York user resolves, fetches, and verifies signed content.
+	const nyUser = 4
+	ans, err := resolver.Resolve(nyUser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ans.Resolved {
+		log.Fatal("no satellite in view over New York")
+	}
+	fmt.Printf("resolved New York -> satellite %d (TTL %.1fs)\n", ans.Sat, ans.TTLSec)
+
+	// The bucket owner for the requested object serves and signs it.
+	obj := starcdn.ObjectID(12345)
+	owner, _ := sys.Hash.Responsible(ans.Sat, sys.Hash.BucketOf(obj))
+	signer, ok := fleet.Signer(owner)
+	if !ok {
+		log.Fatalf("bucket owner %d has no certificate", owner)
+	}
+	body := []byte("video segment bytes ...")
+	sig := signer.SignResponse(obj, body)
+
+	if err := authority.Verify(signer.Cert, clock()); err != nil {
+		log.Fatalf("certificate rejected: %v", err)
+	}
+	if err := kmi.VerifyResponse(signer.Cert, obj, body, sig); err != nil {
+		log.Fatalf("response rejected: %v", err)
+	}
+	fmt.Printf("content served by satellite %d (bucket %d) verified end to end\n",
+		owner, signer.Cert.Bucket)
+
+	// 4. The satellite fails: the operator revokes it, verification now
+	// fails, and the consistent hashing remap picks a live replacement.
+	fleet.RevokeSatellite(owner)
+	sys.Constellation.SetActive(owner, false)
+	if err := authority.Verify(signer.Cert, clock()); err == nil {
+		log.Fatal("revoked certificate still verifies")
+	} else {
+		fmt.Printf("after failure: certificate of satellite %d rejected (%v)\n", owner, err)
+	}
+	heir, ok := sys.Hash.Responsible(ans.Sat, sys.Hash.BucketOf(obj))
+	if !ok {
+		log.Fatal("no remap target")
+	}
+	heirSigner, ok := fleet.Signer(heir)
+	if !ok {
+		log.Fatalf("remap target %d has no certificate", heir)
+	}
+	sig2 := heirSigner.SignResponse(obj, body)
+	if err := kmi.VerifyResponse(heirSigner.Cert, obj, body, sig2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bucket remapped to satellite %d; its signed responses verify\n", heir)
+}

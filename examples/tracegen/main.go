@@ -1,0 +1,65 @@
+// Tracegen demonstrates the SpaceGEN pipeline (§4): fit footprint-descriptor
+// models from a limited "production" trace, generate a 4x longer synthetic
+// trace, and validate that the synthetic trace preserves the statistics that
+// matter for satellite-cache simulation (Fig. 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starcdn"
+)
+
+func main() {
+	sys, err := starcdn.NewSystem(starcdn.SystemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. A limited production trace (the paper had one day of Akamai logs).
+	class := starcdn.VideoClass()
+	class.NumObjects = 8_000
+	class.MaxSizeBytes = 64 << 20
+	prod, err := starcdn.GenerateWorkload(class, sys.Cities, 42, 50_000, 2*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("production: %d requests over %.1f h\n", prod.Len(), prod.DurationSec()/3600)
+
+	// 2. Fit the GPD + per-location pFDs.
+	models, err := starcdn.FitModels(prod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted models: %d GPD tuples, %d locations\n",
+		len(models.GPD.Tuples), len(models.PFDs))
+	for _, pfd := range models.PFDs[:3] {
+		fmt.Printf("  pFD %-14s rate=%.1f req/s, max stack distance=%.1f MB\n",
+			pfd.Location, pfd.ReqRate, float64(pfd.MaxStackDist)/(1<<20))
+	}
+
+	// 3. Generate a 4x longer synthetic trace (the paper extends 1 day to 5).
+	syn, err := starcdn.GenerateSynthetic(models, 7, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic: %d requests over %.1f h\n", syn.Len(), syn.DurationSec()/3600)
+
+	// 4. Validate: satellite LRU hit rates match between the traces.
+	fmt.Println("\nsatellite LRU validation (Fig. 6e):")
+	fmt.Printf("%-10s %12s %12s\n", "cache", "RHR(prod)", "RHR(syn)")
+	for _, size := range []int64{64 << 20, 256 << 20} {
+		cfg := starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: size}
+		pm, err := sys.Simulate(prod, sys.NaiveLRU(cfg), starcdn.SimConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sm, err := sys.Simulate(syn, sys.NaiveLRU(cfg), starcdn.SimConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %11.1f%% %11.1f%%\n", size>>20,
+			100*pm.Meter.RequestHitRate(), 100*sm.Meter.RequestHitRate())
+	}
+}

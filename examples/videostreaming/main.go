@@ -1,0 +1,60 @@
+// Videostreaming reproduces the paper's headline comparison on the video
+// traffic class: the five schemes of Fig. 7 across cache sizes, plus the
+// latency distribution of Fig. 10 — the workload the paper's introduction
+// motivates (Starlink users streaming video through in-space caches).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starcdn"
+)
+
+func main() {
+	sys, err := starcdn.NewSystem(starcdn.SystemOptions{Buckets: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	class := starcdn.VideoClass()
+	class.NumObjects = 10_000
+	class.MaxSizeBytes = 64 << 20
+	tr, err := starcdn.GenerateWorkload(class, sys.Cities, 7, 120_000, 3*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hit rate vs cache size (video class, L=4)")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "cache", "lru", "starcdn", "fetch-only", "static")
+	for _, size := range []int64{64 << 20, 128 << 20, 256 << 20, 512 << 20} {
+		cfg := starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: size}
+		policies := []starcdn.Policy{
+			sys.NaiveLRU(cfg),
+			sys.StarCDN(cfg),
+			sys.StarCDNVariant(cfg, starcdn.StarCDNOptions{Hashing: true}),
+			sys.StaticCache(cfg),
+		}
+		fmt.Printf("%-10d", size>>20)
+		for _, p := range policies {
+			m, err := sys.Simulate(tr, p, starcdn.SimConfig{Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%11.1f%%", 100*m.Meter.RequestHitRate())
+		}
+		fmt.Println()
+	}
+
+	// Latency: StarCDN vs the bent-pipe status quo.
+	cfg := starcdn.CacheConfig{Kind: starcdn.LRU, Bytes: 512 << 20}
+	m, err := sys.Simulate(tr, sys.StarCDN(cfg), starcdn.SimConfig{Seed: 1, CollectLatency: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStarCDN latency: p50=%.1fms p90=%.1fms p99=%.1fms\n",
+		m.Latency.Quantile(0.5), m.Latency.Quantile(0.9), m.Latency.Quantile(0.99))
+	fmt.Printf("served: local=%d bucket=%d relay-west=%d relay-east=%d ground=%d\n",
+		m.BySource[starcdn.SourceLocal], m.BySource[starcdn.SourceBucket],
+		m.BySource[starcdn.SourceRelayWest], m.BySource[starcdn.SourceRelayEast],
+		m.BySource[starcdn.SourceGround])
+}

@@ -1,0 +1,3 @@
+module starcdn
+
+go 1.22

@@ -1,0 +1,86 @@
+package cache
+
+import "math"
+
+// AdmissionFilter decides whether a missed object should be admitted into
+// the cache at all. CDNs use admission control to keep giant, rarely reused
+// objects from flushing the working set (AdaptSize, RL-Cache — related work
+// the paper cites); in StarCDN the same filters apply per satellite cache.
+type AdmissionFilter interface {
+	// Admit reports whether the object should enter the cache.
+	Admit(obj ObjectID, size int64) bool
+	// Name identifies the filter.
+	Name() string
+}
+
+// AdmitAll is the default pass-through filter.
+type AdmitAll struct{}
+
+// Admit implements AdmissionFilter.
+func (AdmitAll) Admit(ObjectID, int64) bool { return true }
+
+// Name implements AdmissionFilter.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// SizeThreshold bypasses objects larger than MaxBytes.
+type SizeThreshold struct {
+	MaxBytes int64
+}
+
+// Admit implements AdmissionFilter.
+func (f SizeThreshold) Admit(_ ObjectID, size int64) bool { return size <= f.MaxBytes }
+
+// Name implements AdmissionFilter.
+func (f SizeThreshold) Name() string { return "size-threshold" }
+
+// ProbabilisticSize is the AdaptSize-style filter: admit with probability
+// exp(-size/C). The decision is derived deterministically from the object ID
+// so replays are reproducible and repeated misses of one object make the
+// same choice.
+type ProbabilisticSize struct {
+	C float64 // characteristic size in bytes
+}
+
+// Admit implements AdmissionFilter.
+func (f ProbabilisticSize) Admit(obj ObjectID, size int64) bool {
+	if f.C <= 0 {
+		return true
+	}
+	p := math.Exp(-float64(size) / f.C)
+	// splitmix64 of the object ID as a uniform draw in [0, 1).
+	x := uint64(obj) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return u < p
+}
+
+// Name implements AdmissionFilter.
+func (f ProbabilisticSize) Name() string { return "adaptsize" }
+
+// filtered wraps a Policy with an AdmissionFilter.
+type filtered struct {
+	Policy
+	filter AdmissionFilter
+}
+
+// WithAdmission wraps a cache so Admit consults the filter first; bypassed
+// objects are simply not cached (no error).
+func WithAdmission(p Policy, f AdmissionFilter) Policy {
+	if f == nil {
+		return p
+	}
+	return &filtered{Policy: p, filter: f}
+}
+
+// Admit implements Policy.
+func (c *filtered) Admit(obj ObjectID, size int64) error {
+	if !c.filter.Admit(obj, size) {
+		return nil // bypass: a deliberate non-admission is not an error
+	}
+	return c.Policy.Admit(obj, size)
+}
+
+// Name implements Policy.
+func (c *filtered) Name() string { return c.Policy.Name() + "+" + c.filter.Name() }

@@ -1,0 +1,36 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchWorkload(n int) []ObjectID {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<16)
+	ids := make([]ObjectID, n)
+	for i := range ids {
+		ids[i] = ObjectID(zipf.Uint64())
+	}
+	return ids
+}
+
+func benchmarkPolicy(b *testing.B, kind Kind) {
+	ids := benchWorkload(1 << 16)
+	p := MustNew(kind, 1<<14) // ~25% of the footprint fits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i&(1<<16-1)]
+		if !p.Get(id) {
+			if err := p.Admit(id, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLRU(b *testing.B)   { benchmarkPolicy(b, LRU) }
+func BenchmarkLFU(b *testing.B)   { benchmarkPolicy(b, LFU) }
+func BenchmarkFIFO(b *testing.B)  { benchmarkPolicy(b, FIFO) }
+func BenchmarkSieve(b *testing.B) { benchmarkPolicy(b, SIEVE) }

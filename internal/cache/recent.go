@@ -1,0 +1,71 @@
+package cache
+
+// Recents is an optional interface for caches that can enumerate their most
+// recently touched objects; the proactive-prefetch baseline (§3.3 of the
+// paper) uses it to pull a neighbour's hot set.
+type Recents interface {
+	// Recent appends up to n object IDs in most-recently-used-first order.
+	Recent(n int) []ObjectID
+}
+
+// Recent implements Recents for LRU: the list head is the MRU entry.
+func (c *lruCache) Recent(n int) []ObjectID {
+	out := make([]ObjectID, 0, min(n, len(c.items)))
+	for node := c.head; node != nil && len(out) < n; node = node.next {
+		out = append(out, node.id)
+	}
+	return out
+}
+
+// Recent implements Recents for FIFO: insertion order stands in for recency.
+func (c *fifoCache) Recent(n int) []ObjectID {
+	out := make([]ObjectID, 0, min(n, len(c.items)))
+	for node := c.head; node != nil && len(out) < n; node = node.next {
+		out = append(out, node.id)
+	}
+	return out
+}
+
+// Recent implements Recents for SIEVE: newest insertions first (visited
+// bits do not define a total recency order, so insertion order is used).
+func (c *sieveCache) Recent(n int) []ObjectID {
+	out := make([]ObjectID, 0, min(n, len(c.items)))
+	for node := c.head; node != nil && len(out) < n; node = node.next {
+		out = append(out, node.id)
+	}
+	return out
+}
+
+// Recent implements Recents for LFU: hottest frequency buckets first, most
+// recently touched first within a bucket.
+func (c *lfuCache) Recent(n int) []ObjectID {
+	out := make([]ObjectID, 0, min(n, len(c.items)))
+	// Find the maximum frequency present, then walk downwards. Frequencies
+	// are sparse, so collect and sort the keys.
+	freqs := make([]int64, 0, len(c.buckets))
+	for f := range c.buckets {
+		freqs = append(freqs, f)
+	}
+	// Insertion sort (bucket counts are small).
+	for i := 1; i < len(freqs); i++ {
+		for j := i; j > 0 && freqs[j] > freqs[j-1]; j-- {
+			freqs[j], freqs[j-1] = freqs[j-1], freqs[j]
+		}
+	}
+	for _, f := range freqs {
+		for node := c.buckets[f].head; node != nil && len(out) < n; node = node.next {
+			out = append(out, node.id)
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package cache
+
+import "testing"
+
+func TestRecentImplementedByAll(t *testing.T) {
+	for _, k := range allKinds {
+		p := MustNew(k, 1000)
+		if _, ok := p.(Recents); !ok {
+			t.Errorf("%s does not implement Recents", k)
+		}
+	}
+}
+
+func TestRecentLRUOrder(t *testing.T) {
+	p := MustNew(LRU, 1000)
+	for id := ObjectID(1); id <= 5; id++ {
+		mustAdmit(t, p, id, 10)
+	}
+	p.Get(2) // 2 becomes MRU
+	got := p.(Recents).Recent(3)
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 4 {
+		t.Errorf("Recent(3) = %v, want [2 5 4]", got)
+	}
+	// n larger than the cache returns everything.
+	if all := p.(Recents).Recent(100); len(all) != 5 {
+		t.Errorf("Recent(100) = %d entries", len(all))
+	}
+	// Empty cache.
+	q := MustNew(LRU, 100)
+	if got := q.(Recents).Recent(3); len(got) != 0 {
+		t.Errorf("empty Recent = %v", got)
+	}
+}
+
+func TestRecentFIFOAndSieveInsertionOrder(t *testing.T) {
+	for _, k := range []Kind{FIFO, SIEVE} {
+		p := MustNew(k, 1000)
+		for id := ObjectID(1); id <= 4; id++ {
+			mustAdmit(t, p, id, 10)
+		}
+		p.Get(1) // must not change enumeration order
+		got := p.(Recents).Recent(2)
+		if len(got) != 2 || got[0] != 4 || got[1] != 3 {
+			t.Errorf("%s Recent(2) = %v, want [4 3]", k, got)
+		}
+	}
+}
+
+func TestRecentLFUHotFirst(t *testing.T) {
+	p := MustNew(LFU, 1000)
+	for id := ObjectID(1); id <= 3; id++ {
+		mustAdmit(t, p, id, 10)
+	}
+	p.Get(2)
+	p.Get(2)
+	p.Get(3)
+	got := p.(Recents).Recent(3)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Errorf("LFU Recent(3) = %v, want [2 3 1]", got)
+	}
+}

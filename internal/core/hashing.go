@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: StarCDN's
+// LSN-specific consistent hashing (§3.2), relayed fetch (§3.3), and
+// robustness to unavailability (§3.4).
+//
+// Objects are hashed into L buckets (L a perfect square). The buckets are
+// tiled over the ISL grid in a repeating √L × √L pattern: the satellite at
+// (plane, slot) owns bucket (plane mod √L)*√L + (slot mod √L). Any bucket is
+// therefore reachable from any first-contact satellite within 2⌊√L/2⌋ hops.
+// On a cache miss, the bucket's home satellite may relay the request to its
+// nearest same-bucket inter-orbit neighbours — √L planes east or west —
+// whose ground tracks retrace the home satellite's footprint, letting cached
+// content flow opposite to the orbital motion.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/orbit"
+	"starcdn/internal/topo"
+)
+
+// BucketID identifies one of the L consistent-hashing buckets.
+type BucketID int
+
+// HashScheme maps objects to buckets and buckets to satellites on the grid.
+type HashScheme struct {
+	grid *topo.Grid
+	l    int
+	root int
+}
+
+// NewHashScheme builds a scheme with l buckets over the grid. l must be a
+// perfect square (the paper uses 4 and 9; 1 degenerates to no partitioning).
+func NewHashScheme(g *topo.Grid, l int) (*HashScheme, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil grid")
+	}
+	if l <= 0 {
+		return nil, fmt.Errorf("core: bucket count must be positive, got %d", l)
+	}
+	root := int(math.Round(math.Sqrt(float64(l))))
+	if root*root != l {
+		return nil, fmt.Errorf("core: bucket count %d is not a perfect square", l)
+	}
+	cfg := g.Constellation().Config()
+	if root > cfg.Planes || root > cfg.SatsPerPlane {
+		return nil, fmt.Errorf("core: %d buckets need a %dx%d tile but the grid is %dx%d",
+			l, root, root, cfg.Planes, cfg.SatsPerPlane)
+	}
+	return &HashScheme{grid: g, l: l, root: root}, nil
+}
+
+// Buckets returns L, the number of buckets.
+func (h *HashScheme) Buckets() int { return h.l }
+
+// Root returns √L, the tile edge length.
+func (h *HashScheme) Root() int { return h.root }
+
+// Grid returns the underlying ISL grid.
+func (h *HashScheme) Grid() *topo.Grid { return h.grid }
+
+// BucketOf hashes an object to its bucket with a splitmix64 mixer, giving a
+// uniform, deterministic assignment.
+func (h *HashScheme) BucketOf(obj cache.ObjectID) BucketID {
+	x := uint64(obj) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return BucketID(x % uint64(h.l))
+}
+
+// BucketAt returns the bucket a satellite slot owns under the √L×√L tiling.
+func (h *HashScheme) BucketAt(id orbit.SatID) BucketID {
+	plane, slot := h.grid.Constellation().PlaneSlot(id)
+	return BucketID((plane%h.root)*h.root + slot%h.root)
+}
+
+// NearestOwner returns the satellite slot owning bucket b that is closest in
+// grid hops to the first-contact satellite, ignoring satellite health (see
+// Responsible for the §3.4 remap). Ties prefer fewer plane hops, then the
+// eastern/northern candidate, so routing is deterministic.
+func (h *HashScheme) NearestOwner(first orbit.SatID, b BucketID) orbit.SatID {
+	c := h.grid.Constellation()
+	plane, slot := c.PlaneSlot(first)
+	cfg := c.Config()
+	wantP := int(b) / h.root // plane residue owning b
+	wantS := int(b) % h.root // slot residue owning b
+
+	bestSat := orbit.SatID(-1)
+	bestCost := math.MaxInt32
+	// Candidate plane offsets: the two nearest k with (plane+k) mod root ==
+	// wantP, one in each direction; same for slots. Candidates are verified
+	// against BucketAt because the residue arithmetic is only exact when the
+	// ring sizes divide by root; near a seam the tile pattern is broken.
+	for _, dp := range nearestResidueOffsets(plane, wantP, h.root, cfg.Planes) {
+		for _, ds := range nearestResidueOffsets(slot, wantS, h.root, cfg.SatsPerPlane) {
+			cand := c.SatAt(plane+dp, slot+ds)
+			if h.BucketAt(cand) != b {
+				continue
+			}
+			cost := abs(dp) + abs(ds)
+			if cost < bestCost {
+				bestCost = cost
+				bestSat = cand
+			}
+		}
+	}
+	if bestSat >= 0 {
+		return bestSat
+	}
+	// Seam fallback: expand grid rings until a true owner of b is found.
+	maxR := cfg.Planes/2 + cfg.SatsPerPlane/2
+	for r := 0; r <= maxR; r++ {
+		for dp := r; dp >= -r; dp-- {
+			dsAbs := r - abs(dp)
+			for _, ds := range []int{dsAbs, -dsAbs} {
+				cand := c.SatAt(plane+dp, slot+ds)
+				if h.BucketAt(cand) == b {
+					return cand
+				}
+				if ds == 0 {
+					break
+				}
+			}
+		}
+	}
+	return first // unreachable for any valid tiling
+}
+
+// nearestResidueOffsets returns the smallest non-negative and smallest
+// non-positive offsets k such that (pos+k) mod root == want, clamped to the
+// ring size so the two candidates are distinct positions.
+func nearestResidueOffsets(pos, want, root, ringSize int) []int {
+	fwd := mod(want-pos, root) // 0..root-1
+	bwd := fwd - root          // negative counterpart
+	if fwd == 0 {
+		return []int{0}
+	}
+	if ringSize <= root {
+		return []int{fwd}
+	}
+	return []int{fwd, bwd}
+}
+
+// Responsible returns the satellite that currently serves bucket b for a
+// request arriving at the first-contact satellite, applying the §3.4 remap:
+// if the nearest owner is unavailable, the bucket is remapped to the next
+// available satellite (which then serves multiple buckets).
+func (h *HashScheme) Responsible(first orbit.SatID, b BucketID) (orbit.SatID, bool) {
+	owner := h.NearestOwner(first, b)
+	c := h.grid.Constellation()
+	if c.Active(owner) {
+		return owner, true
+	}
+	return h.Remap(owner)
+}
+
+// Remap walks outward from a dead satellite in deterministic direction order
+// (east, west, north, south, then growing grid radius) and returns the first
+// active satellite, which inherits the dead satellite's bucket duty.
+func (h *HashScheme) Remap(dead orbit.SatID) (orbit.SatID, bool) {
+	c := h.grid.Constellation()
+	plane, slot := c.PlaneSlot(dead)
+	cfg := c.Config()
+	maxR := cfg.Planes/2 + cfg.SatsPerPlane/2
+	for r := 1; r <= maxR; r++ {
+		// Visit the ring of radius r in a fixed order — starting due east
+		// (dp=+r), sweeping to due west (dp=-r) — so the remap target is
+		// deterministic for a given constellation state.
+		for dp := r; dp >= -r; dp-- {
+			dsAbs := r - abs(dp)
+			for _, ds := range []int{dsAbs, -dsAbs} {
+				cand := c.SatAt(plane+dp, slot+ds)
+				if cand != dead && c.Active(cand) {
+					return cand, true
+				}
+				if ds == 0 {
+					break // ds = +0 and -0 are the same position
+				}
+			}
+		}
+	}
+	return dead, false
+}
+
+// Duties returns, for every active satellite, the list of buckets it serves:
+// its own tile bucket plus any buckets inherited from dead satellites whose
+// remap lands on it. The map is keyed by satellite; Fig. 11 groups hit rates
+// by len(duties).
+func (h *HashScheme) Duties() map[orbit.SatID][]BucketID {
+	c := h.grid.Constellation()
+	duties := make(map[orbit.SatID][]BucketID)
+	for i := 0; i < c.NumSlots(); i++ {
+		id := orbit.SatID(i)
+		b := h.BucketAt(id)
+		if c.Active(id) {
+			duties[id] = append(duties[id], b)
+			continue
+		}
+		if heir, ok := h.Remap(id); ok {
+			duties[heir] = appendUniqueBucket(duties[heir], b)
+		}
+	}
+	return duties
+}
+
+func appendUniqueBucket(list []BucketID, b BucketID) []BucketID {
+	for _, x := range list {
+		if x == b {
+			return list
+		}
+	}
+	return append(list, b)
+}
+
+// RelayNeighbor returns the nearest same-bucket inter-orbit neighbour of sat
+// in the given east/west direction: √L planes away at the same slot. ok is
+// false if the direction is not East/West or the neighbour slot is dead.
+func (h *HashScheme) RelayNeighbor(sat orbit.SatID, d topo.Direction) (orbit.SatID, bool) {
+	if d != topo.East && d != topo.West {
+		return sat, false
+	}
+	c := h.grid.Constellation()
+	plane, slot := c.PlaneSlot(sat)
+	step := h.root
+	if d == topo.West {
+		step = -h.root
+	}
+	nb := c.SatAt(plane+step, slot)
+	if nb == sat || !c.Active(nb) {
+		return nb, false
+	}
+	return nb, true
+}
+
+// RelayHops returns the number of inter-orbit hops to a relay neighbour (√L).
+func (h *HashScheme) RelayHops() int { return h.root }
+
+// RoutingHops returns the grid hops from the first-contact satellite to the
+// bucket owner's slot (plane hops, slot hops).
+func (h *HashScheme) RoutingHops(first, owner orbit.SatID) (planeHops, slotHops int) {
+	return h.grid.HopDistance(first, owner)
+}
+
+// WorstCaseRoutingLatencyMs returns the round-trip worst-case consistent
+// hashing routing latency for L buckets under the grid's link model:
+// ⌊√L/2⌋ inter-orbit plus ⌊√L/2⌋ intra-orbit hops each way (Fig. 9).
+func (h *HashScheme) WorstCaseRoutingLatencyMs() float64 {
+	m := h.grid.Model()
+	half := float64(h.root / 2)
+	oneWay := half*m.InterOrbitISL.AvgMs + half*m.IntraOrbitISL.AvgMs
+	return 2 * oneWay
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/sim"
+	"starcdn/internal/stats"
+)
+
+// Fig7 regenerates the hit-rate curves: request and byte hit rate across
+// cache sizes for Static Cache, StarCDN, StarCDN-Fetch, StarCDN-Hashing and
+// the LRU baseline, for L buckets (the paper plots L=4 and L=9).
+func Fig7(e *Env, l int) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report(fmt.Sprintf("Fig. 7: hit rate curves (L=%d)", l),
+		"at 50GB, L=4: LRU ~60% vs StarCDN ~71% RHR; max gap 15pp (60GB, L=9); "+
+			"ordering static > starcdn > starcdn-fetch > starcdn-hashing ~ lru")
+	schemes := []string{"static", "starcdn", "starcdn-fetch", "starcdn-hashing", "lru"}
+	type row struct {
+		rhr, bhr map[string]float64
+	}
+	rows := make([]row, len(e.Scale.CacheSizes))
+	for i, size := range e.Scale.CacheSizes {
+		rows[i] = row{rhr: map[string]float64{}, bhr: map[string]float64{}}
+		for _, s := range schemes {
+			m, err := e.runScheme("fig7", s, l, size, tr, sim.Config{Seed: e.Scale.Seed})
+			if err != nil {
+				return "", err
+			}
+			rows[i].rhr[s] = m.Meter.RequestHitRate()
+			rows[i].bhr[s] = m.Meter.ByteHitRate()
+		}
+	}
+	for _, metric := range []string{"request hit rate", "byte hit rate"} {
+		fmt.Fprintf(b, "-- %s --\n%-10s", metric, "cache")
+		for _, s := range schemes {
+			fmt.Fprintf(b, "%18s", s)
+		}
+		fmt.Fprintln(b)
+		for i, size := range e.Scale.CacheSizes {
+			fmt.Fprintf(b, "%-10s", gb(size))
+			for _, s := range schemes {
+				v := rows[i].rhr[s]
+				if metric == "byte hit rate" {
+					v = rows[i].bhr[s]
+				}
+				fmt.Fprintf(b, "%17.1f%%", 100*v)
+			}
+			fmt.Fprintln(b)
+		}
+	}
+	return b.String(), nil
+}
+
+// Fig8 regenerates the normalized uplink usage chart (L=9): ground-to-space
+// bytes as a fraction of total bytes, where no-cache Starlink is 100%.
+func Fig8(e *Env) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report("Fig. 8: uplink usage normalized to no-cache Starlink (L=9)",
+		"LRU uses 30-35%; StarCDN 20-25% (up to 80% reduction vs no cache)")
+	schemes := []string{"lru", "starcdn-hashing", "starcdn-fetch", "starcdn"}
+	fmt.Fprintf(b, "%-10s", "cache")
+	for _, s := range schemes {
+		fmt.Fprintf(b, "%18s", s)
+	}
+	fmt.Fprintln(b)
+	for _, size := range e.Scale.CacheSizes {
+		fmt.Fprintf(b, "%-10s", gb(size))
+		for _, s := range schemes {
+			m, err := e.runScheme("fig8", s, 9, size, tr, sim.Config{Seed: e.Scale.Seed})
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(b, "%17.1f%%", 100*m.UplinkFraction())
+		}
+		fmt.Fprintln(b)
+	}
+	return b.String(), nil
+}
+
+// Table3 regenerates the relay-availability table: on a miss at the bucket
+// owner (L=4), how often the object is available at the west-only,
+// east-only, or both inter-orbit same-bucket neighbours.
+func Table3(e *Env) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report("Table 3: availability in inter-orbit neighbours on a miss (L=4)",
+		"west dominates and its share grows with cache size "+
+			"(paper at 50GB: west 61.6M req, east 30.1M, both 14.6M)")
+	fmt.Fprintf(b, "%-10s %14s %14s %14s %14s %14s %14s\n", "cache",
+		"west req", "west MB", "east req", "east MB", "both req", "both MB")
+	for _, size := range e.Scale.CacheSizes {
+		c := e.Constellation("table3")
+		g := e.grid("table3")
+		h, err := core.NewHashScheme(g, 4)
+		if err != nil {
+			return "", err
+		}
+		p := sim.NewStarCDN(h, sim.CacheConfig{Kind: cache.LRU, Bytes: size},
+			sim.StarCDNOptions{Hashing: true, Relay: true})
+		stats := &sim.RelayAvailability{}
+		p.SetRelayStats(stats)
+		if _, err := sim.Run(c, e.Users(), tr, p, sim.Config{Seed: e.Scale.Seed}); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(b, "%-10s %14d %14.1f %14d %14.1f %14d %14.1f\n", gb(size),
+			stats.WestOnlyReq, float64(stats.WestOnlyBytes)/(1<<20),
+			stats.EastOnlyReq, float64(stats.EastOnlyBytes)/(1<<20),
+			stats.BothReq, float64(stats.BothBytes)/(1<<20))
+	}
+	return b.String(), nil
+}
+
+// Fig9 regenerates the bucket-count trade-off: worst-case routing latency
+// (analytic, round trip) and the request hit rate at the smallest cache.
+func Fig9(e *Env) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report("Fig. 9: worst-case routing latency and hit rate vs number of buckets",
+		"latency equal for L=4 and L=9 (~20ms RTT), ~40ms at L=16; hit rate grows with L")
+	size := e.Scale.CacheSizes[0]
+	latency := stats.Series{Name: "worst_rtt_ms"}
+	hitRate := stats.Series{Name: "RHR_pct@" + gb(size)}
+	for _, l := range []int{1, 4, 9, 16, 25} {
+		h, err := core.NewHashScheme(e.grid("fig9"), l)
+		if err != nil {
+			return "", err
+		}
+		m, err := e.runScheme("fig9", "starcdn", l, size, tr, sim.Config{Seed: e.Scale.Seed})
+		if err != nil {
+			return "", err
+		}
+		latency.Append(float64(l), h.WorstCaseRoutingLatencyMs())
+		hitRate.Append(float64(l), stats.Pct(m.Meter.RequestHitRate(), 1))
+	}
+	b.WriteString(stats.Table("L (buckets)", latency, hitRate))
+	return b.String(), nil
+}
+
+// Fig12 regenerates the web and download hit-rate curves: Static Cache and
+// StarCDN at L=4 and L=9 plus the LRU baseline.
+func Fig12(e *Env, class string) (string, error) {
+	tr, err := e.ProductionTrace(class)
+	if err != nil {
+		return "", err
+	}
+	b := report(fmt.Sprintf("Fig. 12: hit rate curves for %s traffic", class),
+		"StarCDN clearly beats LRU; static upper-bounds; L=9 beats L=4; "+
+			"downloads gain >30pp byte hit rate")
+	cols := []struct {
+		label  string
+		scheme string
+		l      int
+	}{
+		{"static", "static", 0},
+		{"starcdn-L4", "starcdn", 4},
+		{"starcdn-L9", "starcdn", 9},
+		{"lru", "lru", 0},
+	}
+	for _, metric := range []string{"request hit rate", "byte hit rate"} {
+		fmt.Fprintf(b, "-- %s --\n%-10s", metric, "cache")
+		for _, c := range cols {
+			fmt.Fprintf(b, "%16s", c.label)
+		}
+		fmt.Fprintln(b)
+		for _, size := range e.Scale.CacheSizes {
+			fmt.Fprintf(b, "%-10s", gb(size))
+			for _, c := range cols {
+				m, err := e.runScheme("fig12-"+class, c.scheme, c.l, size, tr,
+					sim.Config{Seed: e.Scale.Seed})
+				if err != nil {
+					return "", err
+				}
+				v := m.Meter.RequestHitRate()
+				if metric == "byte hit rate" {
+					v = m.Meter.ByteHitRate()
+				}
+				fmt.Fprintf(b, "%15.1f%%", 100*v)
+			}
+			fmt.Fprintln(b)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"starcdn/internal/sim"
+)
+
+// ExtraCongestion sweeps the modelled traffic load and reports latency
+// percentiles for bent-pipe Starlink vs StarCDN. The paper motivates
+// StarCDN with uplink contention (§1, §3: Starlink pausing subscriptions in
+// saturated cells); with a queueing-aware GSL model, schemes that fetch
+// everything from the ground degrade as load grows while StarCDN's in-space
+// hits stay flat.
+func ExtraCongestion(e *Env) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report("Extra: latency under GSL congestion",
+		"uplink contention degrades bent-pipe users first; caching in space "+
+			"both saves uplink and shields user latency from it")
+	size := e.Scale.LatencyCacheSize
+	// TrafficScale maps the sampled trace back to full-load equivalents.
+	// Calibrate the sweep so the bent-pipe scheme sees GSL utilisations of
+	// roughly 0, 30%, 60%, and 90% regardless of the trace sampling rate.
+	demandGbps := float64(tr.TotalBytes()) * 8 / tr.DurationSec() / 1e9
+	scaleFor := func(u float64) float64 {
+		if demandGbps == 0 {
+			return 0
+		}
+		return u * 20 / demandGbps // 20 Gbps GSL capacity (Table 1)
+	}
+	fmt.Fprintf(b, "%-14s %18s %18s %18s %18s\n", "target util",
+		"no-cache p50", "no-cache p95", "starcdn p50", "starcdn p95")
+	for _, u := range []float64{0, 0.3, 0.6, 0.9} {
+		scale := scaleFor(u)
+		row := make(map[string][2]float64)
+		for _, scheme := range []string{"no-cache", "starcdn"} {
+			m, err := e.runScheme("extra-congestion", scheme, 9, size, tr, sim.Config{
+				Seed:           e.Scale.Seed,
+				CollectLatency: true,
+				TrafficScale:   scale,
+			})
+			if err != nil {
+				return "", err
+			}
+			row[scheme] = [2]float64{m.Latency.Quantile(0.5), m.Latency.Quantile(0.95)}
+		}
+		fmt.Fprintf(b, "%-14s %18.1f %18.1f %18.1f %18.1f\n", fmt.Sprintf("%.0f%%", 100*u),
+			row["no-cache"][0], row["no-cache"][1],
+			row["starcdn"][0], row["starcdn"][1])
+	}
+	return b.String(), nil
+}

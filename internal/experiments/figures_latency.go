@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/sim"
+)
+
+// Fig10 regenerates the latency CDFs: StarCDN and StarCDN-Fetch with L
+// buckets against the Terrestrial CDN, regular Starlink (no cache), and
+// Static Cache baselines.
+func Fig10(e *Env, l int) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	b := report(fmt.Sprintf("Fig. 10: latency CDF (L=%d)", l),
+		"median StarCDN ~22ms vs regular Starlink ~55ms (2.5x); long tail from misses")
+	curves := []struct {
+		label  string
+		scheme string
+	}{
+		{"terrestrial-cdn", "terrestrial"},
+		{"static-cache", "static"},
+		{"starcdn", "starcdn"},
+		{"starcdn-fetch", "starcdn-fetch"},
+		{"starlink-no-cache", "no-cache"},
+	}
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+	fmt.Fprintf(b, "%-18s", "scheme")
+	for _, q := range qs {
+		fmt.Fprintf(b, "%9s", fmt.Sprintf("p%02.0f", q*100))
+	}
+	fmt.Fprintln(b, "   (ms)")
+	medians := map[string]float64{}
+	for _, c := range curves {
+		cfg := sim.Config{Seed: e.Scale.Seed, CollectLatency: true}
+		m, err := e.runScheme("fig10", c.scheme, l, e.Scale.LatencyCacheSize, tr, cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(b, "%-18s", c.label)
+		for _, q := range qs {
+			fmt.Fprintf(b, "%9.1f", m.Latency.Quantile(q))
+		}
+		fmt.Fprintln(b)
+		medians[c.label] = m.Latency.Median()
+	}
+	fmt.Fprintf(b, "median improvement over no-cache Starlink: %.2fx (paper: 2.5x)\n",
+		medians["starlink-no-cache"]/medians["starcdn"])
+	return b.String(), nil
+}
+
+// Fig11 regenerates the fault-tolerance figure: with the observed 126
+// out-of-slot satellites, group serving satellites by the number of hash
+// buckets they serve (after the §3.4 remap) and report per-group hit rates.
+func Fig11(e *Env) (string, error) {
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		return "", err
+	}
+	c := e.Constellation("fig11")
+	c.ApplyOutageMask(126, e.Scale.Seed)
+	defer c.ApplyOutageMask(0, e.Scale.Seed)
+	g := e.grid("fig11")
+	h, err := core.NewHashScheme(g, 9)
+	if err != nil {
+		return "", err
+	}
+	p := sim.NewStarCDN(h, sim.CacheConfig{Kind: cache.LRU, Bytes: e.Scale.LatencyCacheSize},
+		sim.StarCDNOptions{Hashing: true, Relay: true})
+	m, err := sim.Run(c, e.Users(), tr, p, sim.Config{Seed: e.Scale.Seed, CollectPerSat: true})
+	if err != nil {
+		return "", err
+	}
+	b := report("Fig. 11: hit rate vs number of hash buckets served (L=9, 126 dead sats)",
+		"RHR drops up to 7pp (BHR 5pp) as satellites inherit more buckets; "+
+			"overall uplink saving stays ~74%")
+	duties := h.Duties()
+	type agg struct {
+		meter cache.Meter
+		sats  int
+	}
+	groups := map[int]*agg{}
+	for id, meter := range m.PerSat {
+		n := len(duties[id])
+		if n == 0 {
+			n = 1
+		}
+		if n > 4 {
+			n = 4 // 4+ bucket group
+		}
+		a := groups[n]
+		if a == nil {
+			a = &agg{}
+			groups[n] = a
+		}
+		a.meter.Merge(*meter)
+		a.sats++
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(b, "%-14s %10s %12s %12s %12s\n", "buckets", "sats", "requests", "RHR", "BHR")
+	for _, k := range keys {
+		a := groups[k]
+		label := fmt.Sprintf("%d", k)
+		if k == 4 {
+			label = "4+"
+		}
+		fmt.Fprintf(b, "%-14s %10d %12d %11.1f%% %11.1f%%\n",
+			label, a.sats, a.meter.Requests,
+			100*a.meter.RequestHitRate(), 100*a.meter.ByteHitRate())
+	}
+	fmt.Fprintf(b, "overall: RHR %.1f%% BHR %.1f%% uplink %.1f%% of no-cache\n",
+		100*m.Meter.RequestHitRate(), 100*m.Meter.ByteHitRate(), 100*m.UplinkFraction())
+	return b.String(), nil
+}

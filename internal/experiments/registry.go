@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes an experiment by its registry name.
+func Run(e *Env, name string) (string, error) {
+	f, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return f(e)
+}
+
+// Names lists the available experiment names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var registry = map[string]func(*Env) (string, error){
+	"table1":              func(e *Env) (string, error) { return Table1(), nil },
+	"table2":              Table2,
+	"table3":              Table3,
+	"fig2":                Fig2,
+	"fig3":                func(e *Env) (string, error) { return Fig3(e), nil },
+	"fig5b":               func(e *Env) (string, error) { return Fig5b(e), nil },
+	"fig6":                Fig6,
+	"fig7-l4":             func(e *Env) (string, error) { return Fig7(e, 4) },
+	"fig7-l9":             func(e *Env) (string, error) { return Fig7(e, 9) },
+	"fig8":                Fig8,
+	"fig9":                Fig9,
+	"fig10-l4":            func(e *Env) (string, error) { return Fig10(e, 4) },
+	"fig10-l9":            func(e *Env) (string, error) { return Fig10(e, 9) },
+	"fig11":               Fig11,
+	"fig12-web":           func(e *Env) (string, error) { return Fig12(e, "web") },
+	"fig12-download":      func(e *Env) (string, error) { return Fig12(e, "download") },
+	"fig13":               Fig13,
+	"ablation-eviction":   AblationEviction,
+	"ablation-prefetch":   AblationPrefetch,
+	"ablation-failure":    AblationFailureMode,
+	"ablation-groundedge": AblationGroundEdge,
+	"extra-uplink":        ExtraUplinkTimeseries,
+	"extra-session":       ExtraSessionMigration,
+	"ablation-admission":  AblationAdmission,
+	"extra-congestion":    ExtraCongestion,
+	"extra-mixed":         ExtraMixedClasses,
+	"extra-coloring":      ExtraColoring,
+}

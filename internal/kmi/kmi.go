@@ -1,0 +1,234 @@
+// Package kmi implements the key management infrastructure the paper lists
+// as a deployment prerequisite (§7 "Security and DNS"): CDN edge servers
+// terminate TLS, so each satellite must hold cryptographic keys that clients
+// (and peer satellites during relayed fetch) can verify, and keys must be
+// revocable when a satellite fails or is decommissioned.
+//
+// The design is a single ground authority with an ed25519 root key that
+// issues per-satellite certificates binding a satellite's public key to its
+// slot, its hash-bucket duty, and a validity window in simulation time.
+// Satellites sign content responses; verifiers check the response signature,
+// the certificate chain, the validity window, and the revocation list.
+package kmi
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/orbit"
+)
+
+// Verification errors.
+var (
+	ErrBadSignature = errors.New("kmi: bad signature")
+	ErrExpired      = errors.New("kmi: certificate outside validity window")
+	ErrRevoked      = errors.New("kmi: certificate revoked")
+	ErrWrongIssuer  = errors.New("kmi: certificate not issued by this authority")
+)
+
+// Certificate binds a satellite's public key to its identity and duty.
+type Certificate struct {
+	Sat          orbit.SatID
+	Bucket       core.BucketID
+	Serial       uint64
+	NotBeforeSec float64
+	NotAfterSec  float64
+	PublicKey    ed25519.PublicKey
+	Signature    []byte // authority signature over canonicalBytes
+}
+
+// canonicalBytes is the deterministic encoding the authority signs.
+func (c *Certificate) canonicalBytes() []byte {
+	buf := make([]byte, 0, 8*5+ed25519.PublicKeySize)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(c.Sat))
+	put(uint64(int64(c.Bucket)))
+	put(c.Serial)
+	put(uint64(int64(c.NotBeforeSec * 1000)))
+	put(uint64(int64(c.NotAfterSec * 1000)))
+	buf = append(buf, c.PublicKey...)
+	return buf
+}
+
+// Authority is the ground-based issuer.
+type Authority struct {
+	mu      sync.Mutex
+	priv    ed25519.PrivateKey
+	pub     ed25519.PublicKey
+	serial  uint64
+	revoked map[uint64]bool // by serial
+}
+
+// NewAuthority creates an authority with entropy from rand (crypto/rand in
+// production; a deterministic reader in tests).
+func NewAuthority(rand io.Reader) (*Authority, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("kmi: generate authority key: %w", err)
+	}
+	return &Authority{priv: priv, pub: pub, revoked: make(map[uint64]bool)}, nil
+}
+
+// PublicKey returns the authority's verification key (distributed to
+// clients out of band, like a CA root).
+func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Issue provisions a satellite: it generates the satellite's keypair, signs
+// a certificate for the given duty and validity window, and returns both.
+// In a real deployment the private key is installed pre-launch or via a
+// secured uplink.
+func (a *Authority) Issue(rand io.Reader, sat orbit.SatID, bucket core.BucketID, notBefore, notAfter float64) (*Certificate, ed25519.PrivateKey, error) {
+	if notAfter <= notBefore {
+		return nil, nil, fmt.Errorf("kmi: empty validity window")
+	}
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kmi: generate satellite key: %w", err)
+	}
+	a.mu.Lock()
+	a.serial++
+	cert := &Certificate{
+		Sat:          sat,
+		Bucket:       bucket,
+		Serial:       a.serial,
+		NotBeforeSec: notBefore,
+		NotAfterSec:  notAfter,
+		PublicKey:    pub,
+	}
+	cert.Signature = ed25519.Sign(a.priv, cert.canonicalBytes())
+	a.mu.Unlock()
+	return cert, priv, nil
+}
+
+// Revoke invalidates a certificate by serial (e.g. the satellite failed and
+// its bucket was remapped, §3.4).
+func (a *Authority) Revoke(serial uint64) {
+	a.mu.Lock()
+	a.revoked[serial] = true
+	a.mu.Unlock()
+}
+
+// Verify checks a certificate's signature, validity at nowSec, and
+// revocation status against this authority.
+func (a *Authority) Verify(cert *Certificate, nowSec float64) error {
+	if !ed25519.Verify(a.pub, cert.canonicalBytes(), cert.Signature) {
+		return ErrWrongIssuer
+	}
+	if nowSec < cert.NotBeforeSec || nowSec > cert.NotAfterSec {
+		return ErrExpired
+	}
+	a.mu.Lock()
+	revoked := a.revoked[cert.Serial]
+	a.mu.Unlock()
+	if revoked {
+		return ErrRevoked
+	}
+	return nil
+}
+
+// Signer is the satellite-side signing context.
+type Signer struct {
+	Cert *Certificate
+	priv ed25519.PrivateKey
+}
+
+// NewSigner pairs a certificate with its private key.
+func NewSigner(cert *Certificate, priv ed25519.PrivateKey) *Signer {
+	return &Signer{Cert: cert, priv: priv}
+}
+
+// responseDigest hashes the response tuple (object, body) with the signer's
+// certificate serial so signatures cannot be replayed across certificates.
+func responseDigest(serial uint64, obj cache.ObjectID, body []byte) []byte {
+	h := sha256.New()
+	var tmp [16]byte
+	binary.BigEndian.PutUint64(tmp[0:8], serial)
+	binary.BigEndian.PutUint64(tmp[8:16], uint64(obj))
+	h.Write(tmp[:])
+	h.Write(body)
+	return h.Sum(nil)
+}
+
+// SignResponse signs a content response.
+func (s *Signer) SignResponse(obj cache.ObjectID, body []byte) []byte {
+	return ed25519.Sign(s.priv, responseDigest(s.Cert.Serial, obj, body))
+}
+
+// VerifyResponse checks a content response against a certificate that the
+// caller has already verified with Authority.Verify.
+func VerifyResponse(cert *Certificate, obj cache.ObjectID, body, sig []byte) error {
+	if !ed25519.Verify(cert.PublicKey, responseDigest(cert.Serial, obj, body), sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Fleet provisions and tracks certificates for a whole constellation.
+type Fleet struct {
+	authority *Authority
+	mu        sync.Mutex
+	signers   map[orbit.SatID]*Signer
+}
+
+// NewFleet wraps an authority.
+func NewFleet(a *Authority) *Fleet {
+	return &Fleet{authority: a, signers: make(map[orbit.SatID]*Signer)}
+}
+
+// Provision issues certificates for every active satellite of the hash
+// scheme for the given validity window.
+func (f *Fleet) Provision(rand io.Reader, h *core.HashScheme, notBefore, notAfter float64) error {
+	c := h.Grid().Constellation()
+	for i := 0; i < c.NumSlots(); i++ {
+		id := orbit.SatID(i)
+		if !c.Active(id) {
+			continue
+		}
+		cert, priv, err := f.authority.Issue(rand, id, h.BucketAt(id), notBefore, notAfter)
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		f.signers[id] = NewSigner(cert, priv)
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// Signer returns the signer for a satellite, if provisioned.
+func (f *Fleet) Signer(id orbit.SatID) (*Signer, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.signers[id]
+	return s, ok
+}
+
+// RevokeSatellite revokes a satellite's certificate (on long-term failure)
+// and drops its signer.
+func (f *Fleet) RevokeSatellite(id orbit.SatID) {
+	f.mu.Lock()
+	s, ok := f.signers[id]
+	delete(f.signers, id)
+	f.mu.Unlock()
+	if ok {
+		f.authority.Revoke(s.Cert.Serial)
+	}
+}
+
+// Size returns the number of provisioned satellites.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.signers)
+}

@@ -1,0 +1,159 @@
+package kmi
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"starcdn/internal/core"
+	"starcdn/internal/orbit"
+	"starcdn/internal/topo"
+)
+
+// detRand is a deterministic entropy source for tests.
+func detRand(seed int64) *detReader { return &detReader{rng: rand.New(rand.NewSource(seed))} }
+
+type detReader struct{ rng *rand.Rand }
+
+func (r *detReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	a, err := NewAuthority(detRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, priv, err := a.Issue(detRand(2), 42, 3, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv == nil || cert.Serial == 0 {
+		t.Fatal("incomplete issuance")
+	}
+	if err := a.Verify(cert, 100); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	// Outside the validity window.
+	if err := a.Verify(cert, 4000); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired cert: %v", err)
+	}
+	if err := a.Verify(cert, -1); !errors.Is(err, ErrExpired) {
+		t.Errorf("not-yet-valid cert: %v", err)
+	}
+	// Tampered duty.
+	evil := *cert
+	evil.Bucket = 0
+	if err := a.Verify(&evil, 100); !errors.Is(err, ErrWrongIssuer) {
+		t.Errorf("tampered cert: %v", err)
+	}
+	// Foreign authority.
+	b, _ := NewAuthority(detRand(3))
+	if err := b.Verify(cert, 100); !errors.Is(err, ErrWrongIssuer) {
+		t.Errorf("foreign authority accepted cert: %v", err)
+	}
+	// Revocation.
+	a.Revoke(cert.Serial)
+	if err := a.Verify(cert, 100); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked cert: %v", err)
+	}
+	// Empty validity window rejected at issue time.
+	if _, _, err := a.Issue(detRand(4), 1, 0, 10, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestResponseSignatures(t *testing.T) {
+	a, _ := NewAuthority(detRand(1))
+	cert, priv, err := a.Issue(detRand(2), 7, 1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSigner(cert, priv)
+	body := bytes.Repeat([]byte("content"), 100)
+	sig := s.SignResponse(99, body)
+	if err := VerifyResponse(cert, 99, body, sig); err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+	// Wrong object.
+	if err := VerifyResponse(cert, 98, body, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("object swap accepted: %v", err)
+	}
+	// Tampered body.
+	body[0] ^= 1
+	if err := VerifyResponse(cert, 99, body, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered body accepted: %v", err)
+	}
+	body[0] ^= 1
+	// Replay under a different certificate (same satellite key reissued).
+	cert2, priv2, _ := a.Issue(detRand(5), 7, 1, 0, 1000)
+	_ = priv2
+	if err := VerifyResponse(cert2, 99, body, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("cross-certificate replay accepted: %v", err)
+	}
+}
+
+func TestFleetProvisioning(t *testing.T) {
+	c, err := orbit.New(orbit.DefaultStarlinkShell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyOutageMask(126, 5)
+	h, err := core.NewHashScheme(topo.NewGrid(c, topo.StarlinkTable1()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewAuthority(detRand(1))
+	fleet := NewFleet(a)
+	if err := fleet.Provision(detRand(2), h, 0, 86400); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Size() != c.NumActive() {
+		t.Fatalf("provisioned %d, want %d active", fleet.Size(), c.NumActive())
+	}
+	// Every provisioned satellite can sign verifiable responses and its
+	// certificate matches its bucket duty.
+	id := orbit.SatID(0)
+	for !c.Active(id) {
+		id++
+	}
+	s, ok := fleet.Signer(id)
+	if !ok {
+		t.Fatal("active satellite missing signer")
+	}
+	if s.Cert.Bucket != h.BucketAt(id) {
+		t.Errorf("certificate bucket %d != duty %d", s.Cert.Bucket, h.BucketAt(id))
+	}
+	if err := a.Verify(s.Cert, 10); err != nil {
+		t.Fatalf("fleet cert invalid: %v", err)
+	}
+	sig := s.SignResponse(5, []byte("x"))
+	if err := VerifyResponse(s.Cert, 5, []byte("x"), sig); err != nil {
+		t.Fatalf("fleet response invalid: %v", err)
+	}
+	// Dead satellites are not provisioned.
+	for i := 0; i < c.NumSlots(); i++ {
+		if !c.Active(orbit.SatID(i)) {
+			if _, ok := fleet.Signer(orbit.SatID(i)); ok {
+				t.Fatalf("dead satellite %d has a signer", i)
+			}
+			break
+		}
+	}
+	// Failure: revoke and verify the certificate dies.
+	serial := s.Cert.Serial
+	fleet.RevokeSatellite(id)
+	if _, ok := fleet.Signer(id); ok {
+		t.Error("revoked satellite still has a signer")
+	}
+	cert := &Certificate{}
+	*cert = *s.Cert
+	cert.Serial = serial
+	if err := a.Verify(s.Cert, 10); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked fleet cert: %v", err)
+	}
+}

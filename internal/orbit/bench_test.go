@@ -1,0 +1,26 @@
+package orbit
+
+import (
+	"testing"
+
+	"starcdn/internal/geo"
+)
+
+func BenchmarkSubSatellitePoint(b *testing.B) {
+	c := MustNew(DefaultStarlinkShell())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.SubSatellitePoint(SatID(i%c.NumSlots()), float64(i))
+	}
+}
+
+func BenchmarkVisibleFrom(b *testing.B) {
+	c := MustNew(DefaultStarlinkShell())
+	ny := geo.NewPoint(40.713, -74.006)
+	buf := make([]SatID, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.VisibleFrom(buf[:0], ny, float64(i%5700))
+	}
+}

@@ -1,0 +1,38 @@
+package orbit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTLE ensures the element-set parser never panics on arbitrary
+// two-line input and that accepted sets re-format and re-parse.
+func FuzzParseTLE(f *testing.F) {
+	f.Add(issLine1, issLine2)
+	l1, l2 := (TLE{CatalogNumber: 40001, EpochYear: 26, EpochDay: 12.5,
+		InclinationDeg: 53, MeanMotionRevPerDay: 15.05}).Format()
+	f.Add(l1, l2)
+	f.Add("1 short", "2 short")
+	f.Add(strings.Repeat("1", 70), strings.Repeat("2", 70))
+
+	f.Fuzz(func(t *testing.T, line1, line2 string) {
+		tle, err := ParseTLE(line1, line2)
+		if err != nil {
+			return
+		}
+		// Accepted sets must survive a format/parse cycle for the fields the
+		// formatter emits.
+		o1, o2 := tle.Format()
+		got, err := ParseTLE(o1, o2)
+		if err != nil {
+			t.Fatalf("accepted TLE fails round trip: %v\n%q\n%q", err, o1, o2)
+		}
+		want := tle.CatalogNumber % 100000
+		if want < 0 {
+			want += 100000
+		}
+		if got.CatalogNumber != want {
+			t.Fatalf("catalog number changed: %d vs %d", got.CatalogNumber, want)
+		}
+	})
+}

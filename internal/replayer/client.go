@@ -1,0 +1,127 @@
+package replayer
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"starcdn/internal/cache"
+)
+
+// Client issues cache operations to satellite servers, pooling one TCP
+// connection per address.
+type Client struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+// NewClient returns an empty client.
+func NewClient() *Client {
+	return &Client{conns: make(map[string]net.Conn)}
+}
+
+// conn returns a pooled connection to addr, dialing on first use.
+func (c *Client) conn(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replayer: dial %s: %w", addr, err)
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// drop removes a broken connection from the pool.
+func (c *Client) drop(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// Close closes all pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, conn := range c.conns {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// roundTrip sends one request frame and reads the response. The per-address
+// connection is used by one request at a time; callers needing concurrency
+// use one Client per worker.
+func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (Status, error) {
+	conn, err := c.conn(addr)
+	if err != nil {
+		return StatusError, err
+	}
+	if err := writeRequest(conn, op, obj, size); err != nil {
+		c.drop(addr)
+		return StatusError, err
+	}
+	st, _, _, err := readResponse(conn)
+	if err != nil {
+		c.drop(addr)
+		return StatusError, err
+	}
+	return st, nil
+}
+
+// Get performs a lookup (with recency update) and reports a hit.
+func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) {
+	st, err := c.roundTrip(addr, OpGet, obj, size)
+	if err != nil {
+		return false, err
+	}
+	return st == StatusHit, nil
+}
+
+// Contains peeks without updating recency.
+func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
+	st, err := c.roundTrip(addr, OpContains, obj, 0)
+	if err != nil {
+		return false, err
+	}
+	return st == StatusHit, nil
+}
+
+// Admit inserts an object into the remote cache.
+func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
+	st, err := c.roundTrip(addr, OpAdmit, obj, size)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return fmt.Errorf("replayer: admit rejected with status %d", st)
+	}
+	return nil
+}
+
+// Stats fetches the remote server's (requests, hits) counters.
+func (c *Client) Stats(addr string) (requests, hits uint64, err error) {
+	conn, err := c.conn(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := writeRequest(conn, OpStats, 0, 0); err != nil {
+		c.drop(addr)
+		return 0, 0, err
+	}
+	st, a, b, err := readResponse(conn)
+	if err != nil {
+		c.drop(addr)
+		return 0, 0, err
+	}
+	if st != StatusOK {
+		return 0, 0, fmt.Errorf("replayer: stats status %d", st)
+	}
+	return a, b, nil
+}

@@ -1,0 +1,142 @@
+package replayer
+
+import (
+	"fmt"
+	"sync"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/geo"
+	"starcdn/internal/sched"
+	"starcdn/internal/trace"
+)
+
+// ReplayConcurrent drives the trace through the TCP cluster with one worker
+// goroutine per location, mirroring the paper's asynchronous multi-process
+// replayer: each location replays its own request stream in order while the
+// satellite cache servers serialise access per cache. Results can differ
+// slightly from the sequential Replay because cross-location interleaving is
+// no longer globally ordered — exactly as on real hardware.
+func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.Trace, opts Options) (cache.Meter, error) {
+	var total cache.Meter
+	if h == nil || cluster == nil {
+		return total, fmt.Errorf("replayer: nil hash scheme or cluster")
+	}
+	if len(users) != len(tr.Locations) {
+		return total, fmt.Errorf("replayer: %d users for %d locations", len(users), len(tr.Locations))
+	}
+	c := h.Grid().Constellation()
+	// Scheduling decisions are precomputed sequentially (the scheduler is
+	// not safe for concurrent use), then workers replay independently.
+	scheduler, err := sched.New(c, users, opts.EpochSec, opts.Seed)
+	if err != nil {
+		return total, err
+	}
+	type job struct {
+		req  *trace.Request
+		home orbitSat
+	}
+	perLoc := make([][]job, len(users))
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
+		home := first
+		if visible && opts.Hashing {
+			if owner, ok := h.Responsible(first, h.BucketOf(r.Object)); ok {
+				home = owner
+			}
+		}
+		if !visible {
+			home = -1
+		}
+		perLoc[r.Location] = append(perLoc[r.Location], job{req: r, home: home})
+	}
+
+	// Pre-start every server that will be used, so workers never race on
+	// lazy server construction.
+	for _, jobs := range perLoc {
+		for _, j := range jobs {
+			if j.home < 0 {
+				continue
+			}
+			if _, err := cluster.Server(j.home); err != nil {
+				return total, err
+			}
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		runErr error
+	)
+	meters := make([]cache.Meter, len(users))
+	for loc := range perLoc {
+		if len(perLoc[loc]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(loc int) {
+			defer wg.Done()
+			client := NewClient()
+			defer client.Close()
+			m := &meters[loc]
+			for _, j := range perLoc[loc] {
+				if j.home < 0 {
+					m.Record(j.req.Size, false)
+					continue
+				}
+				srv, err := cluster.Server(j.home)
+				if err != nil {
+					setErr(&mu, &runErr, err)
+					return
+				}
+				hit, err := client.Get(srv.Addr(), j.req.Object, j.req.Size)
+				if err != nil {
+					setErr(&mu, &runErr, err)
+					return
+				}
+				if hit {
+					m.Record(j.req.Size, true)
+					continue
+				}
+				if opts.Relay {
+					served, err := relayFetch(h, cluster, client, j.home, j.req, opts.Hashing)
+					if err != nil {
+						setErr(&mu, &runErr, err)
+						return
+					}
+					if served {
+						if err := client.Admit(srv.Addr(), j.req.Object, j.req.Size); err != nil {
+							setErr(&mu, &runErr, err)
+							return
+						}
+						m.Record(j.req.Size, true)
+						continue
+					}
+				}
+				if err := client.Admit(srv.Addr(), j.req.Object, j.req.Size); err != nil {
+					setErr(&mu, &runErr, err)
+					return
+				}
+				m.Record(j.req.Size, false)
+			}
+		}(loc)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return total, runErr
+	}
+	for i := range meters {
+		total.Merge(meters[i])
+	}
+	return total, nil
+}
+
+func setErr(mu *sync.Mutex, dst *error, err error) {
+	mu.Lock()
+	if *dst == nil {
+		*dst = err
+	}
+	mu.Unlock()
+}

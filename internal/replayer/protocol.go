@@ -1,0 +1,98 @@
+// Package replayer is the distributed counterpart of the in-process
+// simulator: each satellite's cache runs behind its own TCP endpoint on the
+// loopback interface and ISL fetches become real network round trips,
+// mirroring the paper's multi-process cache replayer ("spawns a process for
+// each satellite that uses TCP to mimic ISLs", §5.1).
+//
+// The wire protocol is a fixed-size binary frame per request:
+//
+//	request:  op(1) | object(8, big endian) | size(8, big endian)
+//	response: status(1) | reserved(8) | reserved(8)
+//
+// Ops: OpGet (lookup + touch), OpContains (peek), OpAdmit (insert),
+// OpStats (returns request count in the first reserved field and hit count
+// in the second).
+package replayer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"starcdn/internal/cache"
+)
+
+// Op identifies a cache operation on the wire.
+type Op uint8
+
+// Wire operations.
+const (
+	OpGet Op = iota + 1
+	OpContains
+	OpAdmit
+	OpStats
+)
+
+// Status is a response code.
+type Status uint8
+
+// Wire statuses.
+const (
+	StatusMiss Status = iota
+	StatusHit
+	StatusOK
+	StatusError
+)
+
+const frameSize = 17
+
+// message is the decoded form of both requests and responses.
+type message struct {
+	op Op // request op, or Status re-encoded for responses
+	a  uint64
+	b  uint64
+}
+
+func writeFrame(w io.Writer, first uint8, a, b uint64) error {
+	var buf [frameSize]byte
+	buf[0] = first
+	binary.BigEndian.PutUint64(buf[1:9], a)
+	binary.BigEndian.PutUint64(buf[9:17], b)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readFrame(r io.Reader) (message, error) {
+	var buf [frameSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return message{}, err
+	}
+	return message{
+		op: Op(buf[0]),
+		a:  binary.BigEndian.Uint64(buf[1:9]),
+		b:  binary.BigEndian.Uint64(buf[9:17]),
+	}, nil
+}
+
+// writeRequest sends a request frame.
+func writeRequest(w io.Writer, op Op, obj cache.ObjectID, size int64) error {
+	return writeFrame(w, uint8(op), uint64(obj), uint64(size))
+}
+
+// writeResponse sends a response frame.
+func writeResponse(w io.Writer, st Status, a, b uint64) error {
+	return writeFrame(w, uint8(st), a, b)
+}
+
+// readResponse reads and validates a response frame.
+func readResponse(r io.Reader) (Status, uint64, uint64, error) {
+	m, err := readFrame(r)
+	if err != nil {
+		return StatusError, 0, 0, err
+	}
+	st := Status(m.op)
+	if st > StatusError {
+		return StatusError, 0, 0, fmt.Errorf("replayer: bad status byte %d", m.op)
+	}
+	return st, m.a, m.b, nil
+}

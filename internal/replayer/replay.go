@@ -1,0 +1,135 @@
+package replayer
+
+import (
+	"fmt"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/geo"
+	"starcdn/internal/orbit"
+	"starcdn/internal/sched"
+	"starcdn/internal/topo"
+	"starcdn/internal/trace"
+)
+
+// orbitSat shortens the satellite ID type in this file's signatures.
+type orbitSat = orbit.SatID
+
+// Options configures a distributed replay.
+type Options struct {
+	Hashing  bool
+	Relay    bool
+	EpochSec float64
+	Seed     int64
+}
+
+// Replay drives a trace through a TCP cluster using StarCDN's request flow:
+// schedule a first-contact satellite, route to the bucket owner, Get over
+// TCP, relay-fetch from same-bucket neighbours on a miss, and Admit on the
+// way back from the ground. It implements the same decision pipeline as
+// sim.StarCDN so the two can be cross-validated request for request.
+func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.Trace, opts Options) (cache.Meter, error) {
+	var meter cache.Meter
+	if h == nil || cluster == nil {
+		return meter, fmt.Errorf("replayer: nil hash scheme or cluster")
+	}
+	if len(users) != len(tr.Locations) {
+		return meter, fmt.Errorf("replayer: %d users for %d locations", len(users), len(tr.Locations))
+	}
+	c := h.Grid().Constellation()
+	scheduler, err := sched.New(c, users, opts.EpochSec, opts.Seed)
+	if err != nil {
+		return meter, err
+	}
+	client := NewClient()
+	defer client.Close()
+
+	addrOf := func(id orbitSat) (string, error) {
+		s, err := cluster.Server(id)
+		if err != nil {
+			return "", err
+		}
+		return s.Addr(), nil
+	}
+
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
+		if !visible {
+			meter.Record(r.Size, false)
+			continue
+		}
+		home := first
+		if opts.Hashing {
+			if owner, ok := h.Responsible(first, h.BucketOf(r.Object)); ok {
+				home = owner
+			}
+		}
+		addr, err := addrOf(home)
+		if err != nil {
+			return meter, err
+		}
+		hit, err := client.Get(addr, r.Object, r.Size)
+		if err != nil {
+			return meter, err
+		}
+		if hit {
+			meter.Record(r.Size, true)
+			continue
+		}
+		if opts.Relay {
+			served, err := relayFetch(h, cluster, client, home, r, opts.Hashing)
+			if err != nil {
+				return meter, err
+			}
+			if served {
+				// Store a copy at the owner for future local hits.
+				if err := client.Admit(addr, r.Object, r.Size); err != nil {
+					return meter, err
+				}
+				meter.Record(r.Size, true)
+				continue
+			}
+		}
+		// Ground fetch; the owner caches the object.
+		if err := client.Admit(addr, r.Object, r.Size); err != nil {
+			return meter, err
+		}
+		meter.Record(r.Size, false)
+	}
+	return meter, nil
+}
+
+// relayFetch checks the west then east same-bucket neighbours over TCP,
+// mirroring sim.StarCDN's relayed fetch (west first, then east).
+func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbitSat, r *trace.Request, hashing bool) (bool, error) {
+	for _, d := range []topo.Direction{topo.West, topo.East} {
+		var nb orbitSat
+		var ok bool
+		if hashing {
+			nb, ok = h.RelayNeighbor(home, d)
+		} else {
+			nb = h.Grid().Neighbor(home, d)
+			ok = h.Grid().Constellation().Active(nb)
+		}
+		if !ok {
+			continue
+		}
+		s, err := cluster.Server(nb)
+		if err != nil {
+			return false, err
+		}
+		has, err := client.Contains(s.Addr(), r.Object)
+		if err != nil {
+			return false, err
+		}
+		if has {
+			// Touch the serving neighbour (recency) as sim does.
+			if _, err := client.Get(s.Addr(), r.Object, r.Size); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}

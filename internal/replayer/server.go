@@ -1,0 +1,188 @@
+package replayer
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/orbit"
+)
+
+// Server runs one satellite's cache behind a TCP listener.
+type Server struct {
+	id    orbit.SatID
+	ln    net.Listener
+	mu    sync.Mutex // serialises cache access across connections
+	cache cache.Policy
+	meter cache.Meter
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer starts a cache server on a fresh loopback port.
+func NewServer(id orbit.SatID, kind cache.Kind, capacity int64) (*Server, error) {
+	c, err := cache.New(kind, capacity)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("replayer: listen: %w", err)
+	}
+	s := &Server{id: id, ln: ln, cache: c, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ID returns the satellite this server represents.
+func (s *Server) ID() orbit.SatID { return s.id }
+
+// Meter returns a snapshot of the server-side hit accounting.
+func (s *Server) Meter() cache.Meter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meter
+}
+
+// Close stops the listener and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				log.Printf("replayer: sat %d accept: %v", s.id, err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return // client closed or broken pipe; nothing to answer
+		}
+		if err := s.serveOne(conn, m); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) serveOne(conn net.Conn, m message) error {
+	s.mu.Lock()
+	var st Status
+	var a, b uint64
+	switch m.op {
+	case OpGet:
+		hit := s.cache.Get(cache.ObjectID(m.a))
+		s.meter.Record(int64(m.b), hit)
+		if hit {
+			st = StatusHit
+		} else {
+			st = StatusMiss
+		}
+	case OpContains:
+		if s.cache.Contains(cache.ObjectID(m.a)) {
+			st = StatusHit
+		} else {
+			st = StatusMiss
+		}
+	case OpAdmit:
+		err := s.cache.Admit(cache.ObjectID(m.a), int64(m.b))
+		if err == nil || errors.Is(err, cache.ErrTooLarge) {
+			st = StatusOK
+		} else {
+			st = StatusError
+		}
+	case OpStats:
+		st = StatusOK
+		a = uint64(s.meter.Requests)
+		b = uint64(s.meter.Hits)
+	default:
+		st = StatusError
+	}
+	s.mu.Unlock()
+	return writeResponse(conn, st, a, b)
+}
+
+// Cluster is a set of satellite cache servers.
+type Cluster struct {
+	servers map[orbit.SatID]*Server
+	kind    cache.Kind
+	bytes   int64
+	mu      sync.Mutex
+}
+
+// NewCluster creates an empty cluster; servers spin up lazily per satellite,
+// so a 1,296-slot constellation only costs listeners for satellites that
+// actually serve traffic.
+func NewCluster(kind cache.Kind, capacityBytes int64) (*Cluster, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("replayer: capacity must be positive")
+	}
+	return &Cluster{
+		servers: make(map[orbit.SatID]*Server),
+		kind:    kind,
+		bytes:   capacityBytes,
+	}, nil
+}
+
+// Server returns (starting if needed) the server for a satellite.
+func (c *Cluster) Server(id orbit.SatID) (*Server, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.servers[id]; ok {
+		return s, nil
+	}
+	s, err := NewServer(id, c.kind, c.bytes)
+	if err != nil {
+		return nil, err
+	}
+	c.servers[id] = s
+	return s, nil
+}
+
+// Len returns the number of live servers.
+func (c *Cluster) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.servers)
+}
+
+// Close stops every server, returning the first error encountered.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, s := range c.servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.servers = make(map[orbit.SatID]*Server)
+	return first
+}

@@ -1,0 +1,234 @@
+// Package satdns implements the resolution service §7 calls for: "a fast,
+// efficient DNS infrastructure to resolve a client to the first-contact
+// satellite". Terrestrial CDN mapping hands out edge-server addresses with
+// DNS TTLs of minutes; in an LSN the answer changes every scheduler epoch
+// (15 s), so the resolver's TTL must expire exactly at the next epoch
+// boundary. The service speaks a compact binary protocol over UDP, and the
+// client caches answers for their remaining TTL.
+package satdns
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"starcdn/internal/orbit"
+	"starcdn/internal/sched"
+)
+
+// Wire format: all fields big endian.
+//
+//	query:    magic(2)=0x5D45 | user(4)
+//	response: magic(2)=0x5D46 | status(1) | sat(4) | ttlMs(4)
+const (
+	queryMagic    = 0x5D45
+	responseMagic = 0x5D46
+	querySize     = 6
+	responseSize  = 11
+)
+
+// Response statuses.
+const (
+	statusOK       = 0
+	statusNoSat    = 1
+	statusBadQuery = 2
+)
+
+// Clock supplies simulation time in seconds; servers and clients must share
+// one for TTL arithmetic.
+type Clock func() float64
+
+// WallClock returns a Clock mapping wall time since now to simulation
+// seconds at the given rate.
+func WallClock(rate float64) Clock {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() * rate }
+}
+
+// Server answers first-contact queries for a fixed user population.
+type Server struct {
+	sched *sched.Scheduler
+	clock Clock
+	conn  net.PacketConn
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	queries int64
+}
+
+// NewServer starts a resolver on a fresh loopback UDP port.
+func NewServer(s *sched.Scheduler, clock Clock) (*Server, error) {
+	if s == nil || clock == nil {
+		return nil, fmt.Errorf("satdns: nil scheduler or clock")
+	}
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("satdns: listen: %w", err)
+	}
+	srv := &Server{sched: s, clock: clock, conn: conn}
+	srv.wg.Add(1)
+	go srv.serve()
+	return srv, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Queries returns the number of queries served.
+func (s *Server) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		n, addr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		resp := s.answer(buf[:n])
+		if _, err := s.conn.WriteTo(resp, addr); err != nil {
+			return
+		}
+	}
+}
+
+// answer resolves one query datagram.
+func (s *Server) answer(q []byte) []byte {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+	resp := make([]byte, responseSize)
+	binary.BigEndian.PutUint16(resp[0:2], responseMagic)
+	if len(q) != querySize || binary.BigEndian.Uint16(q[0:2]) != queryMagic {
+		resp[2] = statusBadQuery
+		return resp
+	}
+	user := int(binary.BigEndian.Uint32(q[2:6]))
+	now := s.clock()
+	sat, ok := s.sched.FirstContact(user, now)
+	if !ok {
+		resp[2] = statusNoSat
+		return resp
+	}
+	// TTL runs to the next epoch boundary, when the assignment may change.
+	epoch := s.sched.EpochSec()
+	remaining := epoch - mod(now, epoch)
+	resp[2] = statusOK
+	binary.BigEndian.PutUint32(resp[3:7], uint32(sat))
+	binary.BigEndian.PutUint32(resp[7:11], uint32(remaining*1000))
+	return resp
+}
+
+func mod(a, b float64) float64 {
+	m := a - float64(int64(a/b))*b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// Answer is a resolution result.
+type Answer struct {
+	Sat      orbit.SatID
+	TTLSec   float64
+	Resolved bool // false when no satellite is in view
+}
+
+// Client resolves users against a Server, caching answers for their TTL.
+type Client struct {
+	addr  string
+	clock Clock
+	conn  net.Conn
+
+	mu     sync.Mutex
+	cache  map[int]cachedAnswer
+	hits   int64
+	misses int64
+}
+
+type cachedAnswer struct {
+	answer    Answer
+	expiresAt float64
+}
+
+// NewClient dials the resolver.
+func NewClient(addr string, clock Clock) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("satdns: dial: %w", err)
+	}
+	return &Client{addr: addr, clock: clock, conn: conn,
+		cache: make(map[int]cachedAnswer)}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// CacheStats returns cache hits and misses.
+func (c *Client) CacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Resolve returns the user's first-contact satellite, from cache when the
+// previous answer's TTL has not expired.
+func (c *Client) Resolve(user int) (Answer, error) {
+	now := c.clock()
+	c.mu.Lock()
+	if ca, ok := c.cache[user]; ok && now < ca.expiresAt {
+		c.hits++
+		c.mu.Unlock()
+		return ca.answer, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	q := make([]byte, querySize)
+	binary.BigEndian.PutUint16(q[0:2], queryMagic)
+	binary.BigEndian.PutUint32(q[2:6], uint32(user))
+	if err := c.conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return Answer{}, err
+	}
+	if _, err := c.conn.Write(q); err != nil {
+		return Answer{}, fmt.Errorf("satdns: send: %w", err)
+	}
+	resp := make([]byte, 64)
+	n, err := c.conn.Read(resp)
+	if err != nil {
+		return Answer{}, fmt.Errorf("satdns: recv: %w", err)
+	}
+	if n != responseSize || binary.BigEndian.Uint16(resp[0:2]) != responseMagic {
+		return Answer{}, fmt.Errorf("satdns: malformed response (%d bytes)", n)
+	}
+	var ans Answer
+	switch resp[2] {
+	case statusOK:
+		ans = Answer{
+			Sat:      orbit.SatID(binary.BigEndian.Uint32(resp[3:7])),
+			TTLSec:   float64(binary.BigEndian.Uint32(resp[7:11])) / 1000,
+			Resolved: true,
+		}
+	case statusNoSat:
+		ans = Answer{Resolved: false, TTLSec: 1}
+	default:
+		return Answer{}, fmt.Errorf("satdns: query rejected (status %d)", resp[2])
+	}
+	c.mu.Lock()
+	c.cache[user] = cachedAnswer{answer: ans, expiresAt: now + ans.TTLSec}
+	c.mu.Unlock()
+	return ans, nil
+}

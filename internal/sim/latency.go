@@ -1,0 +1,110 @@
+// Package sim is the trace-driven StarCDN simulator: it replays request
+// traces through satellite cache policies over the orbiting constellation,
+// reproducing the paper's evaluation pipeline (CosmicBeats + cache replayer,
+// §5.1) in a single discrete-event process.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"starcdn/internal/topo"
+)
+
+// LatencyModel composes end-to-end request latencies from per-segment delay
+// distributions. ISL and GSL propagation comes from Table 1; the remaining
+// parameters are calibrated against the idle-latency baselines the paper
+// takes from the Cloudflare AIM dataset (§5.3): regular Starlink access to a
+// terrestrial CDN has a median around 55 ms, while StarCDN's in-space hits
+// land near 22 ms.
+type LatencyModel struct {
+	Links topo.LinkModel
+	// AccessMinMs/AccessMaxMs bound the per-traversal user-link scheduling
+	// delay (PHY/MAC framing and PoP scheduling), uniform per traversal.
+	AccessMinMs float64
+	AccessMaxMs float64
+	// OriginRTTMedianMs is the median round trip from a ground station to
+	// the origin/CDN over the terrestrial network on a cache miss
+	// (log-normal with OriginRTTSigma).
+	OriginRTTMedianMs float64
+	OriginRTTSigma    float64
+	// TerrestrialRTTMedianMs is the median round trip of a terrestrial user
+	// to a terrestrial CDN edge (the Fig. 10 "Terrestrial CDN" baseline).
+	TerrestrialRTTMedianMs float64
+	TerrestrialRTTSigma    float64
+}
+
+// QueueingDelayMs models congestion on the ground-satellite link as an
+// M/M/1-style inflation: at utilisation u the queueing delay grows by
+// serviceMs * u/(1-u), capped at 20x the service time. This captures the
+// paper's motivation that uplink contention degrades bent-pipe users
+// ("Starlink has started to pause new subscriptions in areas of high
+// demand", §3): schemes that fetch everything from the ground suffer first.
+func (m LatencyModel) QueueingDelayMs(utilization float64) float64 {
+	if utilization <= 0 {
+		return 0
+	}
+	if utilization > 0.95 {
+		utilization = 0.95
+	}
+	service := m.Links.GSL.AvgMs
+	d := service * utilization / (1 - utilization)
+	if cap := 20 * service; d > cap {
+		d = cap
+	}
+	return d
+}
+
+// DefaultLatencyModel returns the calibrated model described above.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		Links:                  topo.StarlinkTable1(),
+		AccessMinMs:            2,
+		AccessMaxMs:            6,
+		OriginRTTMedianMs:      37,
+		OriginRTTSigma:         0.4,
+		TerrestrialRTTMedianMs: 15,
+		TerrestrialRTTSigma:    0.5,
+	}
+}
+
+// AccessDelayMs samples one user-link traversal's scheduling delay.
+func (m LatencyModel) AccessDelayMs(rng *rand.Rand) float64 {
+	return m.AccessMinMs + rng.Float64()*(m.AccessMaxMs-m.AccessMinMs)
+}
+
+// UserLinkRTTMs samples the full user<->satellite round trip: propagation
+// both ways plus a scheduling delay per traversal.
+func (m LatencyModel) UserLinkRTTMs(propagationOneWayMs float64, rng *rand.Rand) float64 {
+	return 2*propagationOneWayMs + m.AccessDelayMs(rng) + m.AccessDelayMs(rng)
+}
+
+// OriginRTTMs samples the ground-station-to-origin round trip.
+func (m LatencyModel) OriginRTTMs(rng *rand.Rand) float64 {
+	return m.OriginRTTMedianMs * math.Exp(m.OriginRTTSigma*rng.NormFloat64())
+}
+
+// TerrestrialRTTMs samples the terrestrial-CDN baseline round trip.
+func (m LatencyModel) TerrestrialRTTMs(rng *rand.Rand) float64 {
+	return m.TerrestrialRTTMedianMs * math.Exp(m.TerrestrialRTTSigma*rng.NormFloat64())
+}
+
+// GroundFetchRTTMs samples the extra round trip of a cache miss that must be
+// served from the ground: satellite->ground-station both ways plus the
+// terrestrial origin round trip.
+func (m LatencyModel) GroundFetchRTTMs(rng *rand.Rand) float64 {
+	return m.Links.GSL.Sample(rng) + m.Links.GSL.Sample(rng) + m.OriginRTTMs(rng)
+}
+
+// ISLPathRTTMs samples the round trip over planeHops inter-orbit and
+// slotHops intra-orbit hops (each direction sampled independently).
+func (m LatencyModel) ISLPathRTTMs(planeHops, slotHops int, rng *rand.Rand) float64 {
+	total := 0.0
+	for i := 0; i < 2*planeHops; i++ {
+		total += m.Links.InterOrbitISL.Sample(rng)
+	}
+	for i := 0; i < 2*slotHops; i++ {
+		total += m.Links.IntraOrbitISL.Sample(rng)
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/orbit"
+	"starcdn/internal/stats"
+)
+
+// Source says where a request was ultimately served from.
+type Source int
+
+// Request service sources.
+const (
+	SourceLocal     Source = iota // first-contact satellite's own cache
+	SourceBucket                  // the bucket owner's cache over ISLs
+	SourceRelayWest               // relayed fetch from the west neighbour
+	SourceRelayEast               // relayed fetch from the east neighbour
+	SourceGround                  // fetched from the ground (cache miss)
+	SourceNoCover                 // no satellite in view: served bent-pipe
+	// SourceGroundEdge is a hit at a ground-station-colocated edge cache
+	// (§7 intermediate design): a cache hit for latency purposes, but the
+	// content still consumes the satellite uplink.
+	SourceGroundEdge
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceLocal:
+		return "local"
+	case SourceBucket:
+		return "bucket"
+	case SourceRelayWest:
+		return "relay-west"
+	case SourceRelayEast:
+		return "relay-east"
+	case SourceGround:
+		return "ground"
+	case SourceNoCover:
+		return "no-coverage"
+	case SourceGroundEdge:
+		return "ground-edge"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// RelayAvailability tallies Table 3: when the bucket owner misses, where was
+// the object available among its same-bucket inter-orbit neighbours?
+type RelayAvailability struct {
+	WestOnlyReq, EastOnlyReq, BothReq       int64
+	WestOnlyBytes, EastOnlyBytes, BothBytes int64
+}
+
+// Record tallies one miss with the neighbour availability flags.
+func (r *RelayAvailability) Record(size int64, west, east bool) {
+	switch {
+	case west && east:
+		r.BothReq++
+		r.BothBytes += size
+	case west:
+		r.WestOnlyReq++
+		r.WestOnlyBytes += size
+	case east:
+		r.EastOnlyReq++
+		r.EastOnlyBytes += size
+	}
+}
+
+// Metrics aggregates a simulation run.
+type Metrics struct {
+	// Meter counts a request as a hit when it is served from any satellite
+	// cache (request and byte hit rates, Fig. 7/12).
+	Meter cache.Meter
+	// UplinkBytes is the ground-to-satellite volume consumed by misses
+	// (Fig. 8 normalises this by Meter.BytesTotal).
+	UplinkBytes int64
+	// ISLBytes is the total inter-satellite traffic in byte-hops; ISLs have
+	// abundant bandwidth (100 Gbps, Table 1), so StarCDN deliberately trades
+	// ISL traffic for uplink savings — this metric quantifies that trade.
+	ISLBytes int64
+	// BySource counts requests per service source.
+	BySource map[Source]int64
+	// Latency is the per-request end-to-end round-trip CDF (Fig. 10);
+	// only collected when enabled in the runner config.
+	Latency *stats.CDF
+	// Relay is the Table 3 availability tally.
+	Relay RelayAvailability
+	// PerSat meters each serving satellite's cache performance (Fig. 11);
+	// only collected when enabled.
+	PerSat map[orbit.SatID]*cache.Meter
+	// PerLocation meters hit rates per trace location; only collected when
+	// enabled.
+	PerLocation map[int]*cache.Meter
+	// UplinkWindows holds ground-to-satellite bytes per time window when
+	// Config.UplinkWindowSec is set, for peak-utilisation analysis against
+	// the 20 Gbps GSL budget of Table 1.
+	UplinkWindows   []int64
+	UplinkWindowSec float64
+	// PerClass meters hit rates per traffic class when Config.ClassOf is
+	// set (mixed-class workloads).
+	PerClass map[int]*cache.Meter
+}
+
+// PeakUplinkGbps returns the highest per-window uplink demand in Gbit/s
+// (0 when windows were not collected).
+func (m *Metrics) PeakUplinkGbps() float64 {
+	if m.UplinkWindowSec <= 0 {
+		return 0
+	}
+	var peak int64
+	for _, b := range m.UplinkWindows {
+		if b > peak {
+			peak = b
+		}
+	}
+	return float64(peak) * 8 / m.UplinkWindowSec / 1e9
+}
+
+// NewMetrics returns Metrics with optional latency and per-satellite
+// collection.
+func NewMetrics(collectLatency, collectPerSat bool) *Metrics {
+	m := &Metrics{BySource: make(map[Source]int64)}
+	if collectLatency {
+		m.Latency = &stats.CDF{}
+	}
+	if collectPerSat {
+		m.PerSat = make(map[orbit.SatID]*cache.Meter)
+	}
+	return m
+}
+
+// record registers one served request.
+func (m *Metrics) record(sat orbit.SatID, loc int, size int64, src Source, latencyMs float64) {
+	hit := src == SourceLocal || src == SourceBucket ||
+		src == SourceRelayWest || src == SourceRelayEast ||
+		src == SourceGroundEdge
+	m.Meter.Record(size, hit)
+	// Ground-edge hits avoid the origin fetch but still climb the uplink —
+	// the §7 trade-off this metric exists to expose.
+	if !hit || src == SourceGroundEdge {
+		m.UplinkBytes += size
+	}
+	m.BySource[src]++
+	if m.Latency != nil {
+		m.Latency.Add(latencyMs)
+	}
+	if m.PerSat != nil && sat >= 0 {
+		pm := m.PerSat[sat]
+		if pm == nil {
+			pm = &cache.Meter{}
+			m.PerSat[sat] = pm
+		}
+		pm.Record(size, hit)
+	}
+	if m.PerLocation != nil {
+		lm := m.PerLocation[loc]
+		if lm == nil {
+			lm = &cache.Meter{}
+			m.PerLocation[loc] = lm
+		}
+		lm.Record(size, hit)
+	}
+}
+
+// UplinkFraction returns UplinkBytes normalised by total bytes — the Fig. 8
+// metric, where 1.0 is "fetch everything from the ground".
+func (m *Metrics) UplinkFraction() float64 {
+	return stats.Ratio(float64(m.UplinkBytes), float64(m.Meter.BytesTotal))
+}
+
+// String implements fmt.Stringer.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s uplink=%.1f%%", m.Meter.String(), 100*m.UplinkFraction())
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
+	"starcdn/internal/orbit"
+	"starcdn/internal/topo"
+	"starcdn/internal/trace"
+)
+
+// ServeContext carries one request through a policy.
+type ServeContext struct {
+	First   orbit.SatID // first-contact satellite (-1 when none visible)
+	Req     *trace.Request
+	Rng     *rand.Rand
+	Latency LatencyModel
+	// TransientDown reports whether a satellite is in a transient outage
+	// (served as a miss, §3.4) rather than a long-term one (remapped).
+	// Nil means no transient failures are active.
+	TransientDown func(orbit.SatID) bool
+}
+
+// Outcome is a policy's answer: where the request was served and the
+// space-segment latency (the runner adds the user-link round trip).
+type Outcome struct {
+	Source    Source
+	ServerSat orbit.SatID // satellite whose cache served or missed
+	SpaceMs   float64     // latency beyond the user link round trip
+	// SkipUserLink marks outcomes whose SpaceMs already is the full
+	// end-to-end latency (terrestrial baselines).
+	SkipUserLink bool
+	// ISLBytes is the inter-satellite traffic this request generated,
+	// measured in byte-hops (content bytes times ISL hops traversed).
+	ISLBytes int64
+}
+
+// Policy is a satellite CDN content placement/fetch scheme.
+type Policy interface {
+	Name() string
+	Serve(ctx *ServeContext) Outcome
+}
+
+// CacheConfig configures per-satellite caches.
+type CacheConfig struct {
+	Kind  cache.Kind
+	Bytes int64
+	// Admission optionally filters what enters the cache on a miss
+	// (nil admits everything).
+	Admission cache.AdmissionFilter
+}
+
+// build constructs one cache instance per the config.
+func (cfg CacheConfig) build() cache.Policy {
+	p := cache.MustNew(cfg.Kind, cfg.Bytes)
+	if cfg.Admission != nil {
+		p = cache.WithAdmission(p, cfg.Admission)
+	}
+	return p
+}
+
+// satCaches lazily materialises one cache per satellite slot.
+type satCaches struct {
+	cfg    CacheConfig
+	caches map[orbit.SatID]cache.Policy
+}
+
+func newSatCaches(cfg CacheConfig) *satCaches {
+	return &satCaches{cfg: cfg, caches: make(map[orbit.SatID]cache.Policy)}
+}
+
+func (s *satCaches) at(id orbit.SatID) cache.Policy {
+	c, ok := s.caches[id]
+	if !ok {
+		c = s.cfg.build()
+		s.caches[id] = c
+	}
+	return c
+}
+
+// admit inserts an object, ignoring the object-larger-than-capacity error
+// (such objects simply bypass the cache, as in production CDNs).
+func admit(c cache.Policy, obj cache.ObjectID, size int64) {
+	if err := c.Admit(obj, size); err != nil && err != cache.ErrTooLarge {
+		panic(fmt.Sprintf("sim: cache admit: %v", err))
+	}
+}
+
+// NaiveLRU is the paper's first baseline (§5.1): an independent cache on
+// every satellite, no coordination.
+type NaiveLRU struct {
+	caches *satCaches
+}
+
+// NewNaiveLRU builds the baseline with the given per-satellite cache config.
+func NewNaiveLRU(cfg CacheConfig) *NaiveLRU {
+	return &NaiveLRU{caches: newSatCaches(cfg)}
+}
+
+// Name implements Policy.
+func (p *NaiveLRU) Name() string { return "naive-" + string(p.caches.cfg.Kind) }
+
+// Serve implements Policy.
+func (p *NaiveLRU) Serve(ctx *ServeContext) Outcome {
+	if ctx.First < 0 {
+		return Outcome{Source: SourceNoCover, ServerSat: -1,
+			SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+	}
+	c := p.caches.at(ctx.First)
+	if c.Get(ctx.Req.Object) {
+		return Outcome{Source: SourceLocal, ServerSat: ctx.First}
+	}
+	admit(c, ctx.Req.Object, ctx.Req.Size)
+	return Outcome{Source: SourceGround, ServerSat: ctx.First,
+		SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+}
+
+// StaticCache is the paper's idealised north-star baseline (§5.1): orbital
+// motion is switched off and every location keeps a permanent cache, as if
+// its serving satellites never moved. It is unachievable in practice.
+type StaticCache struct {
+	cfg    CacheConfig
+	caches map[int]cache.Policy // keyed by location
+}
+
+// NewStaticCache builds the static baseline.
+func NewStaticCache(cfg CacheConfig) *StaticCache {
+	return &StaticCache{cfg: cfg, caches: make(map[int]cache.Policy)}
+}
+
+// Name implements Policy.
+func (p *StaticCache) Name() string { return "static" }
+
+// Serve implements Policy.
+func (p *StaticCache) Serve(ctx *ServeContext) Outcome {
+	c, ok := p.caches[ctx.Req.Location]
+	if !ok {
+		c = p.cfg.build()
+		p.caches[ctx.Req.Location] = c
+	}
+	if c.Get(ctx.Req.Object) {
+		return Outcome{Source: SourceLocal, ServerSat: -1}
+	}
+	admit(c, ctx.Req.Object, ctx.Req.Size)
+	return Outcome{Source: SourceGround, ServerSat: -1,
+		SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+}
+
+// StarCDNOptions toggles the two StarCDN mechanisms, yielding the paper's
+// ablations: full StarCDN (both on), StarCDN-Fetch (hashing only, relay off),
+// and StarCDN-Hashing (relay only, hashing off). Prefetch enables the §3.3
+// proactive alternative to relayed fetch, which the paper evaluated and
+// rejected: every scheduler epoch a satellite copies its west neighbour's
+// hottest PrefetchCount objects ahead of demand.
+type StarCDNOptions struct {
+	Hashing bool
+	Relay   bool
+
+	Prefetch         bool
+	PrefetchCount    int     // objects pulled per epoch (default 32)
+	PrefetchEpochSec float64 // pull interval (default 15 s)
+}
+
+// westDirection aliases the relay direction used by the prefetcher.
+const westDirection = topo.West
+
+// StarCDN is the paper's system (§3): consistent-hashing routing to a bucket
+// owner, relayed fetch from same-bucket inter-orbit neighbours on a miss,
+// and remap-based failure handling.
+type StarCDN struct {
+	hash   *core.HashScheme
+	opts   StarCDNOptions
+	caches *satCaches
+	// relayStats receives Table 3 availability tallies when non-nil.
+	relayStats *RelayAvailability
+	// prefetch implements the §3.3 proactive alternative when enabled.
+	prefetch *prefetcher
+}
+
+// NewStarCDN builds a StarCDN policy over the hash scheme.
+func NewStarCDN(h *core.HashScheme, cfg CacheConfig, opts StarCDNOptions) *StarCDN {
+	p := &StarCDN{hash: h, opts: opts, caches: newSatCaches(cfg)}
+	if opts.Prefetch {
+		p.prefetch = newPrefetcher(opts.PrefetchCount, opts.PrefetchEpochSec)
+	}
+	return p
+}
+
+// PrefetchStats returns the prefetcher accounting (zero value when the
+// policy runs without prefetching).
+func (p *StarCDN) PrefetchStats() PrefetchStats {
+	if p.prefetch == nil {
+		return PrefetchStats{}
+	}
+	return p.prefetch.stats
+}
+
+// SetRelayStats wires a Table 3 tally sink (usually &Metrics.Relay).
+func (p *StarCDN) SetRelayStats(r *RelayAvailability) { p.relayStats = r }
+
+// Name implements Policy.
+func (p *StarCDN) Name() string {
+	switch {
+	case p.opts.Prefetch:
+		return fmt.Sprintf("starcdn-prefetch-L%d", p.hash.Buckets())
+	case p.opts.Hashing && p.opts.Relay:
+		return fmt.Sprintf("starcdn-L%d", p.hash.Buckets())
+	case p.opts.Hashing:
+		return fmt.Sprintf("starcdn-fetch-L%d", p.hash.Buckets()) // relay disabled
+	case p.opts.Relay:
+		return "starcdn-hashing" // hashing disabled
+	default:
+		return "starcdn-none"
+	}
+}
+
+// Serve implements Policy.
+func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
+	if ctx.First < 0 {
+		return Outcome{Source: SourceNoCover, ServerSat: -1,
+			SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+	}
+	home := ctx.First
+	routeMs := 0.0
+	if p.opts.Hashing {
+		b := p.hash.BucketOf(ctx.Req.Object)
+		owner := p.hash.NearestOwner(ctx.First, b)
+		if !p.hash.Grid().Constellation().Active(owner) {
+			// §3.4: transient unavailability is served as a plain miss from
+			// the ground; long-term failures are remapped to the next
+			// available satellite, which inherits the bucket.
+			if ctx.TransientDown != nil && ctx.TransientDown(owner) {
+				return Outcome{Source: SourceGround, ServerSat: -1,
+					SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+			}
+			if heir, ok := p.hash.Remap(owner); ok {
+				owner = heir
+			} else {
+				owner = ctx.First
+			}
+		}
+		home = owner
+		ph, sh := p.hash.RoutingHops(ctx.First, home)
+		routeMs = ctx.Latency.ISLPathRTTMs(ph, sh, ctx.Rng)
+	}
+	if p.prefetch != nil {
+		p.prefetch.maybePrefetch(p, home, ctx.Req.TimeSec)
+	}
+	// Content served away from the first contact rides the ISLs back.
+	routeHops := p.hash.Grid().TotalHops(ctx.First, home)
+	routeISLBytes := ctx.Req.Size * int64(routeHops)
+	c := p.caches.at(home)
+	if c.Get(ctx.Req.Object) {
+		if p.prefetch != nil {
+			p.prefetch.recordHit(home, ctx.Req.Object)
+		}
+		src := SourceBucket
+		if home == ctx.First {
+			src = SourceLocal
+		}
+		return Outcome{Source: src, ServerSat: home, SpaceMs: routeMs,
+			ISLBytes: routeISLBytes}
+	}
+
+	// Miss at the bucket owner: relayed fetch from same-bucket inter-orbit
+	// neighbours (§3.3). West is checked first — it retraces this
+	// satellite's recent footprint; east costs the same so it stays enabled.
+	if p.opts.Relay {
+		westHit, eastHit := false, false
+		var westSat, eastSat orbit.SatID
+		if nb, ok := p.relayNeighbor(home, topo.West); ok {
+			westSat = nb
+			westHit = p.caches.at(nb).Contains(ctx.Req.Object)
+		}
+		if nb, ok := p.relayNeighbor(home, topo.East); ok {
+			eastSat = nb
+			eastHit = p.caches.at(nb).Contains(ctx.Req.Object)
+		}
+		if p.relayStats != nil && (westHit || eastHit) {
+			p.relayStats.Record(ctx.Req.Size, westHit, eastHit)
+		}
+		if westHit || eastHit {
+			src := SourceRelayWest
+			nb := westSat
+			if !westHit {
+				src = SourceRelayEast
+				nb = eastSat
+			}
+			// Touch the serving neighbour's cache and store a copy locally
+			// so subsequent requests hit without the relay penalty.
+			p.caches.at(nb).Get(ctx.Req.Object)
+			admit(c, ctx.Req.Object, ctx.Req.Size)
+			relayMs := ctx.Latency.ISLPathRTTMs(p.relayHops(), 0, ctx.Rng)
+			relayISLBytes := ctx.Req.Size * int64(p.relayHops())
+			return Outcome{Source: src, ServerSat: home, SpaceMs: routeMs + relayMs,
+				ISLBytes: routeISLBytes + relayISLBytes}
+		}
+	}
+
+	// Ground fetch; the owner caches the object on the way through.
+	admit(c, ctx.Req.Object, ctx.Req.Size)
+	return Outcome{Source: SourceGround, ServerSat: home,
+		SpaceMs:  routeMs + ctx.Latency.GroundFetchRTTMs(ctx.Rng),
+		ISLBytes: routeISLBytes}
+}
+
+// relayNeighbor resolves the east/west relay target: the same-bucket
+// neighbour √L planes away when hashing is on, or the immediate inter-orbit
+// neighbour when hashing is off (the StarCDN-Hashing ablation).
+func (p *StarCDN) relayNeighbor(sat orbit.SatID, d topo.Direction) (orbit.SatID, bool) {
+	if p.opts.Hashing {
+		return p.hash.RelayNeighbor(sat, d)
+	}
+	nb := p.hash.Grid().Neighbor(sat, d)
+	if !p.hash.Grid().Constellation().Active(nb) {
+		return nb, false
+	}
+	return nb, true
+}
+
+// relayHops is the inter-orbit hop count to a relay neighbour.
+func (p *StarCDN) relayHops() int {
+	if p.opts.Hashing {
+		return p.hash.RelayHops()
+	}
+	return 1
+}

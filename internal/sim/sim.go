@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/geo"
+	"starcdn/internal/orbit"
+	"starcdn/internal/sched"
+	"starcdn/internal/trace"
+)
+
+// FailureEvent changes a satellite's availability at a point in simulated
+// time. Transient failures (e.g. a cache server rebooting for a software
+// update, §3.4) are served as plain misses; long-term ones (collision
+// avoidance maneuvers, hardware loss) trigger the consistent-hashing remap.
+type FailureEvent struct {
+	TimeSec   float64
+	Sat       orbit.SatID
+	Down      bool
+	Transient bool
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// EpochSec is the link scheduler reconfiguration interval
+	// (default sched.DefaultEpochSec).
+	EpochSec float64
+	// Seed drives the scheduler and all latency sampling.
+	Seed int64
+	// CollectLatency enables the per-request latency CDF (costs memory).
+	CollectLatency bool
+	// CollectPerSat enables per-satellite hit-rate meters.
+	CollectPerSat bool
+	// CollectPerLocation enables per-trace-location hit-rate meters.
+	CollectPerLocation bool
+	// UplinkWindowSec, when positive, collects per-window uplink byte
+	// counters for peak-utilisation analysis.
+	UplinkWindowSec float64
+	// ClassOf, when set, maps objects to a traffic-class index for
+	// per-class metering (see workload.ClassOf for mixed traces).
+	ClassOf func(obj cache.ObjectID) int
+	// TrafficScale models the full (unsampled) traffic load for congestion:
+	// the measured uplink demand is multiplied by this factor before
+	// computing GSL utilisation and the resulting queueing delay. Zero
+	// disables congestion modelling (the Fig. 10 idle-latency setting).
+	TrafficScale float64
+	// Latency overrides the latency model; zero value selects the default.
+	Latency *LatencyModel
+	// Failures are applied in time order as the trace replays. They must be
+	// sorted by TimeSec.
+	Failures []FailureEvent
+}
+
+// Run replays the trace through the policy over the constellation. users[i]
+// is the terminal position of trace location i.
+func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, cfg Config) (*Metrics, error) {
+	if c == nil {
+		return nil, fmt.Errorf("sim: nil constellation")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if len(users) != len(tr.Locations) {
+		return nil, fmt.Errorf("sim: %d users for %d trace locations",
+			len(users), len(tr.Locations))
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	scheduler, err := sched.New(c, users, cfg.EpochSec, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	lat := DefaultLatencyModel()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	metrics := NewMetrics(cfg.CollectLatency, cfg.CollectPerSat)
+	if cfg.CollectPerLocation {
+		metrics.PerLocation = make(map[int]*cache.Meter)
+	}
+	metrics.UplinkWindowSec = cfg.UplinkWindowSec
+	if cfg.ClassOf != nil {
+		metrics.PerClass = make(map[int]*cache.Meter)
+	}
+
+	// Per-user memo of the user-link propagation delay, refreshed per epoch
+	// (the first-contact satellite is stable within an epoch).
+	epochSec := scheduler.EpochSec()
+	lastEpoch := make([]int64, len(users))
+	propMs := make([]float64, len(users))
+	for i := range lastEpoch {
+		lastEpoch[i] = -1
+	}
+
+	// Failure schedule state.
+	transient := make(map[orbit.SatID]bool)
+	nextFailure := 0
+	applyFailures := func(now float64) {
+		for nextFailure < len(cfg.Failures) && cfg.Failures[nextFailure].TimeSec <= now {
+			ev := cfg.Failures[nextFailure]
+			nextFailure++
+			c.SetActive(ev.Sat, !ev.Down)
+			if ev.Down && ev.Transient {
+				transient[ev.Sat] = true
+			} else {
+				delete(transient, ev.Sat)
+			}
+		}
+	}
+
+	ctx := ServeContext{Rng: rng, Latency: lat}
+	if len(cfg.Failures) > 0 {
+		ctx.TransientDown = func(id orbit.SatID) bool { return transient[id] }
+	}
+	// Rolling uplink demand for congestion modelling (15 s window).
+	const demandWindowSec = 15.0
+	var demandWindowStart float64
+	var demandWindowBytes int64
+	var utilization float64
+	gslCapacityBitsPerSec := lat.Links.GSL.BandwidthGbps * 1e9
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		applyFailures(r.TimeSec)
+		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
+		if !visible {
+			first = -1
+		}
+		if cfg.TrafficScale > 0 && r.TimeSec-demandWindowStart >= demandWindowSec {
+			demandBits := float64(demandWindowBytes) * 8 * cfg.TrafficScale
+			utilization = demandBits / demandWindowSec / gslCapacityBitsPerSec
+			demandWindowStart = r.TimeSec
+			demandWindowBytes = 0
+		}
+		ctx.First = first
+		ctx.Req = r
+		out := p.Serve(&ctx)
+		if cfg.TrafficScale > 0 && uplinkSource(out.Source) {
+			demandWindowBytes += r.Size
+		}
+
+		totalMs := out.SpaceMs
+		if cfg.TrafficScale > 0 && uplinkSource(out.Source) {
+			totalMs += lat.QueueingDelayMs(utilization)
+		}
+		if !out.SkipUserLink {
+			prop := 0.0
+			if first >= 0 {
+				epoch := int64(r.TimeSec / epochSec)
+				if lastEpoch[r.Location] != epoch {
+					lastEpoch[r.Location] = epoch
+					d := c.SlantRangeKm(first, users[r.Location], r.TimeSec)
+					propMs[r.Location] = geo.PropagationDelayMs(d)
+				}
+				prop = propMs[r.Location]
+			} else {
+				// No coverage: account a nominal overhead-path user link.
+				prop = geo.PropagationDelayMs(c.Config().AltitudeKm)
+			}
+			totalMs += lat.UserLinkRTTMs(prop, rng)
+		}
+		metrics.record(out.ServerSat, r.Location, r.Size, out.Source, totalMs)
+		metrics.ISLBytes += out.ISLBytes
+		if metrics.PerClass != nil {
+			k := cfg.ClassOf(r.Object)
+			cm := metrics.PerClass[k]
+			if cm == nil {
+				cm = &cache.Meter{}
+				metrics.PerClass[k] = cm
+			}
+			cm.Record(r.Size, hitSource(out.Source))
+		}
+		if cfg.UplinkWindowSec > 0 && uplinkSource(out.Source) {
+			w := int(r.TimeSec / cfg.UplinkWindowSec)
+			for len(metrics.UplinkWindows) <= w {
+				metrics.UplinkWindows = append(metrics.UplinkWindows, 0)
+			}
+			metrics.UplinkWindows[w] += r.Size
+		}
+	}
+	return metrics, nil
+}
+
+// NoCacheBentPipe is the "regular Starlink" baseline of Fig. 10: every
+// request flows user -> satellite -> ground station -> terrestrial CDN, with
+// no caching in space.
+type NoCacheBentPipe struct{}
+
+// Name implements Policy.
+func (NoCacheBentPipe) Name() string { return "starlink-no-cache" }
+
+// Serve implements Policy.
+func (NoCacheBentPipe) Serve(ctx *ServeContext) Outcome {
+	sat := ctx.First
+	src := SourceGround
+	if sat < 0 {
+		src = SourceNoCover
+	}
+	return Outcome{Source: src, ServerSat: sat,
+		SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+}
+
+// TerrestrialCDN is the Fig. 10 baseline of a terrestrial user served by a
+// terrestrial CDN edge; satellites are not involved at all.
+type TerrestrialCDN struct{}
+
+// Name implements Policy.
+func (TerrestrialCDN) Name() string { return "terrestrial-cdn" }
+
+// Serve implements Policy.
+func (TerrestrialCDN) Serve(ctx *ServeContext) Outcome {
+	return Outcome{
+		Source:       SourceGround,
+		ServerSat:    -1,
+		SpaceMs:      ctx.Latency.TerrestrialRTTMs(ctx.Rng),
+		SkipUserLink: true,
+	}
+}
+
+// uplinkSource reports whether a service source consumes the uplink.
+func uplinkSource(s Source) bool {
+	return s == SourceGround || s == SourceNoCover || s == SourceGroundEdge
+}
+
+// hitSource reports whether a service source counts as a cache hit.
+func hitSource(s Source) bool {
+	switch s {
+	case SourceLocal, SourceBucket, SourceRelayWest, SourceRelayEast, SourceGroundEdge:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package spacegen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The paper publishes its fitted traffic models (GPD + pFDs) for public
+// download so others can generate traces without the production logs. This
+// file provides the equivalent: a versioned JSON encoding of Models.
+
+const modelFormatVersion = 1
+
+// modelsDTO is the serialised form of Models.
+type modelsDTO struct {
+	Version   int       `json:"version"`
+	Locations []string  `json:"locations"`
+	Tuples    []gpdDTO  `json:"gpd"`
+	PFDs      []*pfdDTO `json:"pfds"`
+}
+
+type gpdDTO struct {
+	Pops []int64 `json:"p"`
+	Size int64   `json:"s"`
+}
+
+type pfdDTO struct {
+	Location         string             `json:"location"`
+	ReqRate          float64            `json:"req_rate"`
+	MaxStackDist     int64              `json:"max_stack_dist"`
+	RateProfile      []float64          `json:"rate_profile,omitempty"`
+	ProfilePeriodSec float64            `json:"profile_period_sec,omitempty"`
+	Bins             map[string][]int64 `json:"bins"` // "p/s" bucket key
+	Fallback         []int64            `json:"fallback"`
+}
+
+// SaveModels writes the models as versioned JSON.
+func SaveModels(w io.Writer, m *Models) error {
+	if m == nil || m.GPD == nil {
+		return fmt.Errorf("spacegen: nil models")
+	}
+	dto := modelsDTO{
+		Version:   modelFormatVersion,
+		Locations: m.GPD.Locations,
+	}
+	dto.Tuples = make([]gpdDTO, len(m.GPD.Tuples))
+	for i, t := range m.GPD.Tuples {
+		dto.Tuples[i] = gpdDTO{Pops: t.Pops, Size: t.Size}
+	}
+	for _, p := range m.PFDs {
+		pd := &pfdDTO{
+			Location:         p.Location,
+			ReqRate:          p.ReqRate,
+			MaxStackDist:     p.MaxStackDist,
+			RateProfile:      p.RateProfile,
+			ProfilePeriodSec: p.ProfilePeriodSec,
+			Bins:             make(map[string][]int64, len(p.bins)),
+			Fallback:         p.fallback,
+		}
+		for k, ds := range p.bins {
+			pd.Bins[fmt.Sprintf("%d/%d", k.p, k.s)] = ds
+		}
+		dto.PFDs = append(dto.PFDs, pd)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&dto); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadModels reads models written by SaveModels.
+func LoadModels(r io.Reader) (*Models, error) {
+	var dto modelsDTO
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("spacegen: decode models: %w", err)
+	}
+	if dto.Version != modelFormatVersion {
+		return nil, fmt.Errorf("spacegen: unsupported model version %d", dto.Version)
+	}
+	if len(dto.Locations) == 0 || len(dto.Tuples) == 0 {
+		return nil, fmt.Errorf("spacegen: models missing locations or GPD tuples")
+	}
+	if len(dto.PFDs) != len(dto.Locations) {
+		return nil, fmt.Errorf("spacegen: %d pFDs for %d locations",
+			len(dto.PFDs), len(dto.Locations))
+	}
+	m := &Models{GPD: &GPD{Locations: dto.Locations}}
+	m.GPD.Tuples = make([]GPDTuple, len(dto.Tuples))
+	for i, t := range dto.Tuples {
+		if len(t.Pops) != len(dto.Locations) {
+			return nil, fmt.Errorf("spacegen: tuple %d has %d popularities for %d locations",
+				i, len(t.Pops), len(dto.Locations))
+		}
+		m.GPD.Tuples[i] = GPDTuple{Pops: t.Pops, Size: t.Size}
+	}
+	for _, pd := range dto.PFDs {
+		p := &PFD{
+			Location:         pd.Location,
+			ReqRate:          pd.ReqRate,
+			MaxStackDist:     pd.MaxStackDist,
+			RateProfile:      pd.RateProfile,
+			ProfilePeriodSec: pd.ProfilePeriodSec,
+			bins:             make(map[binKey][]int64, len(pd.Bins)),
+			fallback:         pd.Fallback,
+		}
+		for key, ds := range pd.Bins {
+			var pb, sb uint8
+			if _, err := fmt.Sscanf(key, "%d/%d", &pb, &sb); err != nil {
+				return nil, fmt.Errorf("spacegen: bad bin key %q: %w", key, err)
+			}
+			p.bins[binKey{p: pb, s: sb}] = ds
+		}
+		m.PFDs = append(m.PFDs, p)
+	}
+	return m, nil
+}

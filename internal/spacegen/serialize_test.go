@@ -1,0 +1,93 @@
+package spacegen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	prod := productionTrace(t, 15000)
+	m, err := Fit(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.GPD.Locations) != len(m.GPD.Locations) {
+		t.Fatalf("locations: %d vs %d", len(got.GPD.Locations), len(m.GPD.Locations))
+	}
+	if len(got.GPD.Tuples) != len(m.GPD.Tuples) {
+		t.Fatalf("tuples: %d vs %d", len(got.GPD.Tuples), len(m.GPD.Tuples))
+	}
+	for i, p := range got.PFDs {
+		o := m.PFDs[i]
+		if p.Location != o.Location || p.ReqRate != o.ReqRate || p.MaxStackDist != o.MaxStackDist {
+			t.Errorf("pFD %d header mismatch", i)
+		}
+		if len(p.fallback) != len(o.fallback) {
+			t.Errorf("pFD %d fallback: %d vs %d", i, len(p.fallback), len(o.fallback))
+		}
+		if len(p.bins) != len(o.bins) {
+			t.Errorf("pFD %d bins: %d vs %d", i, len(p.bins), len(o.bins))
+		}
+	}
+
+	// A generator built from the loaded models must produce a trace with the
+	// same deterministic content as one from the original models.
+	g1, err := NewGenerator(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(got, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := g1.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := g2.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Len() != t2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	// The bin map iteration order does not affect generation (bins are only
+	// indexed, never iterated), so the traces must match exactly.
+	for i := range t1.Requests {
+		if t1.Requests[i] != t2.Requests[i] {
+			t.Fatalf("request %d differs after model round trip", i)
+		}
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"version":1,"locations":[],"gpd":[]}`)); err == nil {
+		t.Error("empty models accepted")
+	}
+	if _, err := LoadModels(strings.NewReader(
+		`{"version":1,"locations":["a"],"gpd":[{"p":[1,2],"s":5}],"pfds":[{"location":"a"}]}`)); err == nil {
+		t.Error("tuple arity mismatch accepted")
+	}
+	if _, err := LoadModels(strings.NewReader(
+		`{"version":1,"locations":["a","b"],"gpd":[{"p":[1,2],"s":5}],"pfds":[{"location":"a"}]}`)); err == nil {
+		t.Error("pFD count mismatch accepted")
+	}
+	if err := SaveModels(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil models accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package topo
+
+import "starcdn/internal/orbit"
+
+// BFSPath returns a shortest path from a to b over the grid that uses only
+// active satellites and healthy links, including both endpoints. ok is false
+// when no such path exists (b unreachable or an endpoint is down). Unlike
+// GridPath, which walks the ideal torus, BFSPath detours around failures —
+// the routing behaviour of a real LEO network during collision-avoidance
+// maneuvers (§3.4).
+func (g *Grid) BFSPath(a, b orbit.SatID) ([]orbit.SatID, bool) {
+	c := g.c
+	if !c.Active(a) || !c.Active(b) {
+		return nil, false
+	}
+	if a == b {
+		return []orbit.SatID{a}, true
+	}
+	n := c.NumSlots()
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = int32(a)
+	queue := make([]orbit.SatID, 0, 64)
+	queue = append(queue, a)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range Directions {
+			nb := g.Neighbor(cur, d)
+			if prev[nb] != -1 || !g.LinkUp(cur, nb) {
+				continue
+			}
+			prev[nb] = int32(cur)
+			if nb == b {
+				return reconstruct(prev, a, b), true
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, false
+}
+
+func reconstruct(prev []int32, a, b orbit.SatID) []orbit.SatID {
+	var rev []orbit.SatID
+	for cur := b; ; cur = orbit.SatID(prev[cur]) {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DetourHops returns the length (in hops) of the shortest healthy path from
+// a to b, and false if none exists. On a healthy grid this equals
+// TotalHops(a, b).
+func (g *Grid) DetourHops(a, b orbit.SatID) (int, bool) {
+	path, ok := g.BFSPath(a, b)
+	if !ok {
+		return 0, false
+	}
+	return len(path) - 1, true
+}

@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"starcdn/internal/orbit"
+)
+
+func TestBFSPathHealthyEqualsTorus(t *testing.T) {
+	g := testGrid(t)
+	c := g.Constellation()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := orbit.SatID(rng.Intn(c.NumSlots()))
+		b := orbit.SatID(rng.Intn(c.NumSlots()))
+		hops, ok := g.DetourHops(a, b)
+		if !ok {
+			t.Fatalf("no path %d->%d on a healthy grid", a, b)
+		}
+		if want := g.TotalHops(a, b); hops != want {
+			t.Errorf("detour %d->%d = %d hops, torus distance %d", a, b, hops, want)
+		}
+	}
+}
+
+func TestBFSPathStructure(t *testing.T) {
+	g := testGrid(t)
+	c := g.Constellation()
+	a, b := c.SatAt(0, 0), c.SatAt(5, 7)
+	path, ok := g.BFSPath(a, b)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		t.Fatalf("endpoints: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.LinkUp(path[i-1], path[i]) {
+			t.Errorf("hop %d uses a down link", i)
+		}
+	}
+	// Self path.
+	if p, ok := g.BFSPath(a, a); !ok || len(p) != 1 {
+		t.Errorf("self path = %v, %v", p, ok)
+	}
+}
+
+func TestBFSPathDetoursAroundFailures(t *testing.T) {
+	g := testGrid(t)
+	c := g.Constellation()
+	a := c.SatAt(10, 5)
+	b := c.SatAt(12, 5) // two plane hops east
+	base, _ := g.DetourHops(a, b)
+	if base != 2 {
+		t.Fatalf("baseline hops = %d", base)
+	}
+	// Kill the direct intermediate: the route must detour but still arrive.
+	mid := c.SatAt(11, 5)
+	c.SetActive(mid, false)
+	hops, ok := g.DetourHops(a, b)
+	if !ok {
+		t.Fatal("no detour found")
+	}
+	if hops <= base {
+		t.Errorf("detour hops = %d, want > %d", hops, base)
+	}
+	path, _ := g.BFSPath(a, b)
+	for _, sat := range path {
+		if sat == mid {
+			t.Error("path goes through the dead satellite")
+		}
+	}
+	c.SetActive(mid, true)
+
+	// An explicitly failed link also forces a detour.
+	g.FailLink(a, c.SatAt(11, 5))
+	hops2, ok := g.DetourHops(a, b)
+	if !ok || hops2 < base {
+		t.Errorf("failed-link detour = %d, %v", hops2, ok)
+	}
+	g.RestoreAllLinks()
+}
+
+func TestBFSPathUnreachable(t *testing.T) {
+	g := testGrid(t)
+	c := g.Constellation()
+	a := c.SatAt(10, 5)
+	b := c.SatAt(20, 5)
+	// Down endpoint.
+	c.SetActive(b, false)
+	if _, ok := g.BFSPath(a, b); ok {
+		t.Error("path to a dead satellite")
+	}
+	c.SetActive(b, true)
+	// Fully isolate a by failing its four links.
+	for _, d := range Directions {
+		g.FailLink(a, g.Neighbor(a, d))
+	}
+	if _, ok := g.BFSPath(a, b); ok {
+		t.Error("path out of an isolated satellite")
+	}
+	g.RestoreAllLinks()
+	if _, ok := g.BFSPath(a, b); !ok {
+		t.Error("path should exist after restore")
+	}
+}

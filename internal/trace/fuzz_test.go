@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the binary decoder never panics or hangs on arbitrary
+// input, and that anything it accepts re-encodes to an equivalent trace.
+func FuzzRead(f *testing.F) {
+	// Seed with valid encodings of increasing complexity.
+	seed := func(t *Trace) {
+		var buf bytes.Buffer
+		if err := Write(&buf, t); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(&Trace{})
+	seed(&Trace{Locations: []string{"x"}})
+	tr := &Trace{Locations: []string{"New York", "London"}}
+	tr.Append(Request{TimeSec: 0.5, Object: 7, Size: 123, Location: 1})
+	tr.Append(Request{TimeSec: 1.5, Object: 9, Size: 456, Location: 0})
+	seed(tr)
+	f.Add([]byte("SCTR"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{'S', 'C', 'T', 'R', 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted traces must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, got); err != nil {
+			t.Fatalf("accepted trace fails to encode: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if again.Len() != got.Len() || len(again.Locations) != len(got.Locations) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				again.Len(), len(again.Locations), got.Len(), len(got.Locations))
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"starcdn/internal/cache"
+)
+
+func TestSampleValidation(t *testing.T) {
+	tr := sampleTrace()
+	for _, rate := range []float64{0, -0.5, 1.5} {
+		if _, err := Sample(tr, rate, 1); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}
+
+func TestSampleRateOne(t *testing.T) {
+	tr := sampleTrace()
+	got, err := Sample(tr, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("rate 1 dropped requests: %d vs %d", got.Len(), tr.Len())
+	}
+}
+
+func TestSampleByObjectIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := &Trace{Locations: []string{"a", "b"}}
+	tm := 0.0
+	for i := 0; i < 50000; i++ {
+		tm += rng.Float64() * 0.01
+		tr.Append(Request{
+			TimeSec:  tm,
+			Object:   cache.ObjectID(rng.Intn(3000) + 1),
+			Size:     int64(1 + rng.Intn(1000)),
+			Location: rng.Intn(2),
+		})
+	}
+	got, err := Sample(tr, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-or-nothing per object: the sampled object set must partition the
+	// original (no object appears with fewer requests than in the source).
+	srcCount := map[cache.ObjectID]int{}
+	for _, r := range tr.Requests {
+		srcCount[r.Object]++
+	}
+	gotCount := map[cache.ObjectID]int{}
+	for _, r := range got.Requests {
+		gotCount[r.Object]++
+	}
+	for obj, n := range gotCount {
+		if n != srcCount[obj] {
+			t.Fatalf("object %d sampled partially: %d of %d requests", obj, n, srcCount[obj])
+		}
+	}
+	// The object fraction lands near the rate.
+	frac := float64(len(gotCount)) / float64(len(srcCount))
+	if math.Abs(frac-0.1) > 0.03 {
+		t.Errorf("object sample fraction = %.3f, want ~0.1", frac)
+	}
+	// Deterministic for a seed, different across seeds.
+	again, _ := Sample(tr, 0.1, 42)
+	if again.Len() != got.Len() {
+		t.Error("sampling not deterministic")
+	}
+	other, _ := Sample(tr, 0.1, 43)
+	if other.Len() == got.Len() {
+		same := true
+		for i := range other.Requests {
+			if other.Requests[i] != got.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical samples")
+		}
+	}
+	// Time order preserved.
+	if err := got.Validate(); err != nil {
+		t.Fatalf("sampled trace invalid: %v", err)
+	}
+}

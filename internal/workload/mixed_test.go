@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"starcdn/internal/geo"
+)
+
+func smallMix() []Mix {
+	web, video, dl := Web(), Video(), Download()
+	web.NumObjects, video.NumObjects, dl.NumObjects = 3000, 2000, 500
+	return []Mix{
+		{Class: web, Share: 0.55},
+		{Class: video, Share: 0.40},
+		{Class: dl, Share: 0.05},
+	}
+}
+
+func TestGenerateMixedValidation(t *testing.T) {
+	cities := geo.PaperCities()
+	if _, err := GenerateMixed(nil, cities, 1, 100, 60); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := smallMix()
+	bad[0].Share = 0
+	if _, err := GenerateMixed(bad, cities, 1, 100, 60); err == nil {
+		t.Error("zero share accepted")
+	}
+}
+
+func TestGenerateMixedShape(t *testing.T) {
+	tr, err := GenerateMixed(smallMix(), geo.PaperCities(), 3, 60000, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("mixed trace invalid: %v", err)
+	}
+	if got := tr.Len(); got < 57000 || got > 63000 {
+		t.Errorf("requests = %d, want ~60000", got)
+	}
+	// Class shares approximately honoured; ID spaces disjoint per class.
+	counts := map[int]int{}
+	for _, r := range tr.Requests {
+		k := ClassOf(r.Object)
+		if k < 0 || k > 2 {
+			t.Fatalf("object %d maps to class %d", r.Object, k)
+		}
+		counts[k]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("classes present = %d, want 3", len(counts))
+	}
+	shares := []float64{0.55, 0.40, 0.05}
+	for k, want := range shares {
+		got := float64(counts[k]) / float64(tr.Len())
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("class %d share = %.3f, want %.2f", k, got, want)
+		}
+	}
+	// Download objects are much larger than web objects on average.
+	var webBytes, dlBytes, webN, dlN float64
+	for _, r := range tr.Requests {
+		switch ClassOf(r.Object) {
+		case 0:
+			webBytes += float64(r.Size)
+			webN++
+		case 2:
+			dlBytes += float64(r.Size)
+			dlN++
+		}
+	}
+	if dlBytes/dlN < 10*webBytes/webN {
+		t.Errorf("download mean size (%.0f) should dwarf web (%.0f)",
+			dlBytes/dlN, webBytes/webN)
+	}
+}
+
+func TestDefaultMix(t *testing.T) {
+	mixes := DefaultMix()
+	if len(mixes) != 3 {
+		t.Fatalf("default mix has %d classes", len(mixes))
+	}
+	var sum float64
+	for _, m := range mixes {
+		sum += m.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("default shares sum to %v", sum)
+	}
+}

@@ -1,0 +1,40 @@
+# StarCDN build/verify entry points. `make check` is the single CI gate:
+# every PR must leave it green (see scripts/check.sh for the steps).
+
+GO ?= go
+
+.PHONY: all build test check lint fmt bench debug-test race clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## check: the repository's CI gate — fmt, vet, starcdn-lint, build (both
+## tag sets), race tests, debug-invariant tests, and a bench smoke.
+check:
+	sh scripts/check.sh
+
+## lint: run only the StarCDN static-analysis suite.
+lint:
+	$(GO) run ./cmd/starcdn-lint ./...
+
+fmt:
+	gofmt -w $(shell gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/')
+
+## bench: full benchmark run (figures regenerate; see bench_test.go).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+## debug-test: test with the starcdn_debug invariant sanitizers armed.
+debug-test:
+	$(GO) test -tags starcdn_debug ./...
+
+race:
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

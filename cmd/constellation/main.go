@@ -45,7 +45,9 @@ func main() {
 			log.Fatal(err)
 		}
 		tles, err := orbit.ParseTLESet(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

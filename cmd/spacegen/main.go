@@ -87,7 +87,9 @@ func main() {
 				log.Fatal(ferr)
 			}
 			m, err = spacegen.LoadModels(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		} else {
 			m, err = spacegen.Fit(readTrace(*in))
 		}
@@ -117,8 +119,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := trace.WriteText(f, tr); err != nil {
+		err = trace.WriteText(f, tr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 
@@ -136,8 +141,10 @@ func readTrace(path string) *trace.Trace {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	tr, err := trace.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatalf("read %s: %v", path, err)
 	}
@@ -152,8 +159,11 @@ func writeTrace(path string, tr *trace.Trace) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := trace.Write(f, tr); err != nil {
+	err = trace.Write(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		log.Fatalf("write %s: %v", path, err)
 	}
 	log.Printf("wrote %s (%d requests)", path, tr.Len())

@@ -1,0 +1,310 @@
+// Command starcdn-lint is the repository's stdlib-only static analyzer. It
+// walks Go packages with go/parser and enforces StarCDN-specific determinism
+// and robustness rules that `go vet` cannot express:
+//
+//	simtime    — no wall-clock time (time.Now/time.Since) inside the
+//	             simulation packages; sim time must flow through the clock
+//	             abstraction so runs are reproducible.
+//	globalrand — no global math/rand top-level functions in internal/;
+//	             randomness must come from an injected seeded *rand.Rand.
+//	maporder   — in hashing/figure-emitting packages, ranging over a map
+//	             must not feed slice appends or output directly without a
+//	             sort: Go map iteration order is random and would make
+//	             emitted figures nondeterministic.
+//	panicfree  — no panic() in library code (non-cmd, non-example,
+//	             non-test); Must* constructors are exempt by convention.
+//	closecheck — no unchecked Close()/Flush() calls in cmd/ and the
+//	             multi-process replayer; dropped errors there lose data.
+//
+// A finding can be suppressed with a directive comment on the same line or
+// the line above:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one parsed directory of non-test Go files.
+type Package struct {
+	// RelPath is the slash-separated directory path relative to the module
+	// root, e.g. "internal/sim". Rules select targets by RelPath prefix so
+	// the same engine runs against fixture trees in tests.
+	RelPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+}
+
+// Rule is one self-contained check.
+type Rule interface {
+	// Name is the rule identifier used in diagnostics and ignore directives.
+	Name() string
+	// Applies reports whether the rule inspects the package at relPath.
+	Applies(relPath string) bool
+	// Check returns the rule's findings for the package.
+	Check(pkg *Package) []Diagnostic
+}
+
+// allRules returns the full rule set in reporting order.
+func allRules() []Rule {
+	return []Rule{
+		ruleSimTime{},
+		ruleGlobalRand{},
+		ruleMapOrder{},
+		rulePanicFree{},
+		ruleCloseCheck{},
+	}
+}
+
+// importedAs returns the local name under which file imports path, and
+// whether it imports it at all. An unnamed import of "math/rand" is known
+// as "rand", "math/rand/v2" as "rand" too (Go strips the version suffix).
+func importedAs(file *ast.File, path string) (string, bool) {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		base := filepath.Base(p)
+		if strings.HasPrefix(base, "v") && p != base {
+			// Version-suffix import paths like math/rand/v2 are known by
+			// the second-to-last element.
+			if _, err := strconv.Atoi(base[1:]); err == nil {
+				return filepath.Base(filepath.Dir(p)), true
+			}
+		}
+		return base, true
+	}
+	return "", false
+}
+
+// isPkgCall reports whether call is pkgName.fn(...) for fn in names.
+func isPkgCall(call *ast.CallExpr, pkgName string, names map[string]bool) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok || ident.Name != pkgName {
+		return "", false
+	}
+	// A selector whose base resolves to a local object (parameter, local
+	// variable) is not a package reference.
+	if ident.Obj != nil {
+		return "", false
+	}
+	if names == nil || names[sel.Sel.Name] {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// ignoreDirective is a parsed //lint:ignore comment.
+type ignoreDirective struct {
+	rules  map[string]bool
+	reason string
+	line   int // line the directive appears on
+	pos    token.Position
+}
+
+// parseIgnores extracts the lint:ignore directives of a file, keyed by the
+// line(s) they suppress: the directive's own line and the line below it.
+func parseIgnores(fset *token.FileSet, file *ast.File) (map[int]*ignoreDirective, []Diagnostic) {
+	const prefix = "//lint:ignore"
+	byLine := make(map[int]*ignoreDirective)
+	var malformed []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Pos:     pos,
+					Rule:    "directive",
+					Message: "malformed //lint:ignore: want `//lint:ignore <rule> <reason>`",
+				})
+				continue
+			}
+			d := &ignoreDirective{
+				rules:  make(map[string]bool),
+				reason: strings.Join(fields[1:], " "),
+				line:   pos.Line,
+				pos:    pos,
+			}
+			for _, r := range strings.Split(fields[0], ",") {
+				d.rules[r] = true
+			}
+			byLine[pos.Line] = d
+			byLine[pos.Line+1] = d
+		}
+	}
+	return byLine, malformed
+}
+
+// checkPackage runs every applicable rule over pkg and filters findings
+// through the ignore directives.
+func checkPackage(pkg *Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	ignores := make(map[string]map[int]*ignoreDirective) // filename -> line -> directive
+	for _, f := range pkg.Files {
+		byLine, malformed := parseIgnores(pkg.Fset, f)
+		if len(byLine) > 0 {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			ignores[name] = byLine
+		}
+		diags = append(diags, malformed...)
+	}
+	for _, r := range rules {
+		if !r.Applies(pkg.RelPath) {
+			continue
+		}
+		for _, d := range r.Check(pkg) {
+			if byLine := ignores[d.Pos.Filename]; byLine != nil {
+				if dir := byLine[d.Pos.Line]; dir != nil && dir.rules[d.Rule] {
+					continue
+				}
+			}
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// loadPackage parses all non-test .go files of one directory.
+func loadPackage(root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	return &Package{RelPath: filepath.ToSlash(rel), Fset: fset, Files: files}, nil
+}
+
+// lintTree lints every package under root matching the patterns. A pattern
+// of "./..." (or "...") walks the whole tree; "./dir/..." walks a subtree;
+// anything else names a single directory. testdata, vendor, and hidden
+// directories are skipped.
+func lintTree(root string, patterns []string) ([]Diagnostic, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := collectDirs(root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			if err := collectDirs(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(root, pat)] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	rules := allRules()
+	var diags []Diagnostic
+	for _, dir := range sorted {
+		pkg, err := loadPackage(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		diags = append(diags, checkPackage(pkg, rules)...)
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+func collectDirs(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs[path] = true
+		return nil
+	})
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostics file")
+
+// TestGoldenDiagnostics runs the whole rule suite over the fixture tree
+// under testdata/src and compares every finding against the golden file.
+// The fixtures exercise each rule firing, each rule's clean counterpart,
+// the //lint:ignore escape hatch (waived sites must NOT appear below), and
+// the malformed-directive diagnostic.
+func TestGoldenDiagnostics(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	diags, err := lintTree(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "diagnostics.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch (run `go test ./cmd/starcdn-lint -update` after auditing)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEachRuleFires guards against a rule silently going dead: every rule,
+// and the malformed-directive check, must fire at least once on fixtures.
+func TestEachRuleFires(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	diags, err := lintTree(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, d := range diags {
+		seen[d.Rule]++
+	}
+	for _, rule := range []string{"simtime", "globalrand", "maporder", "panicfree", "closecheck", "directive"} {
+		if seen[rule] == 0 {
+			t.Errorf("rule %s produced no findings on fixtures", rule)
+		}
+	}
+}
+
+// TestWantMarkersMatch cross-checks the golden approach with the in-fixture
+// `// want <rule>` markers: every marker line must have a finding of that
+// rule on the same line, and every finding must sit on a marked line. This
+// keeps fixtures self-documenting.
+func TestWantMarkersMatch(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	diags, err := lintTree(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	found := make(map[key]bool)
+	for _, d := range diags {
+		if d.Rule == "directive" {
+			continue // malformed directives are not marked inline
+		}
+		found[key{d.Pos.Filename, d.Pos.Line, d.Rule}] = true
+	}
+	wanted := make(map[key]bool)
+	err = filepath.WalkDir(root, func(path string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rule := strings.TrimSpace(line[idx+len("// want "):])
+			wanted[key{rel, i + 1, rule}] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range wanted {
+		if !found[k] {
+			t.Errorf("%s:%d: marked `// want %s` but no finding", k.file, k.line, k.rule)
+		}
+	}
+	for k := range found {
+		if !wanted[k] {
+			t.Errorf("%s:%d: unmarked %s finding (add `// want %s` or fix the fixture)", k.file, k.line, k.rule, k.rule)
+		}
+	}
+}
+
+// TestSelfClean runs the linter over its own module tree and requires zero
+// findings: the repo must stay lint-clean, and the ignore directives in
+// real code must parse.
+func TestSelfClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	diags, err := lintTree(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import "go/ast"
+
+// This file implements the lightweight, purely syntactic map-type inference
+// used by the maporder rule. Without go/types (the suite is stdlib-parser
+// only by design) we cannot resolve every expression, so the inference is
+// deliberately conservative: an expression is treated as a map only when a
+// package-local declaration proves it. The indexed facts are:
+//
+//   - functions/methods of the package whose first result is a map type
+//   - struct fields of the package declared with a map type
+//   - package-level variables declared with a map type
+//
+// plus, per function body, local variables bound to make(map[...]),
+// map composite literals, calls to indexed functions, or reads of indexed
+// fields/vars.
+
+// mapIndex records which package-level names are provably map-typed.
+type mapIndex struct {
+	funcs  map[string]bool // func or method name -> first result is a map
+	fields map[string]bool // struct field name -> declared as a map
+	vars   map[string]bool // package-level var name -> declared as a map
+}
+
+// isMapType reports whether the type expression is syntactically a map.
+func isMapType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return isMapType(t.X)
+	}
+	return false
+}
+
+// buildMapIndex scans all files of the package for map-typed declarations.
+func buildMapIndex(files []*ast.File) *mapIndex {
+	idx := &mapIndex{
+		funcs:  make(map[string]bool),
+		fields: make(map[string]bool),
+		vars:   make(map[string]bool),
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Type.Results != nil && len(d.Type.Results.List) > 0 &&
+					isMapType(d.Type.Results.List[0].Type) {
+					idx.funcs[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						if s.Type != nil && isMapType(s.Type) {
+							for _, name := range s.Names {
+								idx.vars[name.Name] = true
+							}
+						}
+						for i, v := range s.Values {
+							if i < len(s.Names) && exprIsMapLiteral(v) {
+								idx.vars[s.Names[i].Name] = true
+							}
+						}
+					case *ast.TypeSpec:
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, f := range st.Fields.List {
+								if isMapType(f.Type) {
+									for _, name := range f.Names {
+										idx.fields[name.Name] = true
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// exprIsMapLiteral reports whether e is a map composite literal or
+// make(map[...], ...).
+func exprIsMapLiteral(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return isMapType(v.Type)
+	case *ast.CallExpr:
+		if ident, ok := v.Fun.(*ast.Ident); ok && ident.Name == "make" && len(v.Args) > 0 {
+			return isMapType(v.Args[0])
+		}
+	case *ast.ParenExpr:
+		return exprIsMapLiteral(v.X)
+	}
+	return false
+}
+
+// paramMapNames adds the map-typed parameter names of a function signature
+// to the local facts.
+func paramMapNames(ft *ast.FuncType, local map[string]bool) {
+	if ft == nil || ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		if !isMapType(field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			local[name.Name] = true
+		}
+	}
+}
+
+// localMapVars walks a function body and returns the set of local variable
+// names proven to hold maps, using the package index for calls and field
+// reads on the right-hand side.
+func localMapVars(body *ast.BlockStmt, idx *mapIndex) map[string]bool {
+	local := make(map[string]bool)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		ident, ok := lhs.(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		if exprResolvesToMap(rhs, idx, local) {
+			local[ident.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					bind(s.Lhs[i], s.Rhs[i])
+				}
+			} else if len(s.Rhs) == 1 && len(s.Lhs) > 0 {
+				// v, ok := f() — only the first value can be the map.
+				bind(s.Lhs[0], s.Rhs[0])
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						if vs.Type != nil && isMapType(vs.Type) {
+							for _, name := range vs.Names {
+								local[name.Name] = true
+							}
+						}
+						for i, v := range vs.Values {
+							if i < len(vs.Names) {
+								bind(vs.Names[i], v)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// exprResolvesToMap reports whether e is provably a map given the package
+// index and the local variable facts collected so far.
+func exprResolvesToMap(e ast.Expr, idx *mapIndex, local map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return local[v.Name] || idx.vars[v.Name]
+	case *ast.SelectorExpr:
+		return idx.fields[v.Sel.Name]
+	case *ast.CallExpr:
+		switch fn := v.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "make" && len(v.Args) > 0 {
+				return isMapType(v.Args[0])
+			}
+			return idx.funcs[fn.Name]
+		case *ast.SelectorExpr:
+			// Method call — match by method name within the package.
+			return idx.funcs[fn.Sel.Name]
+		}
+	case *ast.CompositeLit:
+		return isMapType(v.Type)
+	case *ast.ParenExpr:
+		return exprResolvesToMap(v.X, idx, local)
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ruleCloseCheck forbids discarding the error of Close()/Flush() calls in
+// cmd/ binaries and the multi-process replayer. Both write artifacts whose
+// last bytes only hit the disk/socket at Close time (trace files, model
+// files, TCP frames); a dropped error there silently truncates data. A bare
+// call or bare `defer x.Close()` is a violation; checking the error or
+// explicitly discarding it (`_ = x.Close()`, possibly inside a deferred
+// closure) passes, because the discard is then a visible, reviewable
+// decision.
+type ruleCloseCheck struct{}
+
+func (ruleCloseCheck) Name() string { return "closecheck" }
+
+func (ruleCloseCheck) Applies(relPath string) bool {
+	return strings.HasPrefix(relPath, "cmd/") || relPath == "internal/replayer"
+}
+
+// flushLikeCall returns the method name if call is x.Close(...) or
+// x.Flush(...).
+func flushLikeCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name == "Close" || sel.Sel.Name == "Flush" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func (r ruleCloseCheck) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr, deferred bool) {
+		name, ok := flushLikeCall(call)
+		if !ok {
+			return
+		}
+		how := "unchecked"
+		if deferred {
+			how = "deferred unchecked"
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: r.Name(),
+			Message: how + " " + name + "() error; check it or discard explicitly with `_ = x." +
+				name + "()`",
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					flag(call, false)
+				}
+			case *ast.DeferStmt:
+				flag(s.Call, true)
+			case *ast.GoStmt:
+				flag(s.Call, false)
+			}
+			return true
+		})
+	}
+	return diags
+}

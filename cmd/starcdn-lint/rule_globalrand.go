@@ -1,0 +1,66 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ruleGlobalRand forbids the global math/rand top-level functions in
+// internal/ packages. The global source is seeded once per process and
+// shared across goroutines, so any use makes simulation output depend on
+// unrelated code paths and on goroutine interleaving. All randomness must
+// flow through an injected, explicitly seeded *rand.Rand.
+type ruleGlobalRand struct{}
+
+func (ruleGlobalRand) Name() string { return "globalrand" }
+
+func (ruleGlobalRand) Applies(relPath string) bool {
+	return relPath == "internal" || strings.HasPrefix(relPath, "internal/")
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) are fine.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func (r ruleGlobalRand) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		names := make(map[string]bool)
+		if n, ok := importedAs(file, "math/rand"); ok {
+			names[n] = true
+		}
+		if n, ok := importedAs(file, "math/rand/v2"); ok {
+			names[n] = true
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for pkgName := range names {
+				if fn, ok := isPkgCall(call, pkgName, globalRandFuncs); ok {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: r.Name(),
+						Message: "global rand." + fn + " draws from the shared process-wide source; " +
+							"inject a seeded *rand.Rand instead",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ruleMapOrder guards the determinism of everything the repo emits: Go map
+// iteration order is deliberately randomised, so a `for k := range m` that
+// feeds a slice append or an output writer directly produces different
+// figure files on every run. In the hashing and figure-emitting packages
+// the rule flags a range over a (package-locally provable) map whose body
+//
+//   - appends to a slice declared outside the loop that is never passed to
+//     a sort/slices call in the same function, or
+//   - writes output directly (fmt.Print*/Fprint*, or Write*/WriteString
+//     method calls).
+//
+// The idiomatic fix — collect keys, sort them, then iterate the sorted
+// slice — passes, because the collected slice *is* sorted in-function.
+// Commutative aggregation (summing into counters, building another map) is
+// not flagged.
+type ruleMapOrder struct{}
+
+func (ruleMapOrder) Name() string { return "maporder" }
+
+// mapOrderPackages are the RelPath prefixes with deterministic-output
+// obligations: the consistent-hashing core and every figure emitter.
+var mapOrderPackages = []string{
+	"internal/core",
+	"internal/experiments",
+}
+
+func (ruleMapOrder) Applies(relPath string) bool {
+	for _, p := range mapOrderPackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// outputFuncs are fmt-style emitters whose call inside a map range makes
+// the emitted bytes order-dependent.
+var outputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writerMethods are io.Writer/strings.Builder-style methods treated as
+// output sinks.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func (r ruleMapOrder) Check(pkg *Package) []Diagnostic {
+	idx := buildMapIndex(pkg.Files)
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			local := localMapVars(fn.Body, idx)
+			paramMapNames(fn.Type, local)
+			sorted := sortedIdents(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !exprResolvesToMap(rs.X, idx, local) {
+					return true
+				}
+				diags = append(diags, r.checkMapRangeBody(pkg, rs, sorted)...)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// sortedIdents returns the names of identifiers passed to any sort.* or
+// slices.* call anywhere in the function body.
+func sortedIdents(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || (base.Name != "sort" && base.Name != "slices") || base.Obj != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			collectIdents(arg, out)
+		}
+		return true
+	})
+	return out
+}
+
+func collectIdents(e ast.Expr, out map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok {
+			out[ident.Name] = true
+		}
+		return true
+	})
+}
+
+// declaredIn returns names introduced by := or var inside the statement.
+func declaredIn(body ast.Stmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for _, lhs := range s.Lhs {
+					if ident, ok := lhs.(*ast.Ident); ok {
+						out[ident.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							out[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (r ruleMapOrder) checkMapRangeBody(pkg *Package, rs *ast.RangeStmt, sorted map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	inner := declaredIn(rs.Body)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && fun.Obj == nil && len(call.Args) > 0 {
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok || inner[target.Name] || sorted[target.Name] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Message: "append to " + target.Name + " inside a map range without a later sort; " +
+						"map iteration order is random — sort before emitting",
+				})
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if outputFuncs[name] || writerMethods[name] {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Message: name + " inside a map range emits output in random map order; " +
+						"iterate sorted keys instead",
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}

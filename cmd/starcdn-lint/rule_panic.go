@@ -1,0 +1,58 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// rulePanicFree forbids panic() in library code. A panic inside internal/
+// takes down a whole replay or the multi-process replayer cluster instead
+// of failing one request; library code must return errors. Exemptions:
+// cmd/ and examples/ binaries (panic == crash-on-startup is acceptable),
+// functions following the Must* convention (panic-on-error wrappers for
+// constant arguments, like regexp.MustCompile), and test files (which the
+// loader already skips).
+type rulePanicFree struct{}
+
+func (rulePanicFree) Name() string { return "panicfree" }
+
+func (rulePanicFree) Applies(relPath string) bool {
+	if strings.HasPrefix(relPath, "cmd/") || strings.HasPrefix(relPath, "examples/") {
+		return false
+	}
+	return true
+}
+
+func (r rulePanicFree) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" || ident.Obj != nil {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Message: "panic in library function " + name +
+						"; return an error (or use a Must* wrapper for constant arguments)",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ruleSimTime forbids wall-clock reads inside the simulation packages.
+// Simulated time must come from trace timestamps / the scheduler epoch
+// clock; a single time.Now() makes two runs of the same seed diverge and
+// silently invalidates every figure built on top.
+type ruleSimTime struct{}
+
+func (ruleSimTime) Name() string { return "simtime" }
+
+// simTimePackages are the RelPath prefixes where wall-clock time is banned.
+var simTimePackages = []string{
+	"internal/sim",
+	"internal/orbit",
+	"internal/spacegen",
+	"internal/experiments",
+}
+
+func (ruleSimTime) Applies(relPath string) bool {
+	for _, p := range simTimePackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the banned time package functions.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func (r ruleSimTime) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		timeName, ok := importedAs(file, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := isPkgCall(call, timeName, wallClockFuncs); ok {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Message: "wall-clock time." + fn + " in a simulation package; " +
+						"derive time from the trace/scheduler clock so runs are reproducible",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,106 @@
+// Package core is a maporder-rule fixture: ranging over a map must not
+// feed appends or output without a sort.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Duties returns a map; ranges over its result must be provably ordered.
+func Duties() map[int][]string {
+	return map[int][]string{1: {"a"}}
+}
+
+type env struct {
+	runs map[string]float64
+}
+
+func badAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func okAppendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badDirectOutput(w io.Writer) {
+	stats := make(map[string]float64)
+	for k, v := range stats {
+		fmt.Fprintf(w, "%s=%v\n", k, v) // want maporder
+	}
+}
+
+func badBuilderOutput() string {
+	var b strings.Builder
+	counts := map[string]int{}
+	for k := range counts {
+		b.WriteString(k) // want maporder
+	}
+	return b.String()
+}
+
+func badRangeOverReturnedMap() []int {
+	var sats []int
+	for id := range Duties() {
+		sats = append(sats, id) // want maporder
+	}
+	return sats
+}
+
+func badRangeOverField(e *env) []string {
+	var names []string
+	for name := range e.runs {
+		names = append(names, name) // want maporder
+	}
+	return names
+}
+
+func okAggregation(m map[string]int) int {
+	// Commutative aggregation does not depend on iteration order.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func okSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func okInnerSlice(m map[string][]int) [][]int {
+	var out [][]int
+	for _, vs := range m {
+		row := make([]int, 0, len(vs))
+		row = append(row, vs...)
+		_ = row
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	for _, vs := range m {
+		out = append(out, vs)
+	}
+	return out
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder order is post-processed by the caller
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,23 @@
+// Package experiments is a maporder fixture for the figure emitters:
+// ranging over a method-returned map and printing directly must be flagged.
+package experiments
+
+import "fmt"
+
+type metrics struct{ perSat map[int]float64 }
+
+// PerSat exposes the per-satellite meter map.
+func (m *metrics) PerSat() map[int]float64 { return m.perSat }
+
+func badEmit(m *metrics) {
+	for id, v := range m.PerSat() {
+		fmt.Printf("sat %d: %v\n", id, v) // want maporder
+	}
+}
+
+func okEmit(m *metrics, order []int) {
+	byID := m.PerSat()
+	for _, id := range order {
+		fmt.Printf("sat %d: %v\n", id, byID[id])
+	}
+}

@@ -1,0 +1,44 @@
+// Package replayer is a closecheck-rule fixture for the multi-process
+// replayer package, plus a malformed-directive case.
+package replayer
+
+import "net"
+
+type pool struct{ conns map[string]net.Conn }
+
+func (p *pool) drop(addr string) {
+	if conn, ok := p.conns[addr]; ok {
+		conn.Close() // want closecheck
+		delete(p.conns, addr)
+	}
+}
+
+func (p *pool) closeAll() error {
+	var first error
+	for addr, conn := range p.conns {
+		if err := conn.Close(); err != nil && first == nil { // ok: checked
+			first = err
+		}
+		delete(p.conns, addr)
+	}
+	return first
+}
+
+func (p *pool) handle(conn net.Conn) {
+	defer conn.Close() // want closecheck
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (p *pool) fireAndForget(conn net.Conn) {
+	go conn.Close() // want closecheck
+}
+
+func malformedDirective(conn net.Conn) {
+	//lint:ignore closecheck
+	_ = conn // the directive above is missing its reason -> want directive
+}

@@ -1,0 +1,35 @@
+// Package sim is a simtime-rule fixture: wall-clock reads in a simulation
+// package must be flagged unless explicitly waived.
+package sim
+
+import "time"
+
+// Clock is the injected simulation clock abstraction.
+type Clock interface{ NowSec() float64 }
+
+func badNow() time.Time {
+	return time.Now() // want simtime
+}
+
+func badSince(start time.Time) float64 {
+	elapsed := time.Since(start) // want simtime
+	return elapsed.Seconds()
+}
+
+func badUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want simtime
+}
+
+func okDuration() time.Duration {
+	// Durations and constants are fine; only wall-clock reads are banned.
+	return 3 * time.Second
+}
+
+func okClock(c Clock) float64 {
+	return c.NowSec()
+}
+
+func waived() time.Time {
+	//lint:ignore simtime fixture demonstrating the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,49 @@
+// Package stats is a panicfree-rule fixture: library code must return
+// errors; Must* wrappers and waived sites pass.
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Histogram struct{ bins []int }
+
+func badPanicString(nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: invalid geometry") // want panicfree
+	}
+	return &Histogram{bins: make([]int, nbins)}
+}
+
+func badPanicErr() {
+	panic(errors.New("boom")) // want panicfree
+}
+
+func okError(nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: invalid geometry %d", nbins)
+	}
+	return &Histogram{bins: make([]int, nbins)}, nil
+}
+
+// MustHistogram follows the Must* convention: panic-on-error for constant
+// arguments, exempt from the rule.
+func MustHistogram(nbins int) *Histogram {
+	h, err := okError(nbins)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func mustInternal(cond bool) {
+	if !cond {
+		panic("unreachable")
+	}
+}
+
+func waived() {
+	//lint:ignore panicfree fixture demonstrating the escape hatch
+	panic("waived")
+}

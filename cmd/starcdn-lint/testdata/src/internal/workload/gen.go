@@ -1,0 +1,37 @@
+// Package workload is a globalrand-rule fixture: global math/rand draws in
+// internal/ must be flagged; injected seeded *rand.Rand must pass.
+package workload
+
+import (
+	mrand "math/rand"
+)
+
+func badGlobals(n int) float64 {
+	i := mrand.Intn(n)                  // want globalrand
+	f := mrand.Float64()                // want globalrand
+	mrand.Shuffle(n, func(a, b int) {}) // want globalrand
+	mrand.Seed(42)                      // want globalrand
+	return float64(i) + f
+}
+
+func okInjected(rng *mrand.Rand, n int) float64 {
+	return float64(rng.Intn(n)) + rng.Float64()
+}
+
+func okConstructors(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}
+
+func okShadowed(n int) int {
+	// A local variable named after the package is not a package reference.
+	rand := localSource{}
+	return rand.Intn(n)
+}
+
+type localSource struct{}
+
+func (localSource) Intn(n int) int { return n - 1 }
+
+func waived() float64 {
+	return mrand.Float64() //lint:ignore globalrand fixture demonstrating same-line waiver
+}

@@ -47,7 +47,9 @@ func main() {
 		log.Fatal(err)
 	}
 	tr, err := trace.Read(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() {
+		if err := cluster.Close(); err != nil {
+			log.Printf("cluster close: %v", err)
+		}
+	}()
 
 	start := time.Now()
 	meter, err := replayer.Replay(h, cluster, users, tr, replayer.Options{

@@ -1,0 +1,49 @@
+//go:build starcdn_debug
+
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// corruptible exposes the internal accounting of the LRU for fault
+// injection: the debug-build sanitizer must catch a policy whose byte
+// accounting drifts.
+func TestDebugSanitizerCatchesDrift(t *testing.T) {
+	c := newLRU(1 << 10)
+	if err := c.Admit(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Inject the bug class the sanitizer exists for: leaked accounting.
+	c.used = -5
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sanitizer did not catch negative used bytes")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invariant violated") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	c.Remove(1) // triggers checkAccounting on the corrupted state
+}
+
+// TestDebugSanitizerPassesCleanOps runs a mixed workload on every policy
+// with invariants enabled; no assertion may fire.
+func TestDebugSanitizerPassesCleanOps(t *testing.T) {
+	for _, kind := range []Kind{LRU, LFU, FIFO, SIEVE} {
+		p := MustNew(kind, 1<<12)
+		for i := 0; i < 5000; i++ {
+			obj := ObjectID(i % 97)
+			if !p.Get(obj) {
+				if err := p.Admit(obj, int64(1+i%300)); err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+			}
+			if i%13 == 0 {
+				p.Remove(ObjectID((i * 7) % 97))
+			}
+		}
+	}
+}

@@ -94,6 +94,7 @@ func (c *lfuCache) Remove(id ObjectID) bool {
 	c.detach(n)
 	delete(c.items, id)
 	c.used -= n.size
+	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
 	return true
 }
 
@@ -110,6 +111,7 @@ func (c *lfuCache) evictUntilFits() {
 		delete(c.items, victim.id)
 		c.used -= victim.size
 	}
+	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
 }
 
 // victim returns the least-frequently, least-recently used node.

@@ -75,6 +75,7 @@ func (c *lruCache) Remove(id ObjectID) bool {
 	c.unlink(n)
 	delete(c.items, id)
 	c.used -= n.size
+	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
 	return true
 }
 
@@ -85,6 +86,7 @@ func (c *lruCache) evictUntilFits() {
 		delete(c.items, victim.id)
 		c.used -= victim.size
 	}
+	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
 }
 
 func (c *lruCache) pushFront(n *lruNode) {

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestReportsDeterministic is the regression guard behind the maporder lint
+// rule and the seeded-RNG discipline: running the same experiment on two
+// independently constructed environments (same Scale, same Seed) must
+// produce byte-identical reports. Without this property the BENCH_*.json
+// trajectories and every figure in EXPERIMENTS.md would not be comparable
+// across PRs.
+func TestReportsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep in short mode")
+	}
+	// A representative slice of the registry: a simulation figure (cache
+	// hit rates), a latency CDF, a per-satellite grouping that iterates
+	// metric maps (fig11), and a workload-model figure (spacegen fit).
+	names := []string{"fig6", "fig10-l4", "fig11", "fig12-web"}
+	run := func() map[string]string {
+		e := NewEnv(tinyScale())
+		out := make(map[string]string, len(names))
+		for _, name := range names {
+			s, err := Run(e, name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out[name] = s
+		}
+		return out
+	}
+	a, b := run(), run()
+	for _, name := range names {
+		if a[name] != b[name] {
+			t.Errorf("%s: two identically seeded runs produced different reports\n--- run A ---\n%s\n--- run B ---\n%s",
+				name, a[name], b[name])
+		}
+	}
+}

@@ -146,7 +146,7 @@ func Fig5b(e *Env) string {
 	fmt.Fprintf(b, "ISLs per satellite: 2 intra-orbit + 2 inter-orbit (grid torus)\n")
 	// §3.1: "a Starlink client often has 10+ satellites in view" — histogram
 	// the visible-satellite count across cities and an orbital period.
-	hist := stats.NewHistogram(0, 24, 12)
+	hist := stats.MustNewHistogram(0, 24, 12)
 	var buf []orbit.SatID
 	for _, city := range e.Cities {
 		for t := 0.0; t < cfg.PeriodSec(); t += 300 {
@@ -199,8 +199,14 @@ func Fig6(e *Env) (string, error) {
 	fmt.Fprintf(b, "%-10s %10s %10s %10s %10s\n", "cache", "RHR(prod)", "RHR(syn)", "BHR(prod)", "BHR(syn)")
 	var rhrGap, bhrGap float64
 	for _, size := range e.Scale.CacheSizes {
-		pm := stationaryLRU(prod, size)
-		sm := stationaryLRU(syn, size)
+		pm, err := stationaryLRU(prod, size)
+		if err != nil {
+			return "", err
+		}
+		sm, err := stationaryLRU(syn, size)
+		if err != nil {
+			return "", err
+		}
 		rhrGap += math.Abs(pm.RequestHitRate() - sm.RequestHitRate())
 		bhrGap += math.Abs(pm.ByteHitRate() - sm.ByteHitRate())
 		fmt.Fprintf(b, "%-10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", gb(size),
@@ -259,8 +265,14 @@ func Fig13(e *Env) (string, error) {
 	fmt.Fprintf(b, "%-10s %12s %12s %12s %12s\n", "cache",
 		"terr(prod)", "terr(syn)", "fetch(prod)", "fetch(syn)")
 	for _, size := range e.Scale.CacheSizes {
-		pm := stationaryLRU(prod, size)
-		sm := stationaryLRU(syn, size)
+		pm, err := stationaryLRU(prod, size)
+		if err != nil {
+			return "", err
+		}
+		sm, err := stationaryLRU(syn, size)
+		if err != nil {
+			return "", err
+		}
 		pf, err := e.runScheme("fig13", "starcdn-fetch", 4, size, prod, sim.Config{Seed: e.Scale.Seed})
 		if err != nil {
 			return "", err
@@ -277,8 +289,9 @@ func Fig13(e *Env) (string, error) {
 }
 
 // stationaryLRU replays per-location LRU caches (a terrestrial CDN cluster)
-// and returns the merged meter.
-func stationaryLRU(tr *trace.Trace, capacity int64) cache.Meter {
+// and returns the merged meter. An admission error other than ErrTooLarge
+// means the trace carries a non-positive size and the figure is invalid.
+func stationaryLRU(tr *trace.Trace, capacity int64) (cache.Meter, error) {
 	caches := make([]cache.Policy, len(tr.Locations))
 	for i := range caches {
 		caches[i] = cache.MustNew(cache.LRU, capacity)
@@ -291,9 +304,9 @@ func stationaryLRU(tr *trace.Trace, capacity int64) cache.Meter {
 		m.Record(r.Size, hit)
 		if !hit {
 			if err := c.Admit(r.Object, r.Size); err != nil && err != cache.ErrTooLarge {
-				panic(err)
+				return m, fmt.Errorf("stationary LRU admit: %w", err)
 			}
 		}
 	}
-	return m
+	return m, nil
 }

@@ -1,0 +1,20 @@
+//go:build starcdn_debug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assert panics with msg if cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		failf("%s", msg)
+	}
+}
+
+// Assertf panics with the formatted message if cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		failf(format, args...)
+	}
+}

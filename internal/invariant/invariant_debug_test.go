@@ -1,0 +1,42 @@
+//go:build starcdn_debug
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("expected string panic, got %T", r)
+		}
+		if !strings.Contains(msg, "invariant violated") || !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestDebugEnabled(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the starcdn_debug tag")
+	}
+}
+
+func TestDebugAssertPasses(t *testing.T) {
+	Assert(true, "fine")
+	Assertf(true, "fine %d", 1)
+}
+
+func TestDebugAssertPanics(t *testing.T) {
+	mustPanic(t, "boom", func() { Assert(false, "boom") })
+	mustPanic(t, "used=-3", func() { Assertf(false, "used=%d", -3) })
+}

@@ -1,0 +1,14 @@
+//go:build !starcdn_debug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so `if invariant.Enabled { ... }` blocks are dead-code-eliminated
+// in release builds.
+const Enabled = false
+
+// Assert is a release-build no-op.
+func Assert(bool, string) {}
+
+// Assertf is a release-build no-op.
+func Assertf(bool, string, ...any) {}

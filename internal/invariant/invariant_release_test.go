@@ -1,0 +1,14 @@
+//go:build !starcdn_debug
+
+package invariant
+
+import "testing"
+
+func TestReleaseNoOp(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the starcdn_debug tag")
+	}
+	// Violated assertions must be silent no-ops in release builds.
+	Assert(false, "must not fire")
+	Assertf(false, "must not fire: %d", 42)
+}

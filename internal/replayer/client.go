@@ -35,24 +35,29 @@ func (c *Client) conn(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// drop removes a broken connection from the pool.
+// drop removes a broken connection from the pool. The close error is
+// deliberately discarded: the connection is already known to be broken.
 func (c *Client) drop(addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if conn, ok := c.conns[addr]; ok {
-		conn.Close()
+		_ = conn.Close()
 		delete(c.conns, addr)
 	}
 }
 
-// Close closes all pooled connections.
-func (c *Client) Close() {
+// Close closes all pooled connections, returning the first close error.
+func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var first error
 	for addr, conn := range c.conns {
-		conn.Close()
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
 		delete(c.conns, addr)
 	}
+	return first
 }
 
 // roundTrip sends one request frame and reads the response. The per-address

@@ -79,7 +79,9 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 		go func(loc int) {
 			defer wg.Done()
 			client := NewClient()
-			defer client.Close()
+			// Per-worker loopback pool; close errors after the worker's
+			// stream completes cannot affect the meters.
+			defer func() { _ = client.Close() }()
 			m := &meters[loc]
 			for _, j := range perLoc[loc] {
 				if j.home < 0 {

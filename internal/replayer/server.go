@@ -80,7 +80,9 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	// Handler exit means the client is gone; the close error carries no
+	// information worth propagating.
+	defer func() { _ = conn.Close() }()
 	for {
 		m, err := readFrame(conn)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
+	"starcdn/internal/invariant"
 	"starcdn/internal/orbit"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
@@ -81,10 +82,14 @@ func (s *satCaches) at(id orbit.SatID) cache.Policy {
 }
 
 // admit inserts an object, ignoring the object-larger-than-capacity error
-// (such objects simply bypass the cache, as in production CDNs).
+// (such objects simply bypass the cache, as in production CDNs). Any other
+// error would mean a non-positive size, which trace.Validate rejects before
+// a run starts — a debug-build invariant guards against regressions there.
 func admit(c cache.Policy, obj cache.ObjectID, size int64) {
-	if err := c.Admit(obj, size); err != nil && err != cache.ErrTooLarge {
-		panic(fmt.Sprintf("sim: cache admit: %v", err))
+	err := c.Admit(obj, size)
+	if invariant.Enabled {
+		invariant.Assertf(err == nil || err == cache.ErrTooLarge,
+			"sim: cache admit(obj=%d, size=%d): %v", obj, size, err)
 	}
 }
 

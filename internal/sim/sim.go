@@ -6,6 +6,7 @@ import (
 
 	"starcdn/internal/cache"
 	"starcdn/internal/geo"
+	"starcdn/internal/invariant"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
 	"starcdn/internal/trace"
@@ -69,6 +70,15 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	if invariant.Enabled {
+		// The failure schedule is consumed with a single forward cursor, so
+		// an out-of-order event would silently never fire.
+		for i := 1; i < len(cfg.Failures); i++ {
+			invariant.Assertf(cfg.Failures[i].TimeSec >= cfg.Failures[i-1].TimeSec,
+				"sim: failure schedule out of order at %d (%v < %v)",
+				i, cfg.Failures[i].TimeSec, cfg.Failures[i-1].TimeSec)
+		}
+	}
 	scheduler, err := sched.New(c, users, cfg.EpochSec, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -122,8 +132,17 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	var demandWindowBytes int64
 	var utilization float64
 	gslCapacityBitsPerSec := lat.Links.GSL.BandwidthGbps * 1e9
+	prevTimeSec := 0.0
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
+		if invariant.Enabled {
+			// Monotone event time: the epoch memos, failure cursor, and
+			// congestion windows below all assume a forward-only clock.
+			invariant.Assertf(r.TimeSec >= prevTimeSec,
+				"sim: event time moved backwards at request %d (%v < %v)",
+				i, r.TimeSec, prevTimeSec)
+			prevTimeSec = r.TimeSec
+		}
 		applyFailures(r.TimeSec)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {

@@ -157,10 +157,11 @@ type Histogram struct {
 	total    int
 }
 
-// NewHistogram returns a histogram with nbins bins over [min, max).
+// MustNewHistogram returns a histogram with nbins bins over [min, max).
 // It panics if nbins <= 0 or max <= min: histogram geometry is a programmer
-// decision, not runtime input.
-func NewHistogram(min, max float64, nbins int) *Histogram {
+// decision with constant arguments, not runtime input (hence the Must
+// convention rather than an error return).
+func MustNewHistogram(min, max float64, nbins int) *Histogram {
 	if nbins <= 0 || max <= min {
 		panic("stats: invalid histogram geometry")
 	}

@@ -133,7 +133,7 @@ func TestCDFAddNAndPoints(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 10, 5)
+	h := MustNewHistogram(0, 10, 5)
 	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
 		h.Add(x)
 	}
@@ -163,9 +163,9 @@ func TestHistogram(t *testing.T) {
 
 func TestHistogramPanicsOnBadGeometry(t *testing.T) {
 	for _, f := range []func(){
-		func() { NewHistogram(0, 0, 5) },
-		func() { NewHistogram(1, 0, 5) },
-		func() { NewHistogram(0, 1, 0) },
+		func() { MustNewHistogram(0, 0, 5) },
+		func() { MustNewHistogram(1, 0, 5) },
+		func() { MustNewHistogram(0, 1, 0) },
 	} {
 		func() {
 			defer func() {
@@ -180,7 +180,7 @@ func TestHistogramPanicsOnBadGeometry(t *testing.T) {
 
 func TestHistogramCountsSumToTotal(t *testing.T) {
 	f := func(xs []float64) bool {
-		h := NewHistogram(-5, 5, 7)
+		h := MustNewHistogram(-5, 5, 7)
 		n := 0
 		for _, x := range xs {
 			if math.IsNaN(x) {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"starcdn/internal/invariant"
 	"starcdn/internal/orbit"
 )
 
@@ -105,9 +106,45 @@ type Grid struct {
 	failed map[edge]bool
 }
 
+// Opposite returns the reverse grid direction.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	default:
+		return East
+	}
+}
+
 // NewGrid builds the ISL grid for the constellation with the given model.
 func NewGrid(c *orbit.Constellation, model LinkModel) *Grid {
-	return &Grid{c: c, model: model, failed: make(map[edge]bool)}
+	g := &Grid{c: c, model: model, failed: make(map[edge]bool)}
+	if invariant.Enabled {
+		g.assertReciprocity()
+	}
+	return g
+}
+
+// assertReciprocity is the debug-build sanitizer for the torus wiring: for
+// every slot and direction, stepping to the neighbour and back must return
+// to the origin (Neighbor(Neighbor(id,d), d.Opposite()) == id), otherwise
+// the ISL graph is not the undirected grid the hashing tiling assumes.
+func (g *Grid) assertReciprocity() {
+	slots := g.c.NumSlots()
+	for i := 0; i < slots; i++ {
+		id := orbit.SatID(i)
+		for _, d := range Directions {
+			nb := g.Neighbor(id, d)
+			back := g.Neighbor(nb, d.Opposite())
+			invariant.Assertf(back == id,
+				"topo: neighbor reciprocity broken: %d --%s--> %d --%s--> %d",
+				id, d, nb, d.Opposite(), back)
+		}
+	}
 }
 
 // Constellation returns the underlying constellation.

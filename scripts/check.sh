@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# scripts/check.sh — the repository's single CI gate.
+#
+# Runs, in order:
+#   1. gofmt          (no unformatted files)
+#   2. go vet         (stdlib analyses)
+#   3. starcdn-lint   (determinism/robustness rules, see DESIGN.md)
+#   4. go build       (release and starcdn_debug tags)
+#   5. go test -race  (release tags, race detector on)
+#   6. go test        (starcdn_debug tags: invariant sanitizers armed)
+#   7. bench smoke    (every benchmark compiles and runs once)
+#
+# Usage: scripts/check.sh   (or `make check`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+	printf '== %s\n' "$*"
+}
+
+step "gofmt"
+unformatted=$(gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "starcdn-lint ./..."
+go run ./cmd/starcdn-lint ./...
+
+step "go build ./... (release + starcdn_debug)"
+go build ./...
+go build -tags starcdn_debug ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "go test -tags starcdn_debug ./..."
+go test -tags starcdn_debug ./...
+
+step "bench smoke (-bench=. -benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null
+
+step "check passed"

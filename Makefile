@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint fmt bench debug-test race clean
+.PHONY: all build test check lint fmt bench debug-test race chaos clean
 
 all: build
 
@@ -14,7 +14,8 @@ test:
 	$(GO) test ./...
 
 ## check: the repository's CI gate — fmt, vet, starcdn-lint, build (both
-## tag sets), race tests, debug-invariant tests, and a bench smoke.
+## tag sets), race tests, debug-invariant tests, a chaos pass, and a bench
+## smoke.
 check:
 	sh scripts/check.sh
 
@@ -35,6 +36,13 @@ debug-test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos: the fault-injection and failure-schedule suites under the race
+## detector with debug invariants armed (DESIGN.md §8).
+chaos:
+	$(GO) test -race -tags starcdn_debug -count=1 \
+		-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
+		./internal/replayer/ ./internal/sim/
 
 clean:
 	$(GO) clean ./...

@@ -3,10 +3,18 @@
 // ISL fetches are real network round trips (the paper's §5.1 multi-process
 // replayer). It reads a binary trace produced by the spacegen tool.
 //
+// With -fault the replayer runs fault-tolerant (per-frame deadlines, bounded
+// retries with jittered backoff, §3.4 degrade-to-ground), which unlocks the
+// chaos options: -chaos kills a fraction of the contacted satellites
+// mid-replay on a seeded schedule, and the -inject-* flags layer
+// deterministic wire-level faults (refused dials, resets, stalls, truncated
+// frames) in front of every connection.
+//
 // Usage:
 //
 //	spacegen -synthesize-production -requests 100000 -out prod.sctr
 //	starcdn-replay -in prod.sctr -cache-mb 256 -buckets 4
+//	starcdn-replay -in prod.sctr -fault -chaos 0.05 -chaos-seed 7 -concurrent
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"starcdn/internal/geo"
 	"starcdn/internal/orbit"
 	"starcdn/internal/replayer"
+	"starcdn/internal/sched"
+	"starcdn/internal/sim"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
 )
@@ -29,13 +39,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("starcdn-replay: ")
 	var (
-		in      = flag.String("in", "", "input trace file (binary format, required)")
-		cacheMB = flag.Int64("cache-mb", 256, "per-satellite cache size in MB")
-		buckets = flag.Int("buckets", 4, "consistent hashing bucket count (perfect square)")
-		noRelay = flag.Bool("no-relay", false, "disable relayed fetch")
-		noHash  = flag.Bool("no-hashing", false, "disable consistent hashing")
-		outage  = flag.Int("outage", 0, "deactivate this many satellites")
-		seed    = flag.Int64("seed", 1, "scheduler/outage seed")
+		in         = flag.String("in", "", "input trace file (binary format, required)")
+		cacheMB    = flag.Int64("cache-mb", 256, "per-satellite cache size in MB")
+		buckets    = flag.Int("buckets", 4, "consistent hashing bucket count (perfect square)")
+		noRelay    = flag.Bool("no-relay", false, "disable relayed fetch")
+		noHash     = flag.Bool("no-hashing", false, "disable consistent hashing")
+		outage     = flag.Int("outage", 0, "deactivate this many satellites")
+		seed       = flag.Int64("seed", 1, "scheduler/outage seed")
+		concurrent = flag.Bool("concurrent", false, "one replay worker per location (the paper's async mode)")
+
+		fault     = flag.Bool("fault", false, "fault-tolerant replay: deadlines, retries, §3.4 degrade-to-ground")
+		ioTimeout = flag.Duration("io-timeout", 250*time.Millisecond, "per-frame read/write deadline (with -fault)")
+		retries   = flag.Int("retries", 3, "max attempts per request frame (with -fault)")
+
+		chaosFrac    = flag.Float64("chaos", 0, "kill this fraction of contacted satellites mid-replay (requires -fault)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule")
+		chaosRevive  = flag.Float64("chaos-revive-sec", 0, "revive transient kills after this many trace seconds")
+		chaosTransFr = flag.Float64("chaos-transient", 0.5, "fraction of kills that are transient (§3.4 reboot)")
+
+		injRefuse   = flag.Float64("inject-refuse", 0, "probability a dial is refused (requires -fault)")
+		injReset    = flag.Float64("inject-reset", 0, "probability a read/write hits a connection reset")
+		injStall    = flag.Float64("inject-stall", 0, "probability a read stalls past the deadline")
+		injTruncate = flag.Float64("inject-truncate", 0, "probability a write truncates the frame")
+		injSeed     = flag.Int64("inject-seed", 1, "seed for the fault injector")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -73,6 +99,62 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	opts := replayer.Options{
+		Hashing: !*noHash,
+		Relay:   !*noRelay,
+		Seed:    *seed,
+	}
+
+	var injector *replayer.FaultInjector
+	if *fault {
+		pol := &replayer.FaultPolicy{
+			IOTimeout: *ioTimeout,
+			Retry:     replayer.RetryPolicy{MaxAttempts: *retries},
+		}
+		if *injRefuse > 0 || *injReset > 0 || *injStall > 0 || *injTruncate > 0 {
+			injector = replayer.NewFaultInjector(replayer.FaultConfig{
+				Seed:         *injSeed,
+				RefuseRate:   *injRefuse,
+				ResetRate:    *injReset,
+				StallRate:    *injStall,
+				TruncateRate: *injTruncate,
+			})
+			pol.Injector = injector
+		}
+		opts.Fault = pol
+	}
+
+	if *chaosFrac > 0 {
+		if !*fault {
+			log.Fatal("-chaos requires -fault (a failure schedule needs the fault policy)")
+		}
+		sats, err := contactedSats(c, h, users, tr, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		duration := 0.0
+		if n := len(tr.Requests); n > 0 {
+			duration = tr.Requests[n-1].TimeSec
+		}
+		opts.Failures = sim.GenerateChaos(sats, sim.ChaosOptions{
+			StartSec:          duration * 0.1,
+			EndSec:            duration * 0.9,
+			KillFraction:      *chaosFrac,
+			TransientFraction: *chaosTransFr,
+			ReviveAfterSec:    *chaosRevive,
+			Seed:              *chaosSeed,
+		})
+		kills := 0
+		for _, ev := range opts.Failures {
+			if ev.Down {
+				kills++
+			}
+		}
+		fmt.Printf("chaos schedule:   %d kills over %d contacted satellites (%d events)\n",
+			kills, len(sats), len(opts.Failures))
+	}
+
 	cluster, err := replayer.NewCluster(cache.LRU, *cacheMB<<20)
 	if err != nil {
 		log.Fatal(err)
@@ -84,11 +166,12 @@ func main() {
 	}()
 
 	start := time.Now()
-	meter, err := replayer.Replay(h, cluster, users, tr, replayer.Options{
-		Hashing: !*noHash,
-		Relay:   !*noRelay,
-		Seed:    *seed,
-	})
+	var meter cache.Meter
+	if *concurrent {
+		meter, err = replayer.ReplayConcurrent(h, cluster, users, tr, opts)
+	} else {
+		meter, err = replayer.Replay(h, cluster, users, tr, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,5 +184,41 @@ func main() {
 		float64(meter.BytesMissed)/(1<<30),
 		100*(1-meter.ByteHitRate()))
 	fmt.Printf("satellite caches: %d spun up\n", cluster.Len())
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("injected faults:  %d refused, %d resets, %d stalls, %d truncations (%d dials)\n",
+			st.Refused, st.Resets, st.Stalls, st.Truncations, st.Dials)
+	}
 	fmt.Printf("wall time:        %s\n", elapsed.Round(time.Millisecond))
+}
+
+// contactedSats dry-runs the scheduling decisions on a healthy constellation
+// and returns the distinct satellites the replay would contact — the chaos
+// candidate set, so a kill fraction is a fraction of servers that matter.
+func contactedSats(c *orbit.Constellation, h *core.HashScheme,
+	users []geo.Point, tr *trace.Trace, opts replayer.Options) ([]orbit.SatID, error) {
+	scheduler, err := sched.New(c, users, opts.EpochSec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[orbit.SatID]bool)
+	var sats []orbit.SatID
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
+		if !visible {
+			continue
+		}
+		home := first
+		if opts.Hashing {
+			if owner, ok := h.Responsible(first, h.BucketOf(r.Object)); ok {
+				home = owner
+			}
+		}
+		if !seen[home] {
+			seen[home] = true
+			sats = append(sats, home)
+		}
+	}
+	return sats, nil
 }

@@ -169,6 +169,35 @@ func (h *HashScheme) Responsible(first orbit.SatID, b BucketID) (orbit.SatID, bo
 	return h.Remap(owner)
 }
 
+// ServingOwner resolves the satellite that serves bucket b for a request
+// arriving at the first-contact satellite, applying the paper's full §3.4
+// degradation policy. An active nearest owner serves directly. A down owner
+// splits on failure kind, as reported by transientDown: a transient outage
+// (cache server rebooting for a software update) degrades the request to a
+// ground miss-through — serve=false, no satellite contact, nothing cached —
+// while a long-term failure (collision avoidance, hardware loss) remaps the
+// bucket to the next active satellite, which inherits the duty. If even the
+// remap finds no survivor the first-contact satellite serves as a last
+// resort. transientDown may be nil when no transient failures are active,
+// in which case every down owner is treated as a long-term loss.
+//
+// Both the in-process simulator (sim.StarCDN) and the distributed TCP
+// replayer route through this single lookup so the two pipelines make
+// byte-identical placement decisions under any failure schedule.
+func (h *HashScheme) ServingOwner(first orbit.SatID, b BucketID, transientDown func(orbit.SatID) bool) (owner orbit.SatID, serve bool) {
+	owner = h.NearestOwner(first, b)
+	if h.grid.Constellation().Active(owner) {
+		return owner, true
+	}
+	if transientDown != nil && transientDown(owner) {
+		return owner, false
+	}
+	if heir, ok := h.Remap(owner); ok {
+		return heir, true
+	}
+	return first, true
+}
+
 // Remap walks outward from a dead satellite in deterministic direction order
 // (east, west, north, south, then growing grid radius) and returns the first
 // active satellite, which inherits the dead satellite's bucket duty.

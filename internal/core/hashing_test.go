@@ -313,3 +313,53 @@ func TestRoutingConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestServingOwnerFailurePolicy covers the §3.4 decision table: an active
+// owner serves; a transiently-down owner degrades to a ground miss (serve
+// false); a long-term-down owner is remapped to an active heir; and when no
+// remap target exists the first contact serves as a last resort.
+func TestServingOwnerFailurePolicy(t *testing.T) {
+	h := scheme(t, 4)
+	c := h.Grid().Constellation()
+	first := c.SatAt(10, 5)
+	b := BucketID(2)
+	owner := h.NearestOwner(first, b)
+
+	// Healthy: the nearest owner serves, regardless of the transient set.
+	if got, serve := h.ServingOwner(first, b, nil); !serve || got != owner {
+		t.Fatalf("healthy: (%d,%v), want (%d,true)", got, serve, owner)
+	}
+	always := func(orbit.SatID) bool { return true }
+	if got, serve := h.ServingOwner(first, b, always); !serve || got != owner {
+		t.Errorf("active owner must serve even if flagged transient: (%d,%v)", got, serve)
+	}
+
+	// Transient outage: degrade to a ground miss, still naming the owner.
+	c.SetActive(owner, false)
+	transient := func(id orbit.SatID) bool { return id == owner }
+	if got, serve := h.ServingOwner(first, b, transient); serve || got != owner {
+		t.Errorf("transient: (%d,%v), want (%d,false)", got, serve, owner)
+	}
+
+	// Long-term outage: remapped to the deterministic active heir.
+	heir, ok := h.Remap(owner)
+	if !ok {
+		t.Fatal("remap failed with one dead satellite")
+	}
+	if got, serve := h.ServingOwner(first, b, nil); !serve || got != heir {
+		t.Errorf("long-term: (%d,%v), want heir (%d,true)", got, serve, heir)
+	}
+	// A nil-safe variant of "not transient": same remap.
+	notDown := func(orbit.SatID) bool { return false }
+	if got, serve := h.ServingOwner(first, b, notDown); !serve || got != heir {
+		t.Errorf("long-term with callback: (%d,%v), want (%d,true)", got, serve, heir)
+	}
+	c.SetActive(owner, true)
+
+	// No remap target at all: fall back to the first contact.
+	c.ApplyOutageMask(c.NumSlots(), 1)
+	if got, serve := h.ServingOwner(first, b, nil); !serve || got != first {
+		t.Errorf("all dead: (%d,%v), want first contact (%d,true)", got, serve, first)
+	}
+	c.ApplyOutageMask(0, 1)
+}

@@ -1,0 +1,278 @@
+package replayer
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/sim"
+)
+
+// chaosFaultPolicy keeps chaos replays snappy: dead servers refuse dials
+// immediately, so generous production timeouts would only slow the test.
+func chaosFaultPolicy() *FaultPolicy {
+	return &FaultPolicy{
+		DialTimeout: 200 * time.Millisecond,
+		IOTimeout:   200 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	}
+}
+
+// TestGenerateChaosDeterminism: the schedule is a pure function of its
+// inputs — same seed yields a byte-identical event list, a different seed a
+// different one, and candidate slice order is irrelevant.
+func TestGenerateChaosDeterminism(t *testing.T) {
+	h, users, tr := newReplayFixture(t, 2000, 31)
+	opts := Options{Hashing: true, Relay: true, Seed: 99}
+	sats := contactedSats(t, h, users, tr, opts)
+	if len(sats) < 20 {
+		t.Fatalf("fixture contacts only %d satellites", len(sats))
+	}
+	co := sim.ChaosOptions{
+		StartSec: 100, EndSec: 900,
+		KillFraction:      0.10,
+		TransientFraction: 0.5,
+		ReviveAfterSec:    200,
+		Seed:              4242,
+	}
+	a := sim.GenerateChaos(sats, co)
+	b := sim.GenerateChaos(sats, co)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	// Reversed candidate order must not matter: the generator sorts first.
+	rev := make([]orbitSat, len(sats))
+	for i, s := range sats {
+		rev[len(sats)-1-i] = s
+	}
+	if c := sim.GenerateChaos(rev, co); !reflect.DeepEqual(a, c) {
+		t.Fatal("candidate order changed the schedule")
+	}
+	co2 := co
+	co2.Seed = 4243
+	if d := sim.GenerateChaos(sats, co2); reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Structural sanity: sorted by time, kills within the window, at least
+	// 10% of candidates killed.
+	kills := 0
+	for i, ev := range a {
+		if i > 0 && ev.TimeSec < a[i-1].TimeSec {
+			t.Fatalf("schedule out of order at %d", i)
+		}
+		if ev.Down {
+			kills++
+			if ev.TimeSec < co.StartSec || ev.TimeSec >= co.EndSec {
+				t.Errorf("kill at %v outside window", ev.TimeSec)
+			}
+		}
+	}
+	if want := (len(sats) + 9) / 10; kills < want {
+		t.Errorf("killed %d of %d candidates, want >= %d", kills, len(sats), want)
+	}
+}
+
+// TestChaosSequentialReplayMatchesSim is the chaos cross-check in its
+// strictest form: under an identical §3.4 failure schedule the sequential
+// TCP replay and the in-process simulator make the same decision for every
+// request, so their hit sequences agree exactly — kills, remaps, transient
+// miss-throughs and revivals included.
+func TestChaosSequentialReplayMatchesSim(t *testing.T) {
+	const requests = 6000
+	const traceSeed = 31
+	const capacity = 64 << 20
+	const seed = 99
+
+	// Two independent fixtures: failure schedules mutate constellation
+	// availability, so the sim run and the TCP run each get their own.
+	hSim, usersSim, trSim := newReplayFixture(t, requests, traceSeed)
+	hTCP, usersTCP, trTCP := newReplayFixture(t, requests, traceSeed)
+
+	opts := Options{Hashing: true, Relay: true, Seed: seed}
+	sats := contactedSats(t, hTCP, usersTCP, trTCP, opts)
+	events := sim.GenerateChaos(sats, sim.ChaosOptions{
+		StartSec: 200, EndSec: 1000,
+		KillFraction:      0.08, // > the 5% acceptance floor
+		TransientFraction: 0.5,
+		ReviveAfterSec:    250,
+		Seed:              7,
+	})
+	if len(events) == 0 {
+		t.Fatal("chaos generator produced no events")
+	}
+
+	pol := sim.NewStarCDN(hSim, sim.CacheConfig{Kind: cache.LRU, Bytes: capacity},
+		sim.StarCDNOptions{Hashing: true, Relay: true})
+	m1, err := sim.Run(hSim.Grid().Constellation(), usersSim, trSim, pol,
+		sim.Config{Seed: seed, Failures: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := NewCluster(cache.LRU, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	opts.Fault = chaosFaultPolicy()
+	opts.Failures = events
+	m2, err := Replay(hTCP, cluster, usersTCP, trTCP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if m1.Meter.Requests != m2.Requests {
+		t.Fatalf("request counts differ: %d vs %d", m1.Meter.Requests, m2.Requests)
+	}
+	if m1.Meter.Hits != m2.Hits {
+		t.Errorf("hit counts differ under chaos: sim %d vs TCP %d", m1.Meter.Hits, m2.Hits)
+	}
+	if m1.Meter.BytesHit != m2.BytesHit {
+		t.Errorf("byte hits differ under chaos: %d vs %d", m1.Meter.BytesHit, m2.BytesHit)
+	}
+	if m2.Requests != int64(len(trTCP.Requests)) {
+		t.Errorf("meter recorded %d of %d requests", m2.Requests, len(trTCP.Requests))
+	}
+	if m2.BytesHit+m2.BytesMissed != m2.BytesTotal {
+		t.Errorf("byte accounting leak: %d + %d != %d", m2.BytesHit, m2.BytesMissed, m2.BytesTotal)
+	}
+	if m2.RequestHitRate() <= 0 {
+		t.Error("chaos replay produced zero hit rate")
+	}
+}
+
+// TestChaosConcurrentReplayCrossCheck is the acceptance chaos test: a seeded
+// schedule kills >= 5% of contacted servers mid-replay; ReplayConcurrent must
+// complete without error, account for every request and byte exactly, and
+// land within two points of an identically-scheduled sim.Run.
+func TestChaosConcurrentReplayCrossCheck(t *testing.T) {
+	const requests = 6000
+	const traceSeed = 13
+	const capacity = 64 << 20
+	const seed = 3
+
+	hSim, usersSim, trSim := newReplayFixture(t, requests, traceSeed)
+	hTCP, usersTCP, trTCP := newReplayFixture(t, requests, traceSeed)
+
+	opts := Options{Hashing: true, Relay: true, Seed: seed}
+	sats := contactedSats(t, hTCP, usersTCP, trTCP, opts)
+	events := sim.GenerateChaos(sats, sim.ChaosOptions{
+		StartSec: 200, EndSec: 1000,
+		KillFraction:      0.08,
+		TransientFraction: 0.5,
+		ReviveAfterSec:    250,
+		Seed:              11,
+	})
+	killed := 0
+	for _, ev := range events {
+		if ev.Down {
+			killed++
+		}
+	}
+	if killed*20 < len(sats) {
+		t.Fatalf("schedule kills %d of %d contacted sats, below the 5%% floor", killed, len(sats))
+	}
+
+	pol := sim.NewStarCDN(hSim, sim.CacheConfig{Kind: cache.LRU, Bytes: capacity},
+		sim.StarCDNOptions{Hashing: true, Relay: true})
+	m1, err := sim.Run(hSim.Grid().Constellation(), usersSim, trSim, pol,
+		sim.Config{Seed: seed, Failures: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := NewCluster(cache.LRU, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	opts.Fault = chaosFaultPolicy()
+	opts.Failures = events
+	m2, err := ReplayConcurrent(hTCP, cluster, usersTCP, trTCP, opts)
+	if err != nil {
+		t.Fatalf("concurrent chaos replay errored: %v", err)
+	}
+
+	// Exact accounting even though servers were killed mid-replay.
+	if m2.Requests != int64(len(trTCP.Requests)) {
+		t.Errorf("meter recorded %d of %d requests", m2.Requests, len(trTCP.Requests))
+	}
+	if m2.BytesHit+m2.BytesMissed != m2.BytesTotal {
+		t.Errorf("byte accounting leak: %d + %d != %d", m2.BytesHit, m2.BytesMissed, m2.BytesTotal)
+	}
+	// Interleaving differs across workers, so hit rates agree approximately.
+	d := m2.RequestHitRate() - m1.Meter.RequestHitRate()
+	if d < -0.02 || d > 0.02 {
+		t.Errorf("chaos RHR %.4f deviates from sim %.4f by more than 2 points",
+			m2.RequestHitRate(), m1.Meter.RequestHitRate())
+	}
+	if m2.RequestHitRate() <= 0 {
+		t.Error("concurrent chaos replay produced no hits")
+	}
+}
+
+// TestChaosWithInjectedNetworkFaults layers deterministic wire-level faults
+// (resets, stalls, refused dials, truncated frames) on top of a kill
+// schedule. The replay must still complete with exact request/byte
+// accounting — injected faults degrade individual requests to ground misses,
+// never corrupt the meters.
+func TestChaosWithInjectedNetworkFaults(t *testing.T) {
+	const requests = 4000
+	const capacity = 64 << 20
+
+	h, users, tr := newReplayFixture(t, requests, 47)
+	opts := Options{Hashing: true, Relay: true, Seed: 5}
+	sats := contactedSats(t, h, users, tr, opts)
+	events := sim.GenerateChaos(sats, sim.ChaosOptions{
+		StartSec: 200, EndSec: 1000,
+		KillFraction:      0.06,
+		TransientFraction: 0.5,
+		ReviveAfterSec:    250,
+		Seed:              23,
+	})
+
+	inj := NewFaultInjector(FaultConfig{
+		Seed:         77,
+		RefuseRate:   0.01,
+		ResetRate:    0.005,
+		StallRate:    0.002,
+		TruncateRate: 0.002,
+		StallFor:     150 * time.Millisecond,
+	})
+	cluster, err := NewCluster(cache.LRU, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	opts.Fault = &FaultPolicy{
+		DialTimeout: 100 * time.Millisecond,
+		IOTimeout:   100 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+		Injector:    inj,
+	}
+	opts.Failures = events
+
+	m, err := ReplayConcurrent(h, cluster, users, tr, opts)
+	if err != nil {
+		t.Fatalf("chaos replay with injected faults errored: %v", err)
+	}
+	// The time-bounded generator may emit slightly fewer requests than asked;
+	// exact accounting means one meter entry per generated request.
+	if m.Requests != int64(len(tr.Requests)) {
+		t.Errorf("meter recorded %d of %d requests", m.Requests, len(tr.Requests))
+	}
+	if m.BytesHit+m.BytesMissed != m.BytesTotal {
+		t.Errorf("byte accounting leak: %d + %d != %d", m.BytesHit, m.BytesMissed, m.BytesTotal)
+	}
+	if m.RequestHitRate() <= 0 {
+		t.Error("replay under injected faults produced no hits")
+	}
+	st := inj.Stats()
+	if st.Dials == 0 || st.Wrapped == 0 {
+		t.Errorf("injector saw no traffic: %+v", st)
+	}
+	if st.Refused+st.Resets+st.Stalls+st.Truncations == 0 {
+		t.Errorf("injector fired no faults: %+v", st)
+	}
+}

@@ -2,87 +2,208 @@ package replayer
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"starcdn/internal/cache"
 )
 
+// Dialer opens a TCP connection to addr. timeout <= 0 means the operating
+// system default. Injectable so fault injection (and tests) can interpose.
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+// defaultDial is the production dialer.
+func defaultDial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// ClientOptions configures a fault-tolerant client.
+type ClientOptions struct {
+	// DialTimeout caps each dial attempt (0 = OS default).
+	DialTimeout time.Duration
+	// IOTimeout is the per-frame read/write deadline (0 = none). Every
+	// round trip arms the deadline anew, so one stalled server cannot hang
+	// a replay for longer than IOTimeout per attempt.
+	IOTimeout time.Duration
+	// Retry bounds reconnect attempts; the zero value performs exactly one
+	// attempt (fail-fast).
+	Retry RetryPolicy
+	// Seed seeds the backoff jitter stream.
+	Seed int64
+	// Dial overrides the connection factory (nil = real TCP dials).
+	Dial Dialer
+}
+
 // Client issues cache operations to satellite servers, pooling one TCP
 // connection per address.
+//
+// Locking is two-level: the Client mutex guards only the pool map and is
+// never held across a dial or a round trip; each address has its own lock
+// that serialises dialing and frame exchange on that connection. A stalled
+// or dead server therefore delays only operations against that server —
+// traffic to every other satellite proceeds unimpeded.
 type Client struct {
 	mu    sync.Mutex
-	conns map[string]net.Conn
+	conns map[string]*poolEntry
+
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	retry       RetryPolicy
+	dial        Dialer
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 }
 
-// NewClient returns an empty client.
+// poolEntry is one address's pooled connection plus its serialising lock.
+type poolEntry struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient returns a fail-fast client: no deadlines, no retries — the
+// legacy behaviour, appropriate when the cluster is known healthy and any
+// error should abort the replay.
 func NewClient() *Client {
-	return &Client{conns: make(map[string]net.Conn)}
+	return NewClientOpts(ClientOptions{})
 }
 
-// conn returns a pooled connection to addr, dialing on first use.
-func (c *Client) conn(addr string) (net.Conn, error) {
+// NewClientOpts returns a client with fault-handling configured.
+func NewClientOpts(o ClientOptions) *Client {
+	d := o.Dial
+	if d == nil {
+		d = defaultDial
+	}
+	return &Client{
+		conns:       make(map[string]*poolEntry),
+		dialTimeout: o.DialTimeout,
+		ioTimeout:   o.IOTimeout,
+		retry:       o.Retry,
+		dial:        d,
+		rng:         rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// entry returns the pool slot for addr, creating it if needed. Only the map
+// access is under the client mutex; dialing happens under the entry lock.
+func (c *Client) entry(addr string) *poolEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if conn, ok := c.conns[addr]; ok {
-		return conn, nil
+	e, ok := c.conns[addr]
+	if !ok {
+		e = &poolEntry{}
+		c.conns[addr] = e
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("replayer: dial %s: %w", addr, err)
-	}
-	c.conns[addr] = conn
-	return conn, nil
+	return e
 }
 
-// drop removes a broken connection from the pool. The close error is
+// drop closes and forgets a broken connection. The close error is
 // deliberately discarded: the connection is already known to be broken.
 func (c *Client) drop(addr string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if conn, ok := c.conns[addr]; ok {
-		_ = conn.Close()
-		delete(c.conns, addr)
+	e := c.entry(addr)
+	e.mu.Lock()
+	e.dropLocked()
+	e.mu.Unlock()
+}
+
+// dropLocked severs the pooled connection; callers hold e.mu.
+func (e *poolEntry) dropLocked() {
+	if e.conn != nil {
+		_ = e.conn.Close()
+		e.conn = nil
 	}
 }
 
 // Close closes all pooled connections, returning the first close error.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	entries := make([]*poolEntry, 0, len(c.conns))
+	for _, e := range c.conns {
+		entries = append(entries, e)
+	}
+	c.conns = make(map[string]*poolEntry)
+	c.mu.Unlock()
 	var first error
-	for addr, conn := range c.conns {
-		if err := conn.Close(); err != nil && first == nil {
-			first = err
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.conn != nil {
+			if err := e.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			e.conn = nil
 		}
-		delete(c.conns, addr)
+		e.mu.Unlock()
 	}
 	return first
 }
 
-// roundTrip sends one request frame and reads the response. The per-address
-// connection is used by one request at a time; callers needing concurrency
-// use one Client per worker.
-func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (Status, error) {
-	conn, err := c.conn(addr)
+// jitter draws one backoff jitter value thread-safely.
+func (c *Client) backoff(attempt int) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.retry.Backoff(attempt, c.rng)
+}
+
+// roundTrip sends one request frame and reads the response, retrying per the
+// client's RetryPolicy with jittered backoff. Each attempt dials (if the
+// pool has no live connection), arms the I/O deadline, and exchanges one
+// frame; any failure severs the pooled connection so the next attempt
+// reconnects from scratch — which also transparently follows a satellite
+// server that was killed and revived on a new address... as long as the
+// caller re-resolves the address, which Replay does per request.
+func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (Status, uint64, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
+		st, a, b, err := c.tryOnce(addr, op, obj, size)
+		if err == nil {
+			return st, a, b, nil
+		}
+		lastErr = err
+	}
+	return StatusError, 0, 0, lastErr
+}
+
+// tryOnce performs a single attempt under the per-address lock.
+func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (Status, uint64, uint64, error) {
+	e := c.entry(addr)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conn == nil {
+		conn, err := c.dial(addr, c.dialTimeout)
+		if err != nil {
+			return StatusError, 0, 0, fmt.Errorf("replayer: dial %s: %w", addr, err)
+		}
+		e.conn = conn
+	}
+	if c.ioTimeout > 0 {
+		if err := e.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			e.dropLocked()
+			return StatusError, 0, 0, err
+		}
+	}
+	if err := writeRequest(e.conn, op, obj, size); err != nil {
+		e.dropLocked()
+		return StatusError, 0, 0, err
+	}
+	st, a, b, err := readResponse(e.conn)
 	if err != nil {
-		return StatusError, err
+		e.dropLocked()
+		return StatusError, 0, 0, err
 	}
-	if err := writeRequest(conn, op, obj, size); err != nil {
-		c.drop(addr)
-		return StatusError, err
-	}
-	st, _, _, err := readResponse(conn)
-	if err != nil {
-		c.drop(addr)
-		return StatusError, err
-	}
-	return st, nil
+	return st, a, b, nil
 }
 
 // Get performs a lookup (with recency update) and reports a hit.
 func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) {
-	st, err := c.roundTrip(addr, OpGet, obj, size)
+	st, _, _, err := c.roundTrip(addr, OpGet, obj, size)
 	if err != nil {
 		return false, err
 	}
@@ -91,7 +212,7 @@ func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) 
 
 // Contains peeks without updating recency.
 func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
-	st, err := c.roundTrip(addr, OpContains, obj, 0)
+	st, _, _, err := c.roundTrip(addr, OpContains, obj, 0)
 	if err != nil {
 		return false, err
 	}
@@ -100,7 +221,7 @@ func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
 
 // Admit inserts an object into the remote cache.
 func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
-	st, err := c.roundTrip(addr, OpAdmit, obj, size)
+	st, _, _, err := c.roundTrip(addr, OpAdmit, obj, size)
 	if err != nil {
 		return err
 	}
@@ -112,17 +233,8 @@ func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
 
 // Stats fetches the remote server's (requests, hits) counters.
 func (c *Client) Stats(addr string) (requests, hits uint64, err error) {
-	conn, err := c.conn(addr)
+	st, a, b, err := c.roundTrip(addr, OpStats, 0, 0)
 	if err != nil {
-		return 0, 0, err
-	}
-	if err := writeRequest(conn, OpStats, 0, 0); err != nil {
-		c.drop(addr)
-		return 0, 0, err
-	}
-	st, a, b, err := readResponse(conn)
-	if err != nil {
-		c.drop(addr)
 		return 0, 0, err
 	}
 	if st != StatusOK {

@@ -1,7 +1,6 @@
 package replayer
 
 import (
-	"fmt"
 	"sync"
 
 	"starcdn/internal/cache"
@@ -11,127 +10,138 @@ import (
 	"starcdn/internal/trace"
 )
 
+// concurrentJob is one precomputed request assignment.
+type concurrentJob struct {
+	req  *trace.Request
+	home orbitSat
+	addr string // empty when the request is accounted without contact
+}
+
 // ReplayConcurrent drives the trace through the TCP cluster with one worker
 // goroutine per location, mirroring the paper's asynchronous multi-process
 // replayer: each location replays its own request stream in order while the
 // satellite cache servers serialise access per cache. Results can differ
 // slightly from the sequential Replay because cross-location interleaving is
 // no longer globally ordered — exactly as on real hardware.
+//
+// With Options.Failures the trace is processed in segments bounded by
+// failure-event times: within a segment every worker runs concurrently;
+// at a segment boundary the workers quiesce, the due events are applied
+// (constellation availability flips, cluster servers are killed/revived,
+// in-flight connections sever), and the replay resumes — so satellites
+// genuinely crash mid-replay while the decision pipeline stays aligned with
+// sim.Run's strictly time-ordered failure application.
 func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.Trace, opts Options) (cache.Meter, error) {
 	var total cache.Meter
-	if h == nil || cluster == nil {
-		return total, fmt.Errorf("replayer: nil hash scheme or cluster")
-	}
-	if len(users) != len(tr.Locations) {
-		return total, fmt.Errorf("replayer: %d users for %d locations", len(users), len(tr.Locations))
+	if err := validate(h, cluster, users, tr, opts); err != nil {
+		return total, err
 	}
 	c := h.Grid().Constellation()
-	// Scheduling decisions are precomputed sequentially (the scheduler is
-	// not safe for concurrent use), then workers replay independently.
+	// Scheduling decisions are precomputed sequentially per segment (the
+	// scheduler is not safe for concurrent use), then workers replay
+	// independently.
 	scheduler, err := sched.New(c, users, opts.EpochSec, opts.Seed)
 	if err != nil {
 		return total, err
 	}
-	type job struct {
-		req  *trace.Request
-		home orbitSat
-	}
-	perLoc := make([][]job, len(users))
-	for i := range tr.Requests {
-		r := &tr.Requests[i]
-		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
-		home := first
-		if visible && opts.Hashing {
-			if owner, ok := h.Responsible(first, h.BucketOf(r.Object)); ok {
-				home = owner
-			}
-		}
-		if !visible {
-			home = -1
-		}
-		perLoc[r.Location] = append(perLoc[r.Location], job{req: r, home: home})
+	fs, err := newSchedule(c, cluster, opts)
+	if err != nil {
+		return total, err
 	}
 
-	// Pre-start every server that will be used, so workers never race on
-	// lazy server construction.
-	for _, jobs := range perLoc {
-		for _, j := range jobs {
-			if j.home < 0 {
-				continue
-			}
-			if _, err := cluster.Server(j.home); err != nil {
-				return total, err
+	// Per-location clients persist across segments so connection pools and
+	// their retry state behave like long-lived terminal stacks.
+	clients := make([]*Client, len(users))
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil {
+				// Close errors after the replay cannot affect the meters.
+				_ = cl.Close()
 			}
 		}
-	}
+	}()
+	meters := make([]cache.Meter, len(users))
 
 	var (
-		wg     sync.WaitGroup
 		mu     sync.Mutex
 		runErr error
 	)
-	meters := make([]cache.Meter, len(users))
-	for loc := range perLoc {
-		if len(perLoc[loc]) == 0 {
-			continue
+
+	perLoc := make([][]concurrentJob, len(users))
+	start := 0
+	for start < len(tr.Requests) {
+		// A segment runs up to (not including) the first request at or past
+		// the next failure event, so events fire between segments exactly
+		// where the sequential pipeline would fire them between requests.
+		if err := fs.Advance(tr.Requests[start].TimeSec); err != nil {
+			return total, err
 		}
-		wg.Add(1)
-		go func(loc int) {
-			defer wg.Done()
-			client := NewClient()
-			// Per-worker loopback pool; close errors after the worker's
-			// stream completes cannot affect the meters.
-			defer func() { _ = client.Close() }()
-			m := &meters[loc]
-			for _, j := range perLoc[loc] {
-				if j.home < 0 {
-					m.Record(j.req.Size, false)
-					continue
+		end := len(tr.Requests)
+		if next, ok := fs.NextEventTime(); ok {
+			for end = start + 1; end < len(tr.Requests); end++ {
+				if tr.Requests[end].TimeSec >= next {
+					break
 				}
-				srv, err := cluster.Server(j.home)
+			}
+		}
+
+		// Sequential precompute: homes, §3.4 degradations, and dial
+		// addresses for this segment (server lazy-starts happen here, so
+		// workers never race on construction).
+		for i := range perLoc {
+			perLoc[i] = perLoc[i][:0]
+		}
+		for i := start; i < end; i++ {
+			r := &tr.Requests[i]
+			j := concurrentJob{req: r, home: -1}
+			if home, serve := homeFor(h, scheduler, fs, r, opts.Hashing); serve {
+				addr, err := cluster.Addr(home)
 				if err != nil {
-					setErr(&mu, &runErr, err)
-					return
+					return total, err
 				}
-				hit, err := client.Get(srv.Addr(), j.req.Object, j.req.Size)
-				if err != nil {
-					setErr(&mu, &runErr, err)
-					return
-				}
-				if hit {
-					m.Record(j.req.Size, true)
-					continue
-				}
-				if opts.Relay {
-					served, err := relayFetch(h, cluster, client, j.home, j.req, opts.Hashing)
+				j.home, j.addr = home, addr
+			}
+			perLoc[r.Location] = append(perLoc[r.Location], j)
+		}
+
+		var wg sync.WaitGroup
+		for loc := range perLoc {
+			if len(perLoc[loc]) == 0 {
+				continue
+			}
+			if clients[loc] == nil {
+				clients[loc] = newReplayClient(opts)
+			}
+			wg.Add(1)
+			go func(loc int) {
+				defer wg.Done()
+				client := clients[loc]
+				m := &meters[loc]
+				for _, j := range perLoc[loc] {
+					if j.home < 0 {
+						m.Record(j.req.Size, false)
+						continue
+					}
+					hit, err := serveRequest(h, cluster, client, j.home, j.addr, j.req, opts)
 					if err != nil {
 						setErr(&mu, &runErr, err)
 						return
 					}
-					if served {
-						if err := client.Admit(srv.Addr(), j.req.Object, j.req.Size); err != nil {
-							setErr(&mu, &runErr, err)
-							return
-						}
-						m.Record(j.req.Size, true)
-						continue
-					}
+					m.Record(j.req.Size, hit)
 				}
-				if err := client.Admit(srv.Addr(), j.req.Object, j.req.Size); err != nil {
-					setErr(&mu, &runErr, err)
-					return
-				}
-				m.Record(j.req.Size, false)
-			}
-		}(loc)
+			}(loc)
+		}
+		wg.Wait()
+		if runErr != nil {
+			return total, runErr
+		}
+		start = end
 	}
-	wg.Wait()
-	if runErr != nil {
-		return total, runErr
-	}
+
 	for i := range meters {
 		total.Merge(meters[i])
 	}
+	checkMeter(total, tr)
 	return total, nil
 }
 

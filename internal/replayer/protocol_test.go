@@ -1,0 +1,182 @@
+package replayer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"starcdn/internal/cache"
+)
+
+// TestReadFrameTruncated: every truncation of a valid frame must surface an
+// error — never a zero-value message, never a hang.
+func TestReadFrameTruncated(t *testing.T) {
+	var full bytes.Buffer
+	if err := writeRequest(&full, OpGet, 42, 100); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	if len(raw) != frameSize {
+		t.Fatalf("frame size = %d, want %d", len(raw), frameSize)
+	}
+	for cut := 0; cut < frameSize; cut++ {
+		_, err := readFrame(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Errorf("truncated frame of %d bytes was accepted", cut)
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut=%d: error %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestReadFrameConsumesExactlyOneFrame: trailing bytes must be left for the
+// next read — the protocol never over-reads or over-allocates.
+func TestReadFrameConsumesExactlyOneFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeRequest(&buf, OpAdmit, 7, 64); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("trailing")
+	m, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.op != OpAdmit || m.a != 7 || m.b != 64 {
+		t.Errorf("decoded %+v", m)
+	}
+	if buf.String() != "trailing" {
+		t.Errorf("frame read consumed trailing bytes: %q left", buf.String())
+	}
+}
+
+// TestReadResponseCorruptStatus: a status byte outside the defined range is
+// a protocol violation, not a silently-propagated status.
+func TestReadResponseCorruptStatus(t *testing.T) {
+	for _, bad := range []uint8{uint8(StatusError) + 1, 42, 255} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, bad, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := readResponse(&buf); err == nil {
+			t.Errorf("status byte %d was accepted", bad)
+		}
+	}
+	// All defined statuses round-trip.
+	for _, st := range []Status{StatusMiss, StatusHit, StatusOK, StatusError} {
+		var buf bytes.Buffer
+		if err := writeResponse(&buf, st, 3, 4); err != nil {
+			t.Fatal(err)
+		}
+		got, a, b, err := readResponse(&buf)
+		if err != nil || got != st || a != 3 || b != 4 {
+			t.Errorf("status %d: got (%d,%d,%d,%v)", st, got, a, b, err)
+		}
+	}
+}
+
+// errWriter fails after n bytes, modelling a connection severed mid-frame.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("severed")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFramePropagatesShortWrite(t *testing.T) {
+	if err := writeFrame(&errWriter{n: 5}, uint8(OpGet), 1, 2); err == nil {
+		t.Error("short write was not reported")
+	}
+}
+
+// TestServerSurvivesGarbageAndTruncatedInput: malformed client bytes must
+// neither hang a handler nor take the server down for other clients.
+func TestServerSurvivesGarbageAndTruncatedInput(t *testing.T) {
+	var logged []string
+	s, err := NewServerOpts(1, cache.LRU, 1000, ServerOptions{
+		ErrorLog: func(format string, args ...any) {
+			logged = append(logged, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	// A truncated frame followed by close: handler must exit cleanly.
+	raw, err := net.DialTimeout("tcp", s.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{byte(OpGet), 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A garbage full-size frame: the server answers StatusError and keeps
+	// the connection usable.
+	cl := NewClientOpts(ClientOptions{IOTimeout: 2 * time.Second})
+	defer func() { _ = cl.Close() }()
+	st, _, _, err := cl.roundTrip(s.Addr(), Op(0xEE), 0xDEADBEEF, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusError {
+		t.Errorf("garbage op status = %d, want StatusError", st)
+	}
+	// The server is still healthy for normal traffic.
+	if err := cl.Admit(s.Addr(), 9, 10); err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := cl.Get(s.Addr(), 9, 10); err != nil || !hit {
+		t.Fatalf("server unhealthy after garbage: hit=%v err=%v", hit, err)
+	}
+	for _, l := range logged {
+		if strings.Contains(l, "accept") {
+			t.Errorf("malformed input reached the accept error log: %q", l)
+		}
+	}
+}
+
+// TestServerErrorLogInjectable: accept-loop errors flow to the injected
+// recorder instead of the global logger.
+func TestServerErrorLogInjectable(t *testing.T) {
+	ch := make(chan string, 1)
+	s, err := NewServerOpts(3, cache.LRU, 1000, ServerOptions{
+		ErrorLog: func(format string, args ...any) {
+			select {
+			case ch <- format:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the raw listener without signalling shutdown: the accept loop
+	// must report through the injected log and exit.
+	if err := s.ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch:
+		if !strings.Contains(msg, "accept") {
+			t.Errorf("unexpected accept log format %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept error never reached the injected logger")
+	}
+	// Close is still safe; the listener close error is expected and benign.
+	_ = s.Close()
+}

@@ -2,12 +2,15 @@ package replayer
 
 import (
 	"fmt"
+	"time"
 
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
 	"starcdn/internal/geo"
+	"starcdn/internal/invariant"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
+	"starcdn/internal/sim"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
 )
@@ -15,96 +18,234 @@ import (
 // orbitSat shortens the satellite ID type in this file's signatures.
 type orbitSat = orbit.SatID
 
+// FaultPolicy enables fault-tolerant operation: per-frame I/O deadlines,
+// bounded dials, and retry with seeded jittered backoff. When a satellite
+// server stays unreachable past the retry budget the replayer applies the
+// paper's §3.4 degradation — the request is recorded as a miss served from
+// the ground (a transient outage from the client's point of view) and the
+// replay continues; it never errors out because one satellite died.
+type FaultPolicy struct {
+	// DialTimeout caps each dial attempt (0 selects 250ms).
+	DialTimeout time.Duration
+	// IOTimeout is the per-frame read/write deadline (0 selects 250ms).
+	IOTimeout time.Duration
+	// Retry bounds attempts and backoff; the zero value selects
+	// DefaultRetryPolicy (3 attempts, 2ms..50ms jittered backoff).
+	Retry RetryPolicy
+	// Injector, when non-nil, adds deterministic client-side fault
+	// injection (refused dials, resets, stalls, truncated frames) in front
+	// of every connection.
+	Injector *FaultInjector
+}
+
+// defaultFaultTimeout bounds dials and frame exchanges when the caller
+// enables fault tolerance without picking timeouts. Loopback round trips
+// are microseconds, so 250ms cleanly separates "slow" from "dead" without
+// making a chaos replay crawl.
+const defaultFaultTimeout = 250 * time.Millisecond
+
+// clientOptions lowers the policy into ClientOptions.
+func (p *FaultPolicy) clientOptions(seed int64) ClientOptions {
+	o := ClientOptions{Seed: seed}
+	if p == nil {
+		return o
+	}
+	o.DialTimeout = p.DialTimeout
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultFaultTimeout
+	}
+	o.IOTimeout = p.IOTimeout
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = defaultFaultTimeout
+	}
+	o.Retry = p.Retry
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = DefaultRetryPolicy()
+	}
+	if p.Injector != nil {
+		o.Dial = p.Injector.Dialer()
+	}
+	return o
+}
+
 // Options configures a distributed replay.
 type Options struct {
 	Hashing  bool
 	Relay    bool
 	EpochSec float64
 	Seed     int64
+	// Fault enables fault-tolerant operation (deadlines, retries, §3.4
+	// degradation). Nil preserves the legacy fail-fast behaviour: the
+	// first network error aborts the replay.
+	Fault *FaultPolicy
+	// Failures is a time-ordered §3.4 failure schedule applied as the
+	// trace replays: each event deactivates/reactivates the satellite in
+	// the constellation AND kills/revives its cluster server, in lockstep
+	// with how sim.Run applies Config.Failures — which is what makes the
+	// two pipelines cross-checkable under identical chaos. Transient
+	// outages degrade to ground miss-throughs; long-term ones remap
+	// buckets via core.HashScheme. Non-empty Failures require Fault.
+	Failures []sim.FailureEvent
+}
+
+// newReplayClient builds the client matching the options.
+func newReplayClient(opts Options) *Client {
+	return NewClientOpts(opts.Fault.clientOptions(opts.Seed))
+}
+
+// validate performs the shared option/argument checks.
+func validate(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.Trace, opts Options) error {
+	if h == nil || cluster == nil {
+		return fmt.Errorf("replayer: nil hash scheme or cluster")
+	}
+	if len(users) != len(tr.Locations) {
+		return fmt.Errorf("replayer: %d users for %d locations", len(users), len(tr.Locations))
+	}
+	if len(opts.Failures) > 0 && opts.Fault == nil {
+		return fmt.Errorf("replayer: a failure schedule requires a FaultPolicy")
+	}
+	return nil
+}
+
+// newSchedule binds the failure schedule to the constellation and wires the
+// kill/revive hook into the cluster.
+func newSchedule(c *orbit.Constellation, cluster *Cluster, opts Options) (*sim.FailureSchedule, error) {
+	fs, err := sim.NewFailureSchedule(c, opts.Failures)
+	if err != nil {
+		return nil, err
+	}
+	fs.OnApply(func(ev sim.FailureEvent) error {
+		if ev.Down {
+			return cluster.Kill(ev.Sat)
+		}
+		return cluster.Revive(ev.Sat)
+	})
+	return fs, nil
+}
+
+// homeFor resolves where a request is served: the first-contact satellite,
+// or — with hashing — the bucket owner under the §3.4 failure policy.
+// serve=false means the request is accounted as a ground miss without
+// contacting any satellite: either no satellite is visible, or the owner is
+// in a transient outage (miss-through).
+func homeFor(h *core.HashScheme, scheduler *sched.Scheduler, fs *sim.FailureSchedule,
+	r *trace.Request, hashing bool) (home orbitSat, serve bool) {
+	first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
+	if !visible {
+		return -1, false
+	}
+	if !hashing {
+		return first, true
+	}
+	return h.ServingOwner(first, h.BucketOf(r.Object), fs.TransientDown)
+}
+
+// serveRequest replays one request against the cluster over TCP and reports
+// whether it hit a satellite cache. With fault tolerance enabled, network
+// failures degrade per §3.4 instead of erroring: an unreachable owner is a
+// ground miss, an unreachable relay neighbour is skipped, and a failed
+// admit merely leaves the object uncached.
+func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
+	home orbitSat, addr string, r *trace.Request, opts Options) (bool, error) {
+	faulty := opts.Fault != nil
+	hit, err := client.Get(addr, r.Object, r.Size)
+	if err != nil {
+		if !faulty {
+			return false, err
+		}
+		return false, nil // owner unreachable: §3.4 miss-through to ground
+	}
+	if hit {
+		return true, nil
+	}
+	if opts.Relay {
+		served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty)
+		if err != nil {
+			return false, err
+		}
+		if served {
+			// Store a copy at the owner for future local hits.
+			if err := client.Admit(addr, r.Object, r.Size); err != nil && !faulty {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	// Ground fetch; the owner caches the object on the way through.
+	if err := client.Admit(addr, r.Object, r.Size); err != nil && !faulty {
+		return false, err
+	}
+	return false, nil
+}
+
+// checkMeter asserts exact byte accounting after a completed replay: every
+// trace request is recorded exactly once, hits and misses partition the
+// bytes. Armed only in starcdn_debug builds.
+func checkMeter(m cache.Meter, tr *trace.Trace) {
+	if invariant.Enabled {
+		invariant.Assertf(m.Requests == int64(len(tr.Requests)),
+			"replayer: meter recorded %d of %d requests", m.Requests, len(tr.Requests))
+		invariant.Assertf(m.BytesHit+m.BytesMissed == m.BytesTotal,
+			"replayer: byte accounting leak: hit %d + missed %d != total %d",
+			m.BytesHit, m.BytesMissed, m.BytesTotal)
+	}
 }
 
 // Replay drives a trace through a TCP cluster using StarCDN's request flow:
 // schedule a first-contact satellite, route to the bucket owner, Get over
 // TCP, relay-fetch from same-bucket neighbours on a miss, and Admit on the
 // way back from the ground. It implements the same decision pipeline as
-// sim.StarCDN so the two can be cross-validated request for request.
+// sim.StarCDN so the two can be cross-validated request for request — with
+// Options.Failures, kill for kill.
 func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.Trace, opts Options) (cache.Meter, error) {
 	var meter cache.Meter
-	if h == nil || cluster == nil {
-		return meter, fmt.Errorf("replayer: nil hash scheme or cluster")
-	}
-	if len(users) != len(tr.Locations) {
-		return meter, fmt.Errorf("replayer: %d users for %d locations", len(users), len(tr.Locations))
+	if err := validate(h, cluster, users, tr, opts); err != nil {
+		return meter, err
 	}
 	c := h.Grid().Constellation()
 	scheduler, err := sched.New(c, users, opts.EpochSec, opts.Seed)
 	if err != nil {
 		return meter, err
 	}
-	client := NewClient()
+	fs, err := newSchedule(c, cluster, opts)
+	if err != nil {
+		return meter, err
+	}
+	client := newReplayClient(opts)
 	// Pooled loopback connections; a close error after a completed replay
 	// cannot invalidate the measured meter.
 	defer func() { _ = client.Close() }()
 
-	addrOf := func(id orbitSat) (string, error) {
-		s, err := cluster.Server(id)
-		if err != nil {
-			return "", err
-		}
-		return s.Addr(), nil
-	}
-
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
-		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
-		if !visible {
+		if err := fs.Advance(r.TimeSec); err != nil {
+			return meter, err
+		}
+		home, serveSat := homeFor(h, scheduler, fs, r, opts.Hashing)
+		if !serveSat {
 			meter.Record(r.Size, false)
 			continue
 		}
-		home := first
-		if opts.Hashing {
-			if owner, ok := h.Responsible(first, h.BucketOf(r.Object)); ok {
-				home = owner
-			}
-		}
-		addr, err := addrOf(home)
+		addr, err := cluster.Addr(home)
 		if err != nil {
 			return meter, err
 		}
-		hit, err := client.Get(addr, r.Object, r.Size)
+		hit, err := serveRequest(h, cluster, client, home, addr, r, opts)
 		if err != nil {
 			return meter, err
 		}
-		if hit {
-			meter.Record(r.Size, true)
-			continue
-		}
-		if opts.Relay {
-			served, err := relayFetch(h, cluster, client, home, r, opts.Hashing)
-			if err != nil {
-				return meter, err
-			}
-			if served {
-				// Store a copy at the owner for future local hits.
-				if err := client.Admit(addr, r.Object, r.Size); err != nil {
-					return meter, err
-				}
-				meter.Record(r.Size, true)
-				continue
-			}
-		}
-		// Ground fetch; the owner caches the object.
-		if err := client.Admit(addr, r.Object, r.Size); err != nil {
-			return meter, err
-		}
-		meter.Record(r.Size, false)
+		meter.Record(r.Size, hit)
 	}
+	checkMeter(meter, tr)
 	return meter, nil
 }
 
 // relayFetch checks the west then east same-bucket neighbours over TCP,
-// mirroring sim.StarCDN's relayed fetch (west first, then east).
-func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbitSat, r *trace.Request, hashing bool) (bool, error) {
+// mirroring sim.StarCDN's relayed fetch (west first, then east). With fault
+// tolerance, an unreachable neighbour is treated exactly like an absent one
+// (§3.4): skip it and try the other direction.
+func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbitSat,
+	r *trace.Request, hashing, faulty bool) (bool, error) {
 	for _, d := range []topo.Direction{topo.West, topo.East} {
 		var nb orbitSat
 		var ok bool
@@ -117,17 +258,23 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 		if !ok {
 			continue
 		}
-		s, err := cluster.Server(nb)
+		addr, err := cluster.Addr(nb)
 		if err != nil {
 			return false, err
 		}
-		has, err := client.Contains(s.Addr(), r.Object)
+		has, err := client.Contains(addr, r.Object)
 		if err != nil {
+			if faulty {
+				continue // neighbour unreachable ≈ no relay copy available
+			}
 			return false, err
 		}
 		if has {
 			// Touch the serving neighbour (recency) as sim does.
-			if _, err := client.Get(s.Addr(), r.Object, r.Size); err != nil {
+			if _, err := client.Get(addr, r.Object, r.Size); err != nil {
+				if faulty {
+					continue
+				}
 				return false, err
 			}
 			return true, nil

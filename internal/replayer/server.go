@@ -11,29 +11,75 @@ import (
 	"starcdn/internal/orbit"
 )
 
+// ServerOptions configures optional server behaviour.
+type ServerOptions struct {
+	// ErrorLog receives accept-loop errors. Nil logs through the standard
+	// logger; tests inject a recorder so `make check` output stays clean
+	// and accept errors can be asserted on.
+	ErrorLog func(format string, args ...any)
+	// Injector, when non-nil, wraps every accepted connection with
+	// deterministic fault injection (server-side chaos).
+	Injector *FaultInjector
+	// Cache, when non-nil, is served instead of a freshly built one.
+	// Cluster.Revive uses this to model a §3.4 reboot whose local storage
+	// survives the outage, matching the in-process simulator, whose
+	// per-satellite caches persist across failure events.
+	Cache cache.Policy
+	// Meter seeds the server-side accounting (revive continuity).
+	Meter cache.Meter
+}
+
 // Server runs one satellite's cache behind a TCP listener.
 type Server struct {
-	id    orbit.SatID
-	ln    net.Listener
-	mu    sync.Mutex // serialises cache access across connections
-	cache cache.Policy
-	meter cache.Meter
+	id     orbit.SatID
+	ln     net.Listener
+	errlog func(format string, args ...any)
+	mu     sync.Mutex // serialises cache access across connections
+	cache  cache.Policy
+	meter  cache.Meter
 
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewServer starts a cache server on a fresh loopback port.
 func NewServer(id orbit.SatID, kind cache.Kind, capacity int64) (*Server, error) {
-	c, err := cache.New(kind, capacity)
-	if err != nil {
-		return nil, err
+	return NewServerOpts(id, kind, capacity, ServerOptions{})
+}
+
+// NewServerOpts starts a cache server with explicit options.
+func NewServerOpts(id orbit.SatID, kind cache.Kind, capacity int64, opts ServerOptions) (*Server, error) {
+	c := opts.Cache
+	if c == nil {
+		var err error
+		c, err = cache.New(kind, capacity)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("replayer: listen: %w", err)
 	}
-	s := &Server{id: id, ln: ln, cache: c, closed: make(chan struct{})}
+	if opts.Injector != nil {
+		ln = opts.Injector.WrapListener(ln)
+	}
+	errlog := opts.ErrorLog
+	if errlog == nil {
+		errlog = log.Printf
+	}
+	s := &Server{
+		id:     id,
+		ln:     ln,
+		errlog: errlog,
+		cache:  c,
+		meter:  opts.Meter,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -52,10 +98,18 @@ func (s *Server) Meter() cache.Meter {
 	return s.meter
 }
 
-// Close stops the listener and waits for connection handlers to finish.
+// Close stops the listener, severs every open connection (a crash does not
+// wait for clients to hang up), and waits for the handlers to finish.
 func (s *Server) Close() error {
 	close(s.closed)
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		// Severing a crashed server's connections; the close error carries
+		// no information (the peer sees a reset either way).
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -69,10 +123,13 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				log.Printf("replayer: sat %d accept: %v", s.id, err)
+				s.errlog("replayer: sat %d accept: %v", s.id, err)
 				return
 			}
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -82,11 +139,16 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	// Handler exit means the client is gone; the close error carries no
 	// information worth propagating.
-	defer func() { _ = conn.Close() }()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		_ = conn.Close()
+	}()
 	for {
 		m, err := readFrame(conn)
 		if err != nil {
-			return // client closed or broken pipe; nothing to answer
+			return // client closed, malformed/truncated frame, or broken pipe
 		}
 		if err := s.serveOne(conn, m); err != nil {
 			return
@@ -131,41 +193,163 @@ func (s *Server) serveOne(conn net.Conn, m message) error {
 	return writeResponse(conn, st, a, b)
 }
 
-// Cluster is a set of satellite cache servers.
+// Cluster is a set of satellite cache servers with a §3.4 availability
+// model: servers can be killed mid-replay (their address then refuses
+// connections, exactly as a crashed satellite's would) and revived later,
+// optionally keeping their cache contents across the outage.
 type Cluster struct {
 	servers map[orbit.SatID]*Server
-	kind    cache.Kind
-	bytes   int64
-	mu      sync.Mutex
+	// downAddr maps killed satellites to their last-known (now refusing)
+	// address: clients keep dialing it and observe the failure themselves,
+	// as on real hardware — there is no healthy-server oracle.
+	downAddr map[orbit.SatID]string
+	// survivors holds cache contents and meters across kill/revive.
+	survivors map[orbit.SatID]ServerOptions
+	kind      cache.Kind
+	bytes     int64
+	sopts     ServerOptions
+	mu        sync.Mutex
 }
 
 // NewCluster creates an empty cluster; servers spin up lazily per satellite,
 // so a 1,296-slot constellation only costs listeners for satellites that
 // actually serve traffic.
 func NewCluster(kind cache.Kind, capacityBytes int64) (*Cluster, error) {
+	return NewClusterOpts(kind, capacityBytes, ServerOptions{})
+}
+
+// NewClusterOpts creates a cluster whose servers share the given options
+// (error log, server-side fault injector).
+func NewClusterOpts(kind cache.Kind, capacityBytes int64, opts ServerOptions) (*Cluster, error) {
 	if capacityBytes <= 0 {
 		return nil, fmt.Errorf("replayer: capacity must be positive")
 	}
+	if opts.Cache != nil {
+		return nil, fmt.Errorf("replayer: cluster options cannot carry a shared cache")
+	}
 	return &Cluster{
-		servers: make(map[orbit.SatID]*Server),
-		kind:    kind,
-		bytes:   capacityBytes,
+		servers:   make(map[orbit.SatID]*Server),
+		downAddr:  make(map[orbit.SatID]string),
+		survivors: make(map[orbit.SatID]ServerOptions),
+		kind:      kind,
+		bytes:     capacityBytes,
+		sopts:     opts,
 	}, nil
 }
 
-// Server returns (starting if needed) the server for a satellite.
+// startLocked starts (or restarts) the server for id; callers hold c.mu.
+func (c *Cluster) startLocked(id orbit.SatID) (*Server, error) {
+	opts := c.sopts
+	if sv, ok := c.survivors[id]; ok {
+		opts.Cache = sv.Cache
+		opts.Meter = sv.Meter
+	}
+	s, err := NewServerOpts(id, c.kind, c.bytes, opts)
+	if err != nil {
+		return nil, err
+	}
+	delete(c.survivors, id)
+	delete(c.downAddr, id)
+	c.servers[id] = s
+	return s, nil
+}
+
+// Server returns (starting if needed) the server for a satellite. Killed
+// satellites return an error until revived; use Addr to obtain the dialable
+// (refusing) address of a down satellite.
 func (c *Cluster) Server(id orbit.SatID) (*Server, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s, ok := c.servers[id]; ok {
 		return s, nil
 	}
-	s, err := NewServer(id, c.kind, c.bytes)
-	if err != nil {
-		return nil, err
+	if _, down := c.downAddr[id]; down {
+		return nil, fmt.Errorf("replayer: sat %d server is down", id)
 	}
-	c.servers[id] = s
-	return s, nil
+	return c.startLocked(id)
+}
+
+// Addr returns the dial address for a satellite. A killed satellite keeps
+// returning its last-known address — which refuses connections — so clients
+// experience the outage through the network, not through an API error.
+// Unknown satellites lazily start a server, as Server does.
+func (c *Cluster) Addr(id orbit.SatID) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addr, ok := c.downAddr[id]; ok {
+		return addr, nil
+	}
+	if s, ok := c.servers[id]; ok {
+		return s.Addr(), nil
+	}
+	s, err := c.startLocked(id)
+	if err != nil {
+		return "", err
+	}
+	return s.Addr(), nil
+}
+
+// Down reports whether a satellite's server has been killed (and not yet
+// revived).
+func (c *Cluster) Down(id orbit.SatID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, down := c.downAddr[id]
+	return down
+}
+
+// Kill crashes a satellite's cache server mid-replay: the listener closes,
+// every in-flight connection is severed, and the address starts refusing
+// dials. The cache contents survive for a later Revive (the §3.4 reboot:
+// storage persists, the serving process does not). Killing a satellite that
+// never started a server reserves a fresh loopback address and immediately
+// releases it, so clients still observe connection-refused dials. Killing an
+// already-down satellite is a no-op.
+func (c *Cluster) Kill(id orbit.SatID) error {
+	c.mu.Lock()
+	s, running := c.servers[id]
+	if running {
+		delete(c.servers, id)
+		c.downAddr[id] = s.Addr()
+		c.survivors[id] = ServerOptions{Cache: s.cache, Meter: s.Meter()}
+	} else if _, down := c.downAddr[id]; !down {
+		// Never started: bind and release a port so there is a concrete
+		// address that refuses connections. (The kernel could hand the
+		// port to a later listener; with ephemeral-port cycling this is
+		// vanishingly rare within one replay, and the §3.4 degradation
+		// path tolerates a mis-delivered connection as a stale answer.)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		addr := ln.Addr().String()
+		if err := ln.Close(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		c.downAddr[id] = addr
+	}
+	c.mu.Unlock()
+	if running {
+		// Closing outside c.mu: Close waits for handlers, and a handler
+		// blocked on another cluster call must not deadlock the kill.
+		return s.Close()
+	}
+	return nil
+}
+
+// Revive restarts a killed satellite's server on a fresh port, reattaching
+// any cache contents that survived the outage. Reviving a live satellite is
+// a no-op.
+func (c *Cluster) Revive(id orbit.SatID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.servers[id]; ok {
+		return nil
+	}
+	_, err := c.startLocked(id)
+	return err
 }
 
 // Len returns the number of live servers.
@@ -178,13 +362,19 @@ func (c *Cluster) Len() int {
 // Close stops every server, returning the first error encountered.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var first error
+	servers := make([]*Server, 0, len(c.servers))
 	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.servers = make(map[orbit.SatID]*Server)
+	c.downAddr = make(map[orbit.SatID]string)
+	c.survivors = make(map[orbit.SatID]ServerOptions)
+	c.mu.Unlock()
+	var first error
+	for _, s := range servers {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	c.servers = make(map[orbit.SatID]*Server)
 	return first
 }

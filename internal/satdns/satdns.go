@@ -149,9 +149,10 @@ type Answer struct {
 
 // Client resolves users against a Server, caching answers for their TTL.
 type Client struct {
-	addr  string
-	clock Clock
-	conn  net.Conn
+	addr    string
+	clock   Clock
+	conn    net.Conn
+	timeout time.Duration
 
 	mu     sync.Mutex
 	cache  map[int]cachedAnswer
@@ -159,18 +160,34 @@ type Client struct {
 	misses int64
 }
 
+// DefaultTimeout bounds one resolve round trip when the caller does not pick
+// a timeout. UDP has no failure signal, so without a deadline an unreachable
+// resolver would hang Resolve forever.
+const DefaultTimeout = 2 * time.Second
+
 type cachedAnswer struct {
 	answer    Answer
 	expiresAt float64
 }
 
-// NewClient dials the resolver.
+// NewClient dials the resolver with the default resolve timeout.
 func NewClient(addr string, clock Clock) (*Client, error) {
+	return NewClientTimeout(addr, clock, DefaultTimeout)
+}
+
+// NewClientTimeout dials the resolver with an explicit per-resolve deadline;
+// non-positive timeouts select DefaultTimeout. Tests and fault-tolerant
+// callers use short timeouts so an unreachable resolver fails fast instead
+// of stalling the replay pipeline.
+func NewClientTimeout(addr string, clock Clock, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
 	conn, err := net.Dial("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("satdns: dial: %w", err)
 	}
-	return &Client{addr: addr, clock: clock, conn: conn,
+	return &Client{addr: addr, clock: clock, conn: conn, timeout: timeout,
 		cache: make(map[int]cachedAnswer)}, nil
 }
 
@@ -200,7 +217,7 @@ func (c *Client) Resolve(user int) (Answer, error) {
 	q := make([]byte, querySize)
 	binary.BigEndian.PutUint16(q[0:2], queryMagic)
 	binary.BigEndian.PutUint32(q[2:6], uint32(user))
-	if err := c.conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 		return Answer{}, err
 	}
 	if _, err := c.conn.Write(q); err != nil {

@@ -1,8 +1,11 @@
 package satdns
 
 import (
+	"errors"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"starcdn/internal/geo"
 	"starcdn/internal/orbit"
@@ -186,5 +189,67 @@ func TestWallClock(t *testing.T) {
 	v1 := c()
 	if v1 < 0 {
 		t.Error("clock went backwards")
+	}
+}
+
+// TestResolveTimesOutAgainstDeadResolver: a resolver that never answers (a
+// bound UDP socket with no reader) must fail a Resolve within the configured
+// timeout rather than hanging the caller — UDP gives no failure signal, so
+// the deadline is the only thing standing between the replayer and a stall.
+func TestResolveTimesOutAgainstDeadResolver(t *testing.T) {
+	dead, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dead.Close() }()
+	// Drain nothing: datagrams queue in the kernel and no response ever comes.
+
+	clock := &simClock{}
+	const timeout = 150 * time.Millisecond
+	cl, err := NewClientTimeout(dead.LocalAddr().String(), clock.Now, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	start := time.Now()
+	_, err = cl.Resolve(3)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("resolve against a dead resolver succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("error %v is not a net timeout", err)
+	}
+	if elapsed < timeout/2 {
+		t.Errorf("failed after %v, before the %v deadline could fire", elapsed, timeout)
+	}
+	if elapsed > 10*timeout {
+		t.Errorf("resolve took %v, far past the %v deadline", elapsed, timeout)
+	}
+	// A failed resolve is not cached: the next call queries again (and the
+	// miss counter moves).
+	if _, err := cl.Resolve(3); err == nil {
+		t.Error("second resolve unexpectedly succeeded")
+	}
+	if hits, misses := cl.CacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("cache stats after two failed resolves: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestNewClientTimeoutDefaults: non-positive timeouts select DefaultTimeout.
+func TestNewClientTimeoutDefaults(t *testing.T) {
+	_, cl, _, _ := newFixture(t)
+	if cl.timeout != DefaultTimeout {
+		t.Errorf("NewClient timeout = %v, want %v", cl.timeout, DefaultTimeout)
+	}
+	cl2, err := NewClientTimeout(cl.addr, cl.clock, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl2.Close() }()
+	if cl2.timeout != DefaultTimeout {
+		t.Errorf("negative timeout = %v, want %v", cl2.timeout, DefaultTimeout)
 	}
 }

@@ -231,20 +231,15 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	routeMs := 0.0
 	if p.opts.Hashing {
 		b := p.hash.BucketOf(ctx.Req.Object)
-		owner := p.hash.NearestOwner(ctx.First, b)
-		if !p.hash.Grid().Constellation().Active(owner) {
-			// §3.4: transient unavailability is served as a plain miss from
-			// the ground; long-term failures are remapped to the next
-			// available satellite, which inherits the bucket.
-			if ctx.TransientDown != nil && ctx.TransientDown(owner) {
-				return Outcome{Source: SourceGround, ServerSat: -1,
-					SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
-			}
-			if heir, ok := p.hash.Remap(owner); ok {
-				owner = heir
-			} else {
-				owner = ctx.First
-			}
+		// §3.4 via the shared failure-aware lookup: transient unavailability
+		// is served as a plain miss from the ground; long-term failures are
+		// remapped to the next available satellite, which inherits the
+		// bucket. The TCP replayer routes through the same call so the two
+		// pipelines agree under any failure schedule.
+		owner, serve := p.hash.ServingOwner(ctx.First, b, ctx.TransientDown)
+		if !serve {
+			return Outcome{Source: SourceGround, ServerSat: -1,
+				SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
 		}
 		home = owner
 		ph, sh := p.hash.RoutingHops(ctx.First, home)

@@ -70,14 +70,9 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if invariant.Enabled {
-		// The failure schedule is consumed with a single forward cursor, so
-		// an out-of-order event would silently never fire.
-		for i := 1; i < len(cfg.Failures); i++ {
-			invariant.Assertf(cfg.Failures[i].TimeSec >= cfg.Failures[i-1].TimeSec,
-				"sim: failure schedule out of order at %d (%v < %v)",
-				i, cfg.Failures[i].TimeSec, cfg.Failures[i-1].TimeSec)
-		}
+	failures, err := NewFailureSchedule(c, cfg.Failures)
+	if err != nil {
+		return nil, err
 	}
 	scheduler, err := sched.New(c, users, cfg.EpochSec, cfg.Seed)
 	if err != nil {
@@ -106,25 +101,9 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		lastEpoch[i] = -1
 	}
 
-	// Failure schedule state.
-	transient := make(map[orbit.SatID]bool)
-	nextFailure := 0
-	applyFailures := func(now float64) {
-		for nextFailure < len(cfg.Failures) && cfg.Failures[nextFailure].TimeSec <= now {
-			ev := cfg.Failures[nextFailure]
-			nextFailure++
-			c.SetActive(ev.Sat, !ev.Down)
-			if ev.Down && ev.Transient {
-				transient[ev.Sat] = true
-			} else {
-				delete(transient, ev.Sat)
-			}
-		}
-	}
-
 	ctx := ServeContext{Rng: rng, Latency: lat}
 	if len(cfg.Failures) > 0 {
-		ctx.TransientDown = func(id orbit.SatID) bool { return transient[id] }
+		ctx.TransientDown = failures.TransientDown
 	}
 	// Rolling uplink demand for congestion modelling (15 s window).
 	const demandWindowSec = 15.0
@@ -143,7 +122,8 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 				i, r.TimeSec, prevTimeSec)
 			prevTimeSec = r.TimeSec
 		}
-		applyFailures(r.TimeSec)
+		// Advance cannot fail here: no OnApply hook is registered.
+		_ = failures.Advance(r.TimeSec)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {
 			first = -1

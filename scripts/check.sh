@@ -8,7 +8,9 @@
 #   4. go build       (release and starcdn_debug tags)
 #   5. go test -race  (release tags, race detector on)
 #   6. go test        (starcdn_debug tags: invariant sanitizers armed)
-#   7. bench smoke    (every benchmark compiles and runs once)
+#   7. chaos pass     (seeded fault schedules + injected network faults
+#                      through the TCP replayer, race + debug invariants on)
+#   8. bench smoke    (every benchmark compiles and runs once)
 #
 # Usage: scripts/check.sh   (or `make check`)
 set -eu
@@ -42,6 +44,11 @@ go test -race ./...
 
 step "go test -tags starcdn_debug ./..."
 go test -tags starcdn_debug ./...
+
+step "chaos pass (-race -tags starcdn_debug, fault + chaos suites)"
+go test -race -tags starcdn_debug -count=1 \
+	-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
+	./internal/replayer/ ./internal/sim/
 
 step "bench smoke (-bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null

@@ -84,6 +84,22 @@ type (
 	GroundStation = geo.GroundStation
 	// FailureEvent schedules a satellite outage during a simulation (§3.4).
 	FailureEvent = sim.FailureEvent
+	// ChaosOptions configures GenerateChaos failure schedules.
+	ChaosOptions = sim.ChaosOptions
+	// ReplayOptions configures the distributed TCP replayer, including the
+	// fault policy and an optional §3.4 failure schedule.
+	ReplayOptions = replayer.Options
+	// FaultPolicy enables deadlines, bounded retries, and §3.4 degradation
+	// in the TCP replayer.
+	FaultPolicy = replayer.FaultPolicy
+	// RetryPolicy bounds replay retry attempts and jittered backoff.
+	RetryPolicy = replayer.RetryPolicy
+	// FaultConfig sets deterministic fault-injection probabilities.
+	FaultConfig = replayer.FaultConfig
+	// FaultInjector injects seeded network faults into replay connections.
+	FaultInjector = replayer.FaultInjector
+	// FaultStats counts injected network faults.
+	FaultStats = replayer.FaultStats
 	// PrefetchStats accounts the §3.3 proactive-prefetch alternative.
 	PrefetchStats = sim.PrefetchStats
 	// TLE is a NORAD two-line element set (CelesTrak ingestion, §5.1).
@@ -280,6 +296,42 @@ func (s *System) ReplayTCP(tr *Trace, cfg CacheConfig, opts StarCDNOptions, seed
 		Relay:   opts.Relay,
 		Seed:    seed,
 	})
+}
+
+// NewFaultInjector builds a deterministic network-fault injector for the TCP
+// replayer; the same seed reproduces the same per-connection fault stream.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return replayer.NewFaultInjector(cfg)
+}
+
+// GenerateChaos builds a deterministic §3.4 failure schedule over candidate
+// satellites — the same candidates, options, and seed always yield a
+// byte-identical schedule, so chaos runs are replayable and can be
+// cross-checked between Simulate and ReplayTCPOpts.
+func GenerateChaos(candidates []SatID, o ChaosOptions) []FailureEvent {
+	return sim.GenerateChaos(candidates, o)
+}
+
+// ReplayTCPOpts is the fully configurable distributed replay: fault policy
+// (deadlines, retries, §3.4 degrade-to-ground), an optional failure schedule
+// that kills and revives cache servers mid-replay, and a concurrent mode
+// that drives one worker per location like the paper's multi-process
+// replayer. A non-empty ReplayOptions.Failures requires ReplayOptions.Fault.
+//
+// Failure schedules mutate the system's constellation availability as they
+// apply, exactly as Simulate does with SimConfig.Failures — reuse one System
+// per chaos run (or rebuild it) rather than replaying twice over the same
+// partially-failed constellation.
+func (s *System) ReplayTCPOpts(tr *Trace, cfg CacheConfig, opts ReplayOptions, concurrent bool) (Meter, error) {
+	cluster, err := replayer.NewCluster(cfg.Kind, cfg.Bytes)
+	if err != nil {
+		return Meter{}, err
+	}
+	defer func() { _ = cluster.Close() }()
+	if concurrent {
+		return replayer.ReplayConcurrent(s.Hash, cluster, s.UserPoints(), tr, opts)
+	}
+	return replayer.Replay(s.Hash, cluster, s.UserPoints(), tr, opts)
 }
 
 // GenerateMixedWorkload synthesises a multi-class trace (web + video +

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint fmt bench debug-test race chaos clean
+.PHONY: all build test check lint fmt bench debug-test race chaos obs clean
 
 all: build
 
@@ -43,6 +43,11 @@ chaos:
 	$(GO) test -race -tags starcdn_debug -count=1 \
 		-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
 		./internal/replayer/ ./internal/sim/
+
+## obs: end-to-end observability smoke — live /metrics + pprof scrape during
+## a TCP replay, then span summarisation with starcdn-trace (DESIGN.md §9).
+obs:
+	sh scripts/obs_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -10,11 +10,17 @@ package starcdn
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"testing"
 
+	"starcdn/internal/cache"
+	"starcdn/internal/core"
 	"starcdn/internal/experiments"
+	"starcdn/internal/obs"
+	"starcdn/internal/sim"
+	"starcdn/internal/topo"
 )
 
 var (
@@ -82,3 +88,75 @@ func BenchmarkAblationAdmission(b *testing.B)     { runExperiment(b, "ablation-a
 func BenchmarkExtraCongestion(b *testing.B)       { runExperiment(b, "extra-congestion") }
 func BenchmarkExtraMixedClasses(b *testing.B)     { runExperiment(b, "extra-mixed") }
 func BenchmarkExtraColoring(b *testing.B)         { runExperiment(b, "extra-coloring") }
+
+// BenchmarkObsOverhead measures what the observability layer costs the
+// simulator's hot path (see BENCH_obs.json for recorded numbers). Three
+// variants run the identical seeded sim.Run:
+//
+//	off     — nil registry, nil tracer (instrument calls no-op on nil
+//	          receivers; must be indistinguishable from the pre-obs baseline)
+//	metrics — live registry: per-source counters, latency histogram, and
+//	          per-satellite hit-rate gauges updated on every request
+//	trace   — registry plus a rate-1 tracer serialising every span to
+//	          io.Discard (the worst case: JSON encode per request)
+//
+// The acceptance bar is ≤5% slowdown for the metrics variant.
+func BenchmarkObsOverhead(b *testing.B) {
+	e := env()
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Constellation("bench-obs")
+	h, err := core.NewHashScheme(topo.NewGrid(c, topo.StarlinkTable1()), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := e.Users()
+
+	variants := []struct {
+		name string
+		cfg  func() sim.Config
+	}{
+		{"off", func() sim.Config {
+			return sim.Config{Seed: e.Scale.Seed}
+		}},
+		{"metrics", func() sim.Config {
+			return sim.Config{Seed: e.Scale.Seed, Metrics: obs.NewRegistry()}
+		}},
+		{"metrics+trace", func() sim.Config {
+			return sim.Config{
+				Seed:    e.Scale.Seed,
+				Metrics: obs.NewRegistry(),
+				Tracer:  obs.NewTracer(io.Discard, 1, 1),
+			}
+		}},
+	}
+	var baseline *sim.Metrics
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var m *sim.Metrics
+			b.SetBytes(int64(len(tr.Requests)))
+			for i := 0; i < b.N; i++ {
+				// Fresh policy per iteration: cache state must not carry over.
+				p := sim.NewStarCDN(h, sim.CacheConfig{
+					Kind: cache.LRU, Bytes: e.Scale.LatencyCacheSize,
+				}, sim.StarCDNOptions{Hashing: true, Relay: true})
+				var err error
+				m, err = sim.Run(c, users, tr, p, v.cfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Instrumentation must not change a single result.
+			if baseline == nil {
+				baseline = m
+			} else if m.Meter != baseline.Meter || m.UplinkBytes != baseline.UplinkBytes ||
+				m.ISLBytes != baseline.ISLBytes {
+				b.Fatalf("variant %s changed results: meter %+v uplink %d isl %d, baseline meter %+v uplink %d isl %d",
+					v.name, m.Meter, m.UplinkBytes, m.ISLBytes,
+					baseline.Meter, baseline.UplinkBytes, baseline.ISLBytes)
+			}
+		})
+	}
+}

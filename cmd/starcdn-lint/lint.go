@@ -15,6 +15,9 @@
 //	             non-test); Must* constructors are exempt by convention.
 //	closecheck — no unchecked Close()/Flush() calls in cmd/ and the
 //	             multi-process replayer; dropped errors there lose data.
+//	printf     — no fmt.Print*/global log.* in internal/ (outside
+//	             internal/obs); library output must flow through injected
+//	             writers and the obs slog logger so tests can capture it.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line above:
@@ -75,6 +78,7 @@ func allRules() []Rule {
 		ruleMapOrder{},
 		rulePanicFree{},
 		ruleCloseCheck{},
+		rulePrintf{},
 	}
 }
 

@@ -55,7 +55,7 @@ func TestEachRuleFires(t *testing.T) {
 	for _, d := range diags {
 		seen[d.Rule]++
 	}
-	for _, rule := range []string{"simtime", "globalrand", "maporder", "panicfree", "closecheck", "directive"} {
+	for _, rule := range []string{"simtime", "globalrand", "maporder", "panicfree", "closecheck", "printf", "directive"} {
 		if seen[rule] == 0 {
 			t.Errorf("rule %s produced no findings on fixtures", rule)
 		}

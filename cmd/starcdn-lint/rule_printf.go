@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// rulePrintf forbids ad-hoc stdout printing and global-logger calls in
+// internal packages. Library code that writes straight to the process's
+// stdout (fmt.Print*) or the global logger (log.Print*/Fatal*/Panic*) cannot
+// be captured, redirected, or asserted on in tests; observability must flow
+// through the injected slog logger and metrics registry in internal/obs —
+// which is itself the one exempt package, since it implements the sinks.
+// Writer-parameterised output (fmt.Fprintf to an explicit io.Writer) stays
+// legal: the writer is the injection point.
+type rulePrintf struct{}
+
+func (rulePrintf) Name() string { return "printf" }
+
+func (rulePrintf) Applies(relPath string) bool {
+	if relPath == "internal/obs" || strings.HasPrefix(relPath, "internal/obs/") {
+		return false
+	}
+	return relPath == "internal" || strings.HasPrefix(relPath, "internal/")
+}
+
+// bannedFmtFuncs write to the process stdout with no injection point.
+var bannedFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// bannedLogFuncs route through the global *log.Logger (and, for Fatal*/
+// Panic*, tear the process down from library code).
+var bannedLogFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func (r rulePrintf) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		fmtName, hasFmt := importedAs(file, "fmt")
+		logName, hasLog := importedAs(file, "log")
+		if !hasFmt && !hasLog {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if hasFmt {
+				if fn, ok := isPkgCall(call, fmtName, bannedFmtFuncs); ok {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: r.Name(),
+						Message: "fmt." + fn + " writes to process stdout from library code; " +
+							"take an io.Writer or log through the injected obs logger",
+					})
+				}
+			}
+			if hasLog {
+				if fn, ok := isPkgCall(call, logName, bannedLogFuncs); ok {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: r.Name(),
+						Message: "global log." + fn + " bypasses the injected logger; " +
+							"thread a *slog.Logger (internal/obs) instead",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

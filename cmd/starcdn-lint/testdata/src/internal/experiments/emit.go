@@ -1,23 +1,28 @@
 // Package experiments is a maporder fixture for the figure emitters:
-// ranging over a method-returned map and printing directly must be flagged.
+// ranging over a method-returned map and writing output directly must be
+// flagged. Output goes through an injected writer so the printf rule stays
+// quiet and the maporder finding is isolated.
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+)
 
 type metrics struct{ perSat map[int]float64 }
 
 // PerSat exposes the per-satellite meter map.
 func (m *metrics) PerSat() map[int]float64 { return m.perSat }
 
-func badEmit(m *metrics) {
+func badEmit(m *metrics, w *os.File) {
 	for id, v := range m.PerSat() {
-		fmt.Printf("sat %d: %v\n", id, v) // want maporder
+		fmt.Fprintf(w, "sat %d: %v\n", id, v) // want maporder
 	}
 }
 
-func okEmit(m *metrics, order []int) {
+func okEmit(m *metrics, w *os.File, order []int) {
 	byID := m.PerSat()
 	for _, id := range order {
-		fmt.Printf("sat %d: %v\n", id, byID[id])
+		fmt.Fprintf(w, "sat %d: %v\n", id, byID[id])
 	}
 }

@@ -1,0 +1,10 @@
+// Package obs is the printf rule's exemption fixture: the observability
+// package implements the logging sinks, so direct prints here are legal and
+// must produce no findings.
+package obs
+
+import "fmt"
+
+func banner(addr string) {
+	fmt.Printf("metrics: listening on %s\n", addr)
+}

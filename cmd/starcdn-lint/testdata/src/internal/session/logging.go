@@ -1,0 +1,27 @@
+// Package session is a printf fixture: ad-hoc stdout writes and
+// global-logger calls in internal packages must flow through an injected
+// io.Writer or the obs slog logger instead, so tests can capture output.
+package session
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func badLogging(n int) {
+	fmt.Printf("served %d requests\n", n) // want printf
+	fmt.Println("replay done")            // want printf
+	log.Printf("served %d requests", n)   // want printf
+	log.Fatalf("unrecoverable: %d", n)    // want printf
+}
+
+func okLogging(n int) error {
+	// Writer-parameterised output is the injection point, not a violation.
+	if _, err := fmt.Fprintf(os.Stdout, "served %d requests\n", n); err != nil {
+		return err
+	}
+	//lint:ignore printf boot banner predates the obs logger; tracked for migration
+	fmt.Println("session up")
+	return nil
+}

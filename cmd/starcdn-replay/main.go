@@ -27,6 +27,7 @@ import (
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
 	"starcdn/internal/geo"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/replayer"
 	"starcdn/internal/sched"
@@ -62,6 +63,12 @@ func main() {
 		injStall    = flag.Float64("inject-stall", 0, "probability a read stalls past the deadline")
 		injTruncate = flag.Float64("inject-truncate", 0, "probability a write truncates the frame")
 		injSeed     = flag.Int64("inject-seed", 1, "seed for the fault injector")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz, and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty disables)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the replay finishes (for scraping/profiling)")
+		traceOut      = flag.String("trace-out", "", "write request-path spans as JSONL to this file (consumed by starcdn-trace)")
+		traceSample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (deterministic per-request hash)")
+		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -155,7 +162,29 @@ func main() {
 			kills, len(sats), len(opts.Failures))
 	}
 
-	cluster, err := replayer.NewCluster(cache.LRU, *cacheMB<<20)
+	// Observability: a shared registry feeds server-, client-, and
+	// replay-level series to one exposition; the tracer samples request
+	// spans into JSONL for starcdn-trace.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Obs = reg
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+			opts.Obs = reg
+		}
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Tracer = obs.NewTracer(traceFile, *traceSample, *traceSeed)
+	}
+
+	cluster, err := replayer.NewClusterOpts(cache.LRU, *cacheMB<<20,
+		replayer.ServerOptions{Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -164,6 +193,21 @@ func main() {
 			log.Printf("cluster close: %v", err)
 		}
 	}()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg, cluster.Health)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := srv.Close(); err != nil {
+				log.Printf("metrics close: %v", err)
+			}
+		}()
+		// The resolved address (flag may say :0) goes to stdout so scripts
+		// can scrape it.
+		fmt.Printf("metrics: listening on %s\n", srv.Addr())
+	}
 
 	start := time.Now()
 	var meter cache.Meter
@@ -190,6 +234,21 @@ func main() {
 			st.Refused, st.Resets, st.Stalls, st.Truncations, st.Dials)
 	}
 	fmt.Printf("wall time:        %s\n", elapsed.Round(time.Millisecond))
+	if opts.Tracer != nil {
+		// Flush spans before any linger so killing the process mid-linger
+		// cannot lose trace data.
+		if err := opts.Tracer.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace spans:      %d written to %s\n", opts.Tracer.Emitted(), *traceOut)
+	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Printf("metrics: lingering %s for scrapes\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 }
 
 // contactedSats dry-runs the scheduling decisions on a healthy constellation

@@ -5,9 +5,14 @@
 //	starcdn-sim -list
 //	starcdn-sim -experiment fig7-l4
 //	starcdn-sim -experiment all -scale medium
+//	starcdn-sim -experiment fig9-latency -metrics-addr 127.0.0.1:9090 \
+//	    -trace-out spans.jsonl -trace-sample 0.1
 //
 // Each experiment prints its measured series next to the values the paper
-// reports so the reproduction can be checked at a glance.
+// reports so the reproduction can be checked at a glance. With -metrics-addr
+// the in-process simulator exposes live starcdn_sim_* series (plus pprof)
+// while the experiments run; -trace-out samples request-path spans into
+// JSONL for starcdn-trace. Neither changes any reported number.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"starcdn/internal/experiments"
+	"starcdn/internal/obs"
 )
 
 func main() {
@@ -27,6 +33,12 @@ func main() {
 		requests   = flag.Int("requests", 0, "override trace length (requests)")
 		objects    = flag.Int("objects", 0, "override catalogue size (objects)")
 		seed       = flag.Int64("seed", 0, "override random seed")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz, and /debug/pprof on this address while experiments run (empty disables)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the experiments finish")
+		traceOut      = flag.String("trace-out", "", "write request-path spans as JSONL to this file (consumed by starcdn-trace)")
+		traceSample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (deterministic per-request hash)")
+		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
 	)
 	flag.Parse()
 
@@ -58,6 +70,34 @@ func main() {
 	}
 
 	env := experiments.NewEnv(scale)
+
+	// Observability is strictly opt-in: a nil registry/tracer keeps the
+	// simulator's hot path free of instrument lookups.
+	if *metricsAddr != "" {
+		env.Obs = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, env.Obs, func() obs.Health {
+			// The in-process simulator has no servers to die; /healthz is a
+			// liveness probe for the experiment run itself.
+			return obs.Health{OK: true, Note: "in-process simulator"}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("metrics: listening on %s\n", srv.Addr())
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		env.Tracer = obs.NewTracer(traceFile, *traceSample, *traceSeed)
+	}
+
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = experiments.Names()
@@ -71,5 +111,21 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if env.Tracer != nil {
+		if err := env.Tracer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace spans: %d written to %s\n", env.Tracer.Emitted(), *traceOut)
+	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Printf("metrics: lingering %s for scrapes\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
 	}
 }

@@ -1,0 +1,52 @@
+// Command starcdn-trace summarises request-path spans emitted by the
+// simulator or the TCP replayer (-trace-out JSONL files): per-source latency
+// distributions, a per-hop-kind cost breakdown, and the top-N slowest
+// serving paths with their full hop chains.
+//
+// Usage:
+//
+//	starcdn-replay -in prod.sctr -trace-out spans.jsonl
+//	starcdn-trace -in spans.jsonl -top 20
+//	starcdn-trace -in spans.jsonl -by sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"starcdn/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("starcdn-trace: ")
+	var (
+		in  = flag.String("in", "", "input span file (JSONL from -trace-out, required)")
+		top = flag.Int("top", 10, "number of slowest paths to list")
+		by  = flag.String("by", "auto", "latency axis: sim, wall, or auto (wall when present)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *by {
+	case "sim", "wall", "auto":
+	default:
+		log.Fatalf("-by %q: want sim, wall, or auto", *by)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spans, err := obs.ReadSpans(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(summarize(spans, *by, *top))
+}

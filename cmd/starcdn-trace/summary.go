@@ -1,0 +1,221 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starcdn/internal/obs"
+	"starcdn/internal/sim"
+	"starcdn/internal/stats"
+)
+
+// latencyOf picks the span latency the report keys on. With by == "auto" the
+// summariser prefers wall-clock time (the TCP replayer fills it) and falls
+// back to simulated latency (the in-process simulator), so one binary reads
+// both producers.
+func latencyOf(s *obs.Span, by string) (float64, string) {
+	switch by {
+	case "sim":
+		return s.SimMs, "sim"
+	case "wall":
+		return s.WallMs, "wall"
+	default:
+		if s.WallMs > 0 {
+			return s.WallMs, "wall"
+		}
+		return s.SimMs, "sim"
+	}
+}
+
+// hopLatency mirrors latencyOf for a single hop.
+func hopLatency(h *obs.Hop, unit string) float64 {
+	if unit == "wall" {
+		return h.WallMs
+	}
+	return h.SimMs
+}
+
+// summarize renders the human-readable report for a set of spans. by selects
+// the latency axis ("sim", "wall", or "auto"); topN bounds the slow-path
+// listing.
+func summarize(spans []obs.Span, by string, topN int) string {
+	var b strings.Builder
+	if len(spans) == 0 {
+		b.WriteString("no spans\n")
+		return b.String()
+	}
+
+	// Resolve the latency unit once from the first span so mixed files keep
+	// a consistent axis.
+	_, unit := latencyOf(&spans[0], by)
+
+	// Header: volume, time range, hit rate.
+	var hits int
+	var bytes int64
+	minT, maxT := spans[0].TimeSec, spans[0].TimeSec
+	for i := range spans {
+		s := &spans[i]
+		if s.Hit {
+			hits++
+		}
+		bytes += s.Size
+		if s.TimeSec < minT {
+			minT = s.TimeSec
+		}
+		if s.TimeSec > maxT {
+			maxT = s.TimeSec
+		}
+	}
+	fmt.Fprintf(&b, "spans:     %d (%.2f MB requested, t=%.0fs..%.0fs, latency axis: %s)\n",
+		len(spans), float64(bytes)/(1<<20), minT, maxT, unit)
+	fmt.Fprintf(&b, "hit rate:  %.2f%%\n", 100*float64(hits)/float64(len(spans)))
+
+	// Per-source latency CDFs in canonical source order, unknown names last.
+	b.WriteString("\nper-source latency (ms):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %7s %9s %9s %9s %9s\n",
+		"source", "count", "share", "p50", "p90", "p99", "max")
+	type srcAgg struct {
+		name  string
+		cdf   *stats.CDF
+		count int
+	}
+	order := make(map[string]int)
+	for i, src := range sim.Sources() {
+		order[src.String()] = i
+	}
+	bySrc := make(map[string]*srcAgg)
+	for i := range spans {
+		s := &spans[i]
+		a := bySrc[s.Source]
+		if a == nil {
+			a = &srcAgg{name: s.Source, cdf: &stats.CDF{}}
+			bySrc[s.Source] = a
+		}
+		lat, _ := latencyOf(s, unit)
+		a.cdf.Add(lat)
+		a.count++
+	}
+	aggs := make([]*srcAgg, 0, len(bySrc))
+	for _, a := range bySrc {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		oi, iok := order[aggs[i].name]
+		oj, jok := order[aggs[j].name]
+		if iok != jok {
+			return iok
+		}
+		if oi != oj {
+			return oi < oj
+		}
+		return aggs[i].name < aggs[j].name
+	})
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "  %-14s %8d %6.1f%% %9.3f %9.3f %9.3f %9.3f\n",
+			a.name, a.count, 100*float64(a.count)/float64(len(spans)),
+			a.cdf.Quantile(0.5), a.cdf.Quantile(0.9), a.cdf.Quantile(0.99),
+			a.cdf.Quantile(1))
+	}
+
+	// Per-hop-kind breakdown: how often each path step occurs and what it
+	// costs, plus mean ISL distance for routed steps.
+	b.WriteString("\nper-hop breakdown (ms):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %9s %9s %9s\n", "hop", "count", "isl/hop", "p50", "p99")
+	type hopAgg struct {
+		kind    string
+		cdf     *stats.CDF
+		count   int
+		islHops int
+	}
+	byHop := make(map[string]*hopAgg)
+	for i := range spans {
+		for j := range spans[i].Hops {
+			h := &spans[i].Hops[j]
+			a := byHop[h.Kind]
+			if a == nil {
+				a = &hopAgg{kind: h.Kind, cdf: &stats.CDF{}}
+				byHop[h.Kind] = a
+			}
+			a.cdf.Add(hopLatency(h, unit))
+			a.count++
+			a.islHops += h.ISLHops
+		}
+	}
+	hopOrder := map[string]int{
+		"first-contact": 0, "owner": 1, "relay-west": 2, "relay-east": 3,
+		"ground": 4, "user-link": 5,
+	}
+	hops := make([]*hopAgg, 0, len(byHop))
+	for _, a := range byHop {
+		hops = append(hops, a)
+	}
+	sort.Slice(hops, func(i, j int) bool {
+		oi, iok := hopOrder[hops[i].kind]
+		oj, jok := hopOrder[hops[j].kind]
+		if iok != jok {
+			return iok
+		}
+		if oi != oj {
+			return oi < oj
+		}
+		return hops[i].kind < hops[j].kind
+	})
+	for _, a := range hops {
+		fmt.Fprintf(&b, "  %-14s %8d %9.2f %9.3f %9.3f\n",
+			a.kind, a.count, float64(a.islHops)/float64(a.count),
+			a.cdf.Quantile(0.5), a.cdf.Quantile(0.99))
+	}
+
+	// Top-N slow paths: latency descending, request index ascending on ties
+	// so the listing is deterministic.
+	if topN > len(spans) {
+		topN = len(spans)
+	}
+	idx := make([]int, len(spans))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		li, _ := latencyOf(&spans[idx[i]], unit)
+		lj, _ := latencyOf(&spans[idx[j]], unit)
+		if li != lj {
+			return li > lj
+		}
+		return spans[idx[i]].Req < spans[idx[j]].Req
+	})
+	fmt.Fprintf(&b, "\ntop %d slow paths:\n", topN)
+	for _, i := range idx[:topN] {
+		s := &spans[i]
+		lat, _ := latencyOf(s, unit)
+		fmt.Fprintf(&b, "  req %-8d %9.3fms %-12s %s\n",
+			s.Req, lat, s.Source, pathString(s, unit))
+	}
+	return b.String()
+}
+
+// pathString renders a span's hop chain as "kind(sat[,N isl][,Xms]) -> ...".
+func pathString(s *obs.Span, unit string) string {
+	if len(s.Hops) == 0 {
+		return "(no hops)"
+	}
+	parts := make([]string, len(s.Hops))
+	for i := range s.Hops {
+		h := &s.Hops[i]
+		var detail []string
+		if h.Sat >= 0 {
+			detail = append(detail, fmt.Sprintf("%d", h.Sat))
+		}
+		if h.ISLHops > 0 {
+			detail = append(detail, fmt.Sprintf("%d isl", h.ISLHops))
+		}
+		if lat := hopLatency(h, unit); lat > 0 {
+			detail = append(detail, fmt.Sprintf("%.2fms", lat))
+		}
+		parts[i] = h.Kind
+		if len(detail) > 0 {
+			parts[i] += "(" + strings.Join(detail, ", ") + ")"
+		}
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,72 @@
+package cache
+
+import "starcdn/internal/obs"
+
+// CacheObs bundles the obs instruments an observed cache mirrors its state
+// into. Any field may be nil (and the whole struct zero): updates to nil
+// instruments are no-ops, so a disabled registry costs a few nil checks.
+type CacheObs struct {
+	// Admissions counts successful Admit calls (insertions and refreshes).
+	Admissions *obs.Counter
+	// Evictions counts objects displaced to make room for admissions, plus
+	// explicit Remove calls.
+	Evictions *obs.Counter
+	// UsedBytes and Items are occupancy gauges updated after every mutation.
+	UsedBytes *obs.Gauge
+	// Items is the current object count.
+	Items *obs.Gauge
+}
+
+// observed decorates a Policy with obs accounting. It relies only on the
+// public Policy surface (Len/UsedBytes deltas around mutations), so it works
+// for every eviction policy without touching their internals.
+type observed struct {
+	Policy
+	o CacheObs
+}
+
+// Observe wraps p so admissions, evictions, and occupancy are mirrored into
+// the given instruments. With a zero CacheObs (or nil instruments) the
+// wrapper is effectively free; callers can therefore wrap unconditionally.
+func Observe(p Policy, o CacheObs) Policy {
+	return &observed{Policy: p, o: o}
+}
+
+// Admit implements Policy, counting the admission and any evictions it
+// forced (computed from the Len delta: victims = before + inserted - after).
+func (c *observed) Admit(id ObjectID, size int64) error {
+	before := c.Policy.Len()
+	present := c.Policy.Contains(id)
+	err := c.Policy.Admit(id, size)
+	if err != nil {
+		return err
+	}
+	c.o.Admissions.Inc()
+	inserted := int64(0)
+	if !present {
+		inserted = 1
+	}
+	if victims := int64(before) + inserted - int64(c.Policy.Len()); victims > 0 {
+		c.o.Evictions.Add(victims)
+	}
+	c.syncOccupancy()
+	return nil
+}
+
+// Remove implements Policy, counting the removal as an eviction.
+func (c *observed) Remove(id ObjectID) bool {
+	removed := c.Policy.Remove(id)
+	if removed {
+		c.o.Evictions.Inc()
+		c.syncOccupancy()
+	}
+	return removed
+}
+
+func (c *observed) syncOccupancy() {
+	c.o.UsedBytes.Set(float64(c.Policy.UsedBytes()))
+	c.o.Items.Set(float64(c.Policy.Len()))
+}
+
+// Unwrap returns the decorated policy, for tests and diagnostics.
+func (c *observed) Unwrap() Policy { return c.Policy }

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+
+	"starcdn/internal/obs"
+)
+
+// TestObserveCountsEvictions: admissions, forced evictions, explicit
+// removals, and occupancy gauges all track the underlying policy.
+func TestObserveCountsEvictions(t *testing.T) {
+	reg := obs.NewRegistry()
+	adm := reg.Counter("starcdn_cache_admissions_total")
+	evi := reg.Counter("starcdn_cache_evictions_total")
+	used := reg.Gauge("starcdn_cache_used_bytes")
+	items := reg.Gauge("starcdn_cache_items")
+	p := Observe(MustNew(LRU, 100), CacheObs{
+		Admissions: adm, Evictions: evi, UsedBytes: used, Items: items,
+	})
+
+	for id := ObjectID(1); id <= 2; id++ {
+		if err := p.Admit(id, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evi.Value() != 0 {
+		t.Fatalf("evictions after fitting admits = %d, want 0", evi.Value())
+	}
+	if used.Value() != 80 || items.Value() != 2 {
+		t.Fatalf("occupancy = (%v bytes, %v items), want (80, 2)",
+			used.Value(), items.Value())
+	}
+	// 90 bytes forces both residents out.
+	if err := p.Admit(3, 90); err != nil {
+		t.Fatal(err)
+	}
+	if evi.Value() != 2 {
+		t.Errorf("evictions after displacing admit = %d, want 2", evi.Value())
+	}
+	if adm.Value() != 3 {
+		t.Errorf("admissions = %d, want 3", adm.Value())
+	}
+	if used.Value() != 90 || items.Value() != 1 {
+		t.Errorf("occupancy = (%v bytes, %v items), want (90, 1)",
+			used.Value(), items.Value())
+	}
+	// Refreshing a resident is an admission but no eviction.
+	if err := p.Admit(3, 90); err != nil {
+		t.Fatal(err)
+	}
+	if adm.Value() != 4 || evi.Value() != 2 {
+		t.Errorf("after refresh: admissions=%d evictions=%d, want 4, 2",
+			adm.Value(), evi.Value())
+	}
+	// Explicit removal counts as an eviction and empties the gauges.
+	if !p.Remove(3) {
+		t.Fatal("Remove(3) = false, want true")
+	}
+	if p.Remove(3) {
+		t.Error("second Remove(3) = true, want false")
+	}
+	if evi.Value() != 3 {
+		t.Errorf("evictions after Remove = %d, want 3", evi.Value())
+	}
+	if used.Value() != 0 || items.Value() != 0 {
+		t.Errorf("occupancy after Remove = (%v, %v), want (0, 0)",
+			used.Value(), items.Value())
+	}
+	// Failed admissions count nothing.
+	if err := p.Admit(9, 1000); err == nil {
+		t.Fatal("oversized admit succeeded")
+	}
+	if adm.Value() != 4 || evi.Value() != 3 {
+		t.Errorf("failed admit changed counters: admissions=%d evictions=%d",
+			adm.Value(), evi.Value())
+	}
+}
+
+// TestObserveNilInstruments: a zero CacheObs wrapper must behave identically
+// to the bare policy — the disabled-observability path.
+func TestObserveNilInstruments(t *testing.T) {
+	p := Observe(MustNew(SIEVE, 64), CacheObs{})
+	if err := p.Admit(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(2, 48); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(2) || p.Contains(1) {
+		t.Errorf("wrapped sieve contents wrong: 1=%v 2=%v",
+			p.Contains(1), p.Contains(2))
+	}
+	if p.UsedBytes() != 48 || p.Len() != 1 {
+		t.Errorf("wrapped accounting = (%d bytes, %d items), want (48, 1)",
+			p.UsedBytes(), p.Len())
+	}
+	if p.Name() != "sieve" {
+		t.Errorf("Name() = %q, want passthrough", p.Name())
+	}
+}

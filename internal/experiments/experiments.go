@@ -15,6 +15,7 @@ import (
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
 	"starcdn/internal/geo"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sim"
 	"starcdn/internal/topo"
@@ -74,6 +75,15 @@ func Medium() Scale {
 type Env struct {
 	Scale  Scale
 	Cities []geo.City
+
+	// Obs, when non-nil, is threaded into every simulation run as
+	// sim.Config.Metrics so a live /metrics endpoint can watch experiment
+	// progress. Tracer likewise samples request-path spans. Neither alters
+	// results (obs instruments are write-only side channels off the seeded
+	// RNG streams), but note that memoised cache hits in runScheme skip
+	// re-simulation and therefore do not re-emit metrics or spans.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 
 	mu     sync.Mutex
 	consts map[string]*orbit.Constellation
@@ -218,6 +228,8 @@ func (e *Env) runSchemeUncached(constKey, scheme string, l int, cacheBytes int64
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 	}
+	cfg.Metrics = e.Obs
+	cfg.Tracer = e.Tracer
 	return sim.Run(c, e.Users(), tr, p, cfg)
 }
 

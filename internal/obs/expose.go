@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (# TYPE headers, cumulative _bucket/_sum/_count rows for
+// histograms), sorted by series name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastTyped := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastTyped = s.Name
+		}
+		switch s.Kind {
+		case "histogram":
+			if err := writePromHistogram(w, s); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				s.Name, s.LabelString(), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, s SeriesSnapshot) error {
+	for i, cum := range s.HistCumulative {
+		le := "+Inf"
+		if i < len(s.HistBounds) {
+			le = formatFloat(s.HistBounds[i])
+		}
+		labels := append(append([]Label(nil), s.Labels...), L("le", le))
+		snap := SeriesSnapshot{Labels: labels}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, snap.LabelString(), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.LabelString(), formatFloat(s.HistSum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.LabelString(), s.HistCount)
+	return err
+}
+
+// formatFloat renders a metric value the way Prometheus clients do: integral
+// values without a decimal point, everything else in shortest-round-trip
+// form.
+func formatFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// jsonHistogram is the JSON exposition shape of one histogram series.
+type jsonHistogram struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []int64   `json:"cumulative"`
+	Count      int64     `json:"count"`
+	Sum        float64   `json:"sum"`
+}
+
+// WriteJSON renders the registry as a flat expvar-style JSON object keyed by
+// the canonical series string (name{labels}); counters and gauges map to
+// numbers, histograms to {bounds, cumulative, count, sum} objects. Keys are
+// emitted in sorted order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps := r.Snapshot()
+	out := make(map[string]any, len(snaps))
+	for _, s := range snaps {
+		key := s.Name + s.LabelString()
+		if s.Kind == "histogram" {
+			out[key] = jsonHistogram{
+				Bounds:     s.HistBounds,
+				Cumulative: s.HistCumulative,
+				Count:      s.HistCount,
+				Sum:        s.HistSum,
+			}
+		} else {
+			out[key] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// encoding/json sorts map keys, keeping the exposition deterministic.
+	return enc.Encode(out)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exposeFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("starcdn_sim_requests_total", L("source", "local")).Add(10)
+	r.Counter("starcdn_sim_requests_total", L("source", "ground")).Add(4)
+	r.Gauge("starcdn_sim_sat_hit_rate", L("sat", "7")).Set(0.75)
+	h := r.Histogram("starcdn_replay_frame_ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b bytes.Buffer
+	if err := exposeFixture().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE starcdn_sim_requests_total counter",
+		`starcdn_sim_requests_total{source="local"} 10`,
+		`starcdn_sim_requests_total{source="ground"} 4`,
+		"# TYPE starcdn_sim_sat_hit_rate gauge",
+		`starcdn_sim_sat_hit_rate{sat="7"} 0.75`,
+		"# TYPE starcdn_replay_frame_ms histogram",
+		`starcdn_replay_frame_ms_bucket{le="1"} 1`,
+		`starcdn_replay_frame_ms_bucket{le="10"} 2`,
+		`starcdn_replay_frame_ms_bucket{le="+Inf"} 3`,
+		"starcdn_replay_frame_ms_sum 55.5",
+		"starcdn_replay_frame_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q\n%s", want, out)
+		}
+	}
+	// TYPE header appears exactly once per metric name.
+	if n := strings.Count(out, "# TYPE starcdn_sim_requests_total"); n != 1 {
+		t.Errorf("TYPE header repeated %d times", n)
+	}
+	// Deterministic: two expositions are byte-identical.
+	var b2 bytes.Buffer
+	r := exposeFixture()
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	var b3 bytes.Buffer
+	if err := r.WritePrometheus(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b3.String() {
+		t.Error("two expositions of the same registry differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := exposeFixture().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b.Bytes(), &m); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v\n%s", err, b.String())
+	}
+	if v, ok := m[`starcdn_sim_requests_total{source="local"}`].(float64); !ok || v != 10 {
+		t.Errorf("local counter = %v", m[`starcdn_sim_requests_total{source="local"}`])
+	}
+	if v, ok := m[`starcdn_sim_sat_hit_rate{sat="7"}`].(float64); !ok || v != 0.75 {
+		t.Errorf("gauge = %v", m[`starcdn_sim_sat_hit_rate{sat="7"}`])
+	}
+	hist, ok := m["starcdn_replay_frame_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram missing from JSON exposition: %v", m)
+	}
+	if hist["count"].(float64) != 3 || hist["sum"].(float64) != 55.5 {
+		t.Errorf("histogram fields = %v", hist)
+	}
+}

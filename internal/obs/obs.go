@@ -1,0 +1,17 @@
+// Package obs is StarCDN's stdlib-only observability layer: a lock-cheap
+// atomic metrics registry with expvar-style JSON and Prometheus text
+// expositions, an opt-in HTTP listener that also mounts net/http/pprof and a
+// /healthz endpoint, request-path tracing with deterministic seeded sampling
+// and a JSONL exporter, and a log/slog-based structured logger with an
+// injectable handler.
+//
+// Every instrument is nil-safe: a nil *Registry hands out nil *Counter /
+// *Gauge / *Histogram handles whose methods are no-ops, and a nil *Tracer
+// never samples. Disabled observability therefore compiles down to a nil
+// check on the hot path, which is what keeps seeded experiment runs
+// deterministic and overhead-free when nothing is watching.
+//
+// Metric naming follows the Prometheus convention
+// starcdn_<subsystem>_<metric>[_total|_bytes|_ms]; see DESIGN.md §9 for the
+// full series inventory.
+package obs

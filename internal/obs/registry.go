@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label; it keeps call sites short.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter ignores updates (the disabled-registry path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value. The zero value is ready to
+// use; a nil Gauge ignores updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x (no-op on nil).
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(x))
+}
+
+// Add adds d to the gauge with a CAS loop (no-op on nil).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic per-bucket
+// counters. Buckets are defined by their inclusive upper bounds; an implicit
+// +Inf bucket catches the tail. A nil Histogram ignores observations.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefLatencyBucketsMs is the default latency histogram geometry, spanning
+// sub-millisecond loopback frames to multi-second chaos stalls.
+var DefLatencyBucketsMs = []float64{
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample (no-op on nil).
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns (bounds, cumulative counts per bound plus +Inf).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []int64) {
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return h.bounds, cumulative
+}
+
+// metricKind discriminates registry series.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered (name, labels) instrument.
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry hands out named, labelled instruments and snapshots them for
+// exposition. Lookups take a mutex, so callers on hot paths fetch their
+// handles once and hold them; the instruments themselves are atomic.
+//
+// A nil *Registry is the disabled configuration: every lookup returns a nil
+// instrument whose methods are no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesKey renders the canonical identity of a series. Labels are sorted by
+// key so L("a","1"),L("b","2") and L("b","2"),L("a","1") name the same
+// series.
+func seriesKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String(), ls
+}
+
+// lookup returns (creating if needed) the series for (name, labels, kind).
+// A pre-existing series of a different kind under the same name+labels is a
+// programmer error; the caller then gets a fresh detached instrument that
+// never shows up in expositions rather than corrupting the registered one.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds []float64) *series {
+	key, ls := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[key]
+	if ok && s.kind == kind {
+		return s
+	}
+	ns := &series{name: name, labels: ls, kind: kind}
+	switch kind {
+	case counterKind:
+		ns.c = &Counter{}
+	case gaugeKind:
+		ns.g = &Gauge{}
+	case histogramKind:
+		ns.h = newHistogram(bounds)
+	}
+	if !ok {
+		r.series[key] = ns
+	}
+	return ns
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, counterKind, nil).c
+}
+
+// Gauge returns the gauge registered under (name, labels). A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, gaugeKind, nil).g
+}
+
+// Histogram returns the histogram registered under (name, labels), creating
+// it with the given bucket upper bounds on first use (nil bounds select
+// DefLatencyBucketsMs). A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBucketsMs
+	}
+	return r.lookup(name, labels, histogramKind, bounds).h
+}
+
+// SeriesSnapshot is one series' frozen state, as used by the expositions.
+type SeriesSnapshot struct {
+	Name   string
+	Labels []Label
+	Kind   string
+	// Value holds the counter or gauge value.
+	Value float64
+	// HistBounds/HistCumulative/HistCount/HistSum describe histograms.
+	HistBounds     []float64
+	HistCumulative []int64
+	HistCount      int64
+	HistSum        float64
+}
+
+// LabelString renders the series' labels as {k="v",...} ("" when unlabelled).
+func (s SeriesSnapshot) LabelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot freezes every registered series, sorted by name then labels, so
+// expositions are deterministic. A nil registry snapshots to nothing.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+
+	out := make([]SeriesSnapshot, 0, len(all))
+	for _, s := range all {
+		snap := SeriesSnapshot{Name: s.name, Labels: s.labels, Kind: s.kind.String()}
+		switch s.kind {
+		case counterKind:
+			snap.Value = float64(s.c.Value())
+		case gaugeKind:
+			snap.Value = s.g.Value()
+		case histogramKind:
+			snap.HistBounds, snap.HistCumulative = s.h.snapshot()
+			// Derive the count from the cumulative tail so exposition rows
+			// stay internally consistent under concurrent updates.
+			snap.HistCount = snap.HistCumulative[len(snap.HistCumulative)-1]
+			snap.HistSum = s.h.Sum()
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].LabelString() < out[j].LabelString()
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_ms", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if snaps := r.Snapshot(); snaps != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", snaps)
+	}
+	// Nil span / tracer round out the disabled path.
+	var span *Span
+	span.AddHop(Hop{Kind: "owner"})
+	var tr *Tracer
+	if tr.Sampled(1) {
+		t.Error("nil tracer sampled a request")
+	}
+	tr.Emit(&Span{})
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil tracer flush: %v", err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("source", "local"))
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	// Same (name, labels) resolves to the same instrument.
+	if r.Counter("reqs_total", L("source", "local")) != c {
+		t.Error("same series resolved to a different counter")
+	}
+	// Label order must not matter.
+	a := r.Gauge("g", L("a", "1"), L("b", "2"))
+	b := r.Gauge("g", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+	a.Set(4.5)
+	a.Add(0.5)
+	if b.Value() != 5 {
+		t.Errorf("gauge = %v, want 5", b.Value())
+	}
+
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+	for _, x := range []float64{0.5, 5, 50, 500} {
+		h.Observe(x)
+	}
+	if h.Count() != 4 {
+		t.Errorf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Errorf("hist sum = %v, want 555.5", h.Sum())
+	}
+	bounds, cum := h.snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot shape = %d bounds, %d buckets", len(bounds), len(cum))
+	}
+	want := []int64{1, 2, 3, 4}
+	for i, c := range cum {
+		if c != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	// Boundary value lands in its bucket (le is inclusive).
+	h.Observe(10)
+	_, cum = h.snapshot()
+	if cum[1] != 3 {
+		t.Errorf("le=10 cumulative = %d, want 3 (bound inclusive)", cum[1])
+	}
+}
+
+// TestKindMismatchIsDetached: re-registering a series under a different kind
+// must not corrupt the original; the caller gets a detached instrument.
+func TestKindMismatchIsDetached(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(7)
+	g := r.Gauge("x")
+	g.Set(99)
+	if c.Value() != 7 {
+		t.Errorf("counter corrupted by kind mismatch: %d", c.Value())
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 1 || snaps[0].Kind != "counter" || snaps[0].Value != 7 {
+		t.Errorf("snapshot after mismatch = %+v", snaps)
+	}
+}
+
+func TestSnapshotSortedAndLabelled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", L("s", "2")).Inc()
+	r.Counter("b_total", L("s", "1")).Inc()
+	r.Counter("a_total").Inc()
+	snaps := r.Snapshot()
+	got := make([]string, len(snaps))
+	for i, s := range snaps {
+		got[i] = s.Name + s.LabelString()
+	}
+	want := []string{"a_total", `b_total{s="1"}`, `b_total{s="2"}`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentUpdates exercises the atomic instruments from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h_ms", nil)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 7))
+				if i%100 == 0 {
+					r.Snapshot() // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h_ms", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

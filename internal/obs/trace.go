@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Hop is one step of a request's serving path. Kind names the role of the
+// hop in StarCDN's §3.3 request flow: "first-contact", "owner" (consistent
+// hashing route), "relay-west"/"relay-east" (same-bucket neighbour fetch),
+// "ground" (GSL + origin fetch), and "user-link" (terminal round trip).
+type Hop struct {
+	Kind string `json:"kind"`
+	// Sat is the satellite serving this hop (-1 when none, e.g. ground).
+	Sat int `json:"sat"`
+	// ISLHops counts inter-satellite link hops traversed for this step.
+	ISLHops int `json:"isl_hops,omitempty"`
+	// SimMs is the simulated latency contribution (the simulator fills it).
+	SimMs float64 `json:"sim_ms,omitempty"`
+	// WallMs is the measured wall-clock latency (the TCP replayer fills it).
+	WallMs float64 `json:"wall_ms,omitempty"`
+}
+
+// Span is one sampled request's trace record, serialised as a JSONL line by
+// the Tracer and consumed by cmd/starcdn-trace.
+type Span struct {
+	// Req is the request's index in the trace (the sampling key).
+	Req int64 `json:"req"`
+	// TimeSec is the trace timestamp of the request.
+	TimeSec float64 `json:"t"`
+	// Loc is the trace location (user terminal) index.
+	Loc int `json:"loc"`
+	// Object and Size identify the requested content.
+	Object uint64 `json:"obj"`
+	Size   int64  `json:"size"`
+	// Source is the stable sim.Source name of where the request was served.
+	Source string `json:"source"`
+	// Hit reports whether the request counted as a satellite cache hit.
+	Hit bool `json:"hit"`
+	// SimMs / WallMs are the end-to-end latencies (whichever pipeline ran).
+	SimMs  float64 `json:"sim_ms,omitempty"`
+	WallMs float64 `json:"wall_ms,omitempty"`
+	// Hops is the serving path in traversal order.
+	Hops []Hop `json:"hops,omitempty"`
+}
+
+// AddHop appends one hop to the span. It is nil-safe so instrumentation can
+// call it unconditionally on the (usually nil) sampled span.
+func (s *Span) AddHop(h Hop) {
+	if s == nil {
+		return
+	}
+	s.Hops = append(s.Hops, h)
+}
+
+// Tracer samples request-path spans and streams them as JSONL. Sampling is a
+// pure function of (seed, request index), so the set of sampled requests is
+// deterministic and identical between the sequential simulator and the
+// concurrent TCP replayer regardless of goroutine interleaving — and,
+// critically, the decision consumes no randomness from the simulation's
+// seeded streams, so enabling tracing cannot perturb results.
+//
+// Emission is serialised by a mutex; concurrent replay workers may emit
+// simultaneously. A nil *Tracer never samples and ignores emissions.
+type Tracer struct {
+	rate float64
+	seed int64
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	enc     *json.Encoder
+	emitted int64
+	err     error
+}
+
+// NewTracer returns a tracer writing JSONL spans to w, sampling each request
+// independently at rate (0 disables, 1 samples everything) keyed by seed.
+func NewTracer(w io.Writer, rate float64, seed int64) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{rate: rate, seed: seed, w: bw, enc: json.NewEncoder(bw)}
+}
+
+// splitmix64 is the SplitMix64 finaliser: a high-quality 64-bit mix used as
+// a stateless per-request hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampled reports whether the request at index req is in the sample. It is
+// stateless and safe for concurrent use; a nil tracer samples nothing.
+func (t *Tracer) Sampled(req int64) bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(t.seed)*0x9e3779b97f4a7c15 + uint64(req))
+	return float64(h>>11)/float64(1<<53) < t.rate
+}
+
+// Emit writes one span as a JSONL line. The first write error is retained
+// and reported by Flush; emission never blocks the replay on error handling.
+func (t *Tracer) Emit(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(s); err != nil {
+		t.err = err
+		return
+	}
+	t.emitted++
+}
+
+// Emitted returns the number of spans written so far (0 on nil).
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Flush drains the buffered writer and returns the first error encountered
+// during emission or flushing. Callers flush once after the run, before
+// closing the underlying file. Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// ReadSpans parses a JSONL span stream (the -trace-out format) back into
+// memory, for the starcdn-trace summarizer and tests.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("obs: span %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+}

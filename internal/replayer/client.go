@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/obs"
 )
 
 // Dialer opens a TCP connection to addr. timeout <= 0 means the operating
@@ -37,6 +38,34 @@ type ClientOptions struct {
 	Seed int64
 	// Dial overrides the connection factory (nil = real TCP dials).
 	Dial Dialer
+	// Obs, when non-nil, registers the client-side series: attempt/retry/
+	// failure counters and backoff/frame-latency histograms under the
+	// starcdn_client_* names.
+	Obs *obs.Registry
+}
+
+// clientObs holds the client's pre-resolved instruments. A nil *clientObs is
+// the disabled configuration; the wall-clock frame timer is only armed when
+// observability is on, so the no-op path never calls time.Now.
+type clientObs struct {
+	attempts  *obs.Counter
+	retries   *obs.Counter
+	failures  *obs.Counter
+	backoffMs *obs.Histogram
+	frameMs   *obs.Histogram
+}
+
+func newClientObs(reg *obs.Registry) *clientObs {
+	if reg == nil {
+		return nil
+	}
+	return &clientObs{
+		attempts:  reg.Counter("starcdn_client_attempts_total"),
+		retries:   reg.Counter("starcdn_client_retries_total"),
+		failures:  reg.Counter("starcdn_client_failures_total"),
+		backoffMs: reg.Histogram("starcdn_client_backoff_ms", nil),
+		frameMs:   reg.Histogram("starcdn_client_frame_ms", nil),
+	}
 }
 
 // Client issues cache operations to satellite servers, pooling one TCP
@@ -55,6 +84,7 @@ type Client struct {
 	ioTimeout   time.Duration
 	retry       RetryPolicy
 	dial        Dialer
+	obs         *clientObs
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
@@ -85,6 +115,7 @@ func NewClientOpts(o ClientOptions) *Client {
 		ioTimeout:   o.IOTimeout,
 		retry:       o.Retry,
 		dial:        d,
+		obs:         newClientObs(o.Obs),
 		rng:         rand.New(rand.NewSource(o.Seed)),
 	}
 }
@@ -160,13 +191,24 @@ func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt))
+			d := c.backoff(attempt)
+			if c.obs != nil {
+				c.obs.retries.Inc()
+				c.obs.backoffMs.Observe(float64(d) / float64(time.Millisecond))
+			}
+			time.Sleep(d)
+		}
+		if c.obs != nil {
+			c.obs.attempts.Inc()
 		}
 		st, a, b, err := c.tryOnce(addr, op, obj, size)
 		if err == nil {
 			return st, a, b, nil
 		}
 		lastErr = err
+	}
+	if c.obs != nil {
+		c.obs.failures.Inc()
 	}
 	return StatusError, 0, 0, lastErr
 }
@@ -189,6 +231,10 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (St
 			return StatusError, 0, 0, err
 		}
 	}
+	var frameStart time.Time
+	if c.obs != nil {
+		frameStart = time.Now()
+	}
 	if err := writeRequest(e.conn, op, obj, size); err != nil {
 		e.dropLocked()
 		return StatusError, 0, 0, err
@@ -197,6 +243,9 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (St
 	if err != nil {
 		e.dropLocked()
 		return StatusError, 0, 0, err
+	}
+	if c.obs != nil {
+		c.obs.frameMs.Observe(float64(time.Since(frameStart)) / float64(time.Millisecond))
 	}
 	return st, a, b, nil
 }

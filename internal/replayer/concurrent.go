@@ -2,6 +2,7 @@ package replayer
 
 import (
 	"sync"
+	"time"
 
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
@@ -12,9 +13,11 @@ import (
 
 // concurrentJob is one precomputed request assignment.
 type concurrentJob struct {
-	req  *trace.Request
-	home orbitSat
-	addr string // empty when the request is accounted without contact
+	req   *trace.Request
+	index int64 // global request index (drives deterministic trace sampling)
+	home  orbitSat
+	first orbitSat
+	addr  string // empty when the request is accounted without contact
 }
 
 // ReplayConcurrent drives the trace through the TCP cluster with one worker
@@ -48,6 +51,7 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 	if err != nil {
 		return total, err
 	}
+	ro := newReplayObs(opts.Obs)
 
 	// Per-location clients persist across segments so connection pools and
 	// their retry state behave like long-lived terminal stacks.
@@ -93,8 +97,10 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 		}
 		for i := start; i < end; i++ {
 			r := &tr.Requests[i]
-			j := concurrentJob{req: r, home: -1}
-			if home, serve := homeFor(h, scheduler, fs, r, opts.Hashing); serve {
+			j := concurrentJob{req: r, index: int64(i), home: -1, first: -1}
+			home, first, serve := homeFor(h, scheduler, fs, r, opts.Hashing)
+			j.first = first
+			if serve {
 				addr, err := cluster.Addr(home)
 				if err != nil {
 					return total, err
@@ -118,16 +124,24 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 				client := clients[loc]
 				m := &meters[loc]
 				for _, j := range perLoc[loc] {
+					span := newReplaySpan(opts.Tracer, j.index, j.req, j.first)
 					if j.home < 0 {
+						src := degradedSource(j.first)
+						finishReplaySpan(opts.Tracer, span, src, time.Time{})
+						ro.record(src, j.req.Size)
 						m.Record(j.req.Size, false)
 						continue
 					}
-					hit, err := serveRequest(h, cluster, client, j.home, j.addr, j.req, opts)
+					reqStart := time.Now()
+					src, err := serveRequest(h, cluster, client, j.home, j.first,
+						j.addr, j.req, opts, span)
 					if err != nil {
 						setErr(&mu, &runErr, err)
 						return
 					}
-					m.Record(j.req.Size, hit)
+					finishReplaySpan(opts.Tracer, span, src, reqStart)
+					ro.record(src, j.req.Size)
+					m.Record(j.req.Size, src.Hit())
 				}
 			}(loc)
 		}

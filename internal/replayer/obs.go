@@ -1,0 +1,43 @@
+package replayer
+
+import (
+	"starcdn/internal/obs"
+	"starcdn/internal/sim"
+)
+
+// replayObs holds the replay-level instruments: request and byte counters
+// per service source, resolved once per replay. A nil *replayObs is the
+// disabled configuration and records nothing.
+//
+// The counters are atomic, so ReplayConcurrent's per-location workers share
+// one replayObs without coordination.
+type replayObs struct {
+	bySource []*obs.Counter // indexed by sim.Source
+	bytes    []*obs.Counter
+}
+
+func newReplayObs(reg *obs.Registry) *replayObs {
+	if reg == nil {
+		return nil
+	}
+	srcs := sim.Sources()
+	ro := &replayObs{
+		bySource: make([]*obs.Counter, len(srcs)),
+		bytes:    make([]*obs.Counter, len(srcs)),
+	}
+	for _, s := range srcs {
+		l := obs.L("source", s.String())
+		ro.bySource[s] = reg.Counter("starcdn_replay_requests_total", l)
+		ro.bytes[s] = reg.Counter("starcdn_replay_bytes_total", l)
+	}
+	return ro
+}
+
+// record mirrors one replayed request into the live counters.
+func (ro *replayObs) record(src sim.Source, size int64) {
+	if ro == nil || !src.Valid() {
+		return
+	}
+	ro.bySource[src].Inc()
+	ro.bytes[src].Add(size)
+}

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"log/slog"
 	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/obs"
 )
 
 // TestReadFrameTruncated: every truncation of a valid frame must surface an
@@ -101,11 +103,9 @@ func TestWriteFramePropagatesShortWrite(t *testing.T) {
 // TestServerSurvivesGarbageAndTruncatedInput: malformed client bytes must
 // neither hang a handler nor take the server down for other clients.
 func TestServerSurvivesGarbageAndTruncatedInput(t *testing.T) {
-	var logged []string
+	capture := obs.NewCapture()
 	s, err := NewServerOpts(1, cache.LRU, 1000, ServerOptions{
-		ErrorLog: func(format string, args ...any) {
-			logged = append(logged, format)
-		},
+		Log: obs.NewLogger(capture),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,24 +142,20 @@ func TestServerSurvivesGarbageAndTruncatedInput(t *testing.T) {
 	if hit, err := cl.Get(s.Addr(), 9, 10); err != nil || !hit {
 		t.Fatalf("server unhealthy after garbage: hit=%v err=%v", hit, err)
 	}
-	for _, l := range logged {
-		if strings.Contains(l, "accept") {
-			t.Errorf("malformed input reached the accept error log: %q", l)
+	for _, msg := range capture.Messages() {
+		if strings.Contains(msg, "accept") {
+			t.Errorf("malformed input reached the accept error log: %q", msg)
 		}
 	}
 }
 
-// TestServerErrorLogInjectable: accept-loop errors flow to the injected
-// recorder instead of the global logger.
-func TestServerErrorLogInjectable(t *testing.T) {
-	ch := make(chan string, 1)
+// TestServerLogInjectable: accept-loop errors flow as structured records to
+// the injected slog handler instead of the global logger, carrying the
+// satellite ID as an attribute rather than baked into a format string.
+func TestServerLogInjectable(t *testing.T) {
+	capture := obs.NewCapture()
 	s, err := NewServerOpts(3, cache.LRU, 1000, ServerOptions{
-		ErrorLog: func(format string, args ...any) {
-			select {
-			case ch <- format:
-			default:
-			}
-		},
+		Log: obs.NewLogger(capture),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -169,13 +165,25 @@ func TestServerErrorLogInjectable(t *testing.T) {
 	if err := s.ln.Close(); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case msg := <-ch:
-		if !strings.Contains(msg, "accept") {
-			t.Errorf("unexpected accept log format %q", msg)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if recs := capture.Records(); len(recs) > 0 {
+			r := recs[0]
+			if r.Level != slog.LevelError || !strings.Contains(r.Message, "accept") {
+				t.Errorf("unexpected accept record: %+v", r)
+			}
+			if got := r.Attrs["sat"].Int64(); got != 3 {
+				t.Errorf("sat attr = %d, want 3", got)
+			}
+			if r.Attrs["err"].String() == "" {
+				t.Error("accept record carries no err attribute")
+			}
+			break
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("accept error never reached the injected logger")
+		if time.Now().After(deadline) {
+			t.Fatal("accept error never reached the injected logger")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	// Close is still safe; the listener close error is expected and benign.
 	_ = s.Close()

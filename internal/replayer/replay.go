@@ -8,6 +8,7 @@ import (
 	"starcdn/internal/core"
 	"starcdn/internal/geo"
 	"starcdn/internal/invariant"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
 	"starcdn/internal/sim"
@@ -86,11 +87,21 @@ type Options struct {
 	// outages degrade to ground miss-throughs; long-term ones remap
 	// buckets via core.HashScheme. Non-empty Failures require Fault.
 	Failures []sim.FailureEvent
+	// Obs, when non-nil, receives the replay-level per-source request and
+	// byte counters (starcdn_replay_*). Pass the same registry in the
+	// cluster's ServerOptions.Obs and here to get server-, client-, and
+	// replay-level series on one exposition.
+	Obs *obs.Registry
+	// Tracer, when non-nil, emits one JSONL span per sampled request with
+	// wall-clock per-hop latencies measured around the real TCP exchanges.
+	Tracer *obs.Tracer
 }
 
 // newReplayClient builds the client matching the options.
 func newReplayClient(opts Options) *Client {
-	return NewClientOpts(opts.Fault.clientOptions(opts.Seed))
+	co := opts.Fault.clientOptions(opts.Seed)
+	co.Obs = opts.Obs
+	return NewClientOpts(co)
 }
 
 // validate performs the shared option/argument checks.
@@ -126,56 +137,82 @@ func newSchedule(c *orbit.Constellation, cluster *Cluster, opts Options) (*sim.F
 // homeFor resolves where a request is served: the first-contact satellite,
 // or — with hashing — the bucket owner under the §3.4 failure policy.
 // serve=false means the request is accounted as a ground miss without
-// contacting any satellite: either no satellite is visible, or the owner is
-// in a transient outage (miss-through).
+// contacting any satellite: either no satellite is visible (first == -1), or
+// the owner is in a transient outage (miss-through, first >= 0).
 func homeFor(h *core.HashScheme, scheduler *sched.Scheduler, fs *sim.FailureSchedule,
-	r *trace.Request, hashing bool) (home orbitSat, serve bool) {
+	r *trace.Request, hashing bool) (home, first orbitSat, serve bool) {
 	first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 	if !visible {
-		return -1, false
+		return -1, -1, false
 	}
 	if !hashing {
-		return first, true
+		return first, first, true
 	}
-	return h.ServingOwner(first, h.BucketOf(r.Object), fs.TransientDown)
+	home, serve = h.ServingOwner(first, h.BucketOf(r.Object), fs.TransientDown)
+	return home, first, serve
+}
+
+// degradedSource classifies a request that never contacts a satellite:
+// no coverage when nothing is visible, otherwise a §3.4 ground miss-through.
+func degradedSource(first orbitSat) sim.Source {
+	if first < 0 {
+		return sim.SourceNoCover
+	}
+	return sim.SourceGround
+}
+
+// wallMs measures elapsed wall-clock milliseconds since start.
+func wallMs(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
 }
 
 // serveRequest replays one request against the cluster over TCP and reports
-// whether it hit a satellite cache. With fault tolerance enabled, network
-// failures degrade per §3.4 instead of erroring: an unreachable owner is a
-// ground miss, an unreachable relay neighbour is skipped, and a failed
-// admit merely leaves the object uncached.
+// where it was served from, mirroring sim.StarCDN's Source taxonomy. With
+// fault tolerance enabled, network failures degrade per §3.4 instead of
+// erroring: an unreachable owner is a ground miss, an unreachable relay
+// neighbour is skipped, and a failed admit merely leaves the object
+// uncached. When span is non-nil each TCP exchange appends a hop with its
+// measured wall-clock latency.
 func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
-	home orbitSat, addr string, r *trace.Request, opts Options) (bool, error) {
+	home, first orbitSat, addr string, r *trace.Request, opts Options,
+	span *obs.Span) (sim.Source, error) {
 	faulty := opts.Fault != nil
+	ownerStart := time.Now()
 	hit, err := client.Get(addr, r.Object, r.Size)
+	span.AddHop(obs.Hop{Kind: "owner", Sat: int(home), WallMs: wallMs(ownerStart)})
 	if err != nil {
 		if !faulty {
-			return false, err
+			return sim.SourceGround, err
 		}
-		return false, nil // owner unreachable: §3.4 miss-through to ground
+		return sim.SourceGround, nil // owner unreachable: §3.4 miss-through
 	}
 	if hit {
-		return true, nil
+		if home == first {
+			return sim.SourceLocal, nil
+		}
+		return sim.SourceBucket, nil
 	}
 	if opts.Relay {
-		served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty)
+		src, served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty, span)
 		if err != nil {
-			return false, err
+			return sim.SourceGround, err
 		}
 		if served {
 			// Store a copy at the owner for future local hits.
 			if err := client.Admit(addr, r.Object, r.Size); err != nil && !faulty {
-				return false, err
+				return src, err
 			}
-			return true, nil
+			return src, nil
 		}
 	}
 	// Ground fetch; the owner caches the object on the way through.
-	if err := client.Admit(addr, r.Object, r.Size); err != nil && !faulty {
-		return false, err
+	groundStart := time.Now()
+	err = client.Admit(addr, r.Object, r.Size)
+	span.AddHop(obs.Hop{Kind: "ground", Sat: int(home), WallMs: wallMs(groundStart)})
+	if err != nil && !faulty {
+		return sim.SourceGround, err
 	}
-	return false, nil
+	return sim.SourceGround, nil
 }
 
 // checkMeter asserts exact byte accounting after a completed replay: every
@@ -215,14 +252,19 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 	// Pooled loopback connections; a close error after a completed replay
 	// cannot invalidate the measured meter.
 	defer func() { _ = client.Close() }()
+	ro := newReplayObs(opts.Obs)
 
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
 		if err := fs.Advance(r.TimeSec); err != nil {
 			return meter, err
 		}
-		home, serveSat := homeFor(h, scheduler, fs, r, opts.Hashing)
+		home, first, serveSat := homeFor(h, scheduler, fs, r, opts.Hashing)
+		span := newReplaySpan(opts.Tracer, int64(i), r, first)
 		if !serveSat {
+			src := degradedSource(first)
+			finishReplaySpan(opts.Tracer, span, src, time.Time{})
+			ro.record(src, r.Size)
 			meter.Record(r.Size, false)
 			continue
 		}
@@ -230,23 +272,59 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 		if err != nil {
 			return meter, err
 		}
-		hit, err := serveRequest(h, cluster, client, home, addr, r, opts)
+		reqStart := time.Now()
+		src, err := serveRequest(h, cluster, client, home, first, addr, r, opts, span)
 		if err != nil {
 			return meter, err
 		}
-		meter.Record(r.Size, hit)
+		finishReplaySpan(opts.Tracer, span, src, reqStart)
+		ro.record(src, r.Size)
+		meter.Record(r.Size, src.Hit())
 	}
 	checkMeter(meter, tr)
 	return meter, nil
 }
 
+// newReplaySpan starts the trace span for request index i, or returns nil
+// when the request is not sampled.
+func newReplaySpan(tr *obs.Tracer, i int64, r *trace.Request, first orbitSat) *obs.Span {
+	if !tr.Sampled(i) {
+		return nil
+	}
+	span := &obs.Span{Req: i, TimeSec: r.TimeSec, Loc: r.Location,
+		Object: uint64(r.Object), Size: r.Size}
+	if first >= 0 {
+		span.AddHop(obs.Hop{Kind: "first-contact", Sat: int(first)})
+	}
+	return span
+}
+
+// finishReplaySpan stamps the outcome on a span and emits it. A zero start
+// means the request never contacted a satellite (no wall time to measure).
+func finishReplaySpan(tr *obs.Tracer, span *obs.Span, src sim.Source, start time.Time) {
+	if span == nil {
+		return
+	}
+	span.Source = src.String()
+	span.Hit = src.Hit()
+	if !start.IsZero() {
+		span.WallMs = wallMs(start)
+	}
+	tr.Emit(span)
+}
+
 // relayFetch checks the west then east same-bucket neighbours over TCP,
 // mirroring sim.StarCDN's relayed fetch (west first, then east). With fault
 // tolerance, an unreachable neighbour is treated exactly like an absent one
-// (§3.4): skip it and try the other direction.
+// (§3.4): skip it and try the other direction. On success the returned
+// source identifies the serving direction (relay-west/relay-east).
 func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbitSat,
-	r *trace.Request, hashing, faulty bool) (bool, error) {
+	r *trace.Request, hashing, faulty bool, span *obs.Span) (sim.Source, bool, error) {
 	for _, d := range []topo.Direction{topo.West, topo.East} {
+		src := sim.SourceRelayWest
+		if d == topo.East {
+			src = sim.SourceRelayEast
+		}
 		var nb orbitSat
 		var ok bool
 		if hashing {
@@ -260,14 +338,15 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 		}
 		addr, err := cluster.Addr(nb)
 		if err != nil {
-			return false, err
+			return src, false, err
 		}
+		relayStart := time.Now()
 		has, err := client.Contains(addr, r.Object)
 		if err != nil {
 			if faulty {
 				continue // neighbour unreachable ≈ no relay copy available
 			}
-			return false, err
+			return src, false, err
 		}
 		if has {
 			// Touch the serving neighbour (recency) as sim does.
@@ -275,10 +354,12 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 				if faulty {
 					continue
 				}
-				return false, err
+				return src, false, err
 			}
-			return true, nil
+			span.AddHop(obs.Hop{Kind: src.String(), Sat: int(nb),
+				WallMs: wallMs(relayStart)})
+			return src, true, nil
 		}
 	}
-	return false, nil
+	return sim.SourceGround, false, nil
 }

@@ -3,20 +3,28 @@ package replayer
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 )
 
 // ServerOptions configures optional server behaviour.
 type ServerOptions struct {
-	// ErrorLog receives accept-loop errors. Nil logs through the standard
-	// logger; tests inject a recorder so `make check` output stays clean
-	// and accept errors can be asserted on.
-	ErrorLog func(format string, args ...any)
+	// Log receives structured server events (accept-loop errors). Nil logs
+	// through a stderr text handler; tests inject obs.NewCapture so `make
+	// check` output stays clean and accept errors can be asserted on as
+	// records rather than formatted strings.
+	Log *slog.Logger
+	// Obs, when non-nil, registers live per-satellite series: request
+	// counters, hit-rate gauges, open-connection gauges, and — on clusters —
+	// kill/revive counters.
+	Obs *obs.Registry
 	// Injector, when non-nil, wraps every accepted connection with
 	// deterministic fault injection (server-side chaos).
 	Injector *FaultInjector
@@ -31,12 +39,17 @@ type ServerOptions struct {
 
 // Server runs one satellite's cache behind a TCP listener.
 type Server struct {
-	id     orbit.SatID
-	ln     net.Listener
-	errlog func(format string, args ...any)
-	mu     sync.Mutex // serialises cache access across connections
-	cache  cache.Policy
-	meter  cache.Meter
+	id    orbit.SatID
+	ln    net.Listener
+	log   *slog.Logger
+	mu    sync.Mutex // serialises cache access across connections
+	cache cache.Policy
+	meter cache.Meter
+
+	// obs handles (nil when observability is off; updates are no-ops).
+	reqs    *obs.Counter
+	hitRate *obs.Gauge
+	open    *obs.Gauge
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -67,18 +80,23 @@ func NewServerOpts(id orbit.SatID, kind cache.Kind, capacity int64, opts ServerO
 	if opts.Injector != nil {
 		ln = opts.Injector.WrapListener(ln)
 	}
-	errlog := opts.ErrorLog
-	if errlog == nil {
-		errlog = log.Printf
-	}
 	s := &Server{
 		id:     id,
 		ln:     ln,
-		errlog: errlog,
+		log:    obs.NewLogger(nil).With("sat", int(id)),
 		cache:  c,
 		meter:  opts.Meter,
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
+	}
+	if opts.Log != nil {
+		s.log = opts.Log.With("sat", int(id))
+	}
+	if opts.Obs != nil {
+		sat := obs.L("sat", strconv.Itoa(int(id)))
+		s.reqs = opts.Obs.Counter("starcdn_server_requests_total", sat)
+		s.hitRate = opts.Obs.Gauge("starcdn_server_hit_rate", sat)
+		s.open = opts.Obs.Gauge("starcdn_server_open_conns", sat)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -123,12 +141,13 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				s.errlog("replayer: sat %d accept: %v", s.id, err)
+				s.log.Error("accept failed", "err", err)
 				return
 			}
 		}
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
+		s.open.Set(float64(len(s.conns)))
 		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
@@ -142,6 +161,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, conn)
+		s.open.Set(float64(len(s.conns)))
 		s.connMu.Unlock()
 		_ = conn.Close()
 	}()
@@ -189,6 +209,10 @@ func (s *Server) serveOne(conn net.Conn, m message) error {
 	default:
 		st = StatusError
 	}
+	s.reqs.Inc()
+	if s.meter.Requests > 0 {
+		s.hitRate.Set(float64(s.meter.Hits) / float64(s.meter.Requests))
+	}
 	s.mu.Unlock()
 	return writeResponse(conn, st, a, b)
 }
@@ -209,6 +233,11 @@ type Cluster struct {
 	bytes     int64
 	sopts     ServerOptions
 	mu        sync.Mutex
+
+	// obs handles (nil when observability is off).
+	kills   *obs.Counter
+	revives *obs.Counter
+	live    *obs.Gauge
 }
 
 // NewCluster creates an empty cluster; servers spin up lazily per satellite,
@@ -227,14 +256,20 @@ func NewClusterOpts(kind cache.Kind, capacityBytes int64, opts ServerOptions) (*
 	if opts.Cache != nil {
 		return nil, fmt.Errorf("replayer: cluster options cannot carry a shared cache")
 	}
-	return &Cluster{
+	c := &Cluster{
 		servers:   make(map[orbit.SatID]*Server),
 		downAddr:  make(map[orbit.SatID]string),
 		survivors: make(map[orbit.SatID]ServerOptions),
 		kind:      kind,
 		bytes:     capacityBytes,
 		sopts:     opts,
-	}, nil
+	}
+	if opts.Obs != nil {
+		c.kills = opts.Obs.Counter("starcdn_cluster_kills_total")
+		c.revives = opts.Obs.Counter("starcdn_cluster_revives_total")
+		c.live = opts.Obs.Gauge("starcdn_cluster_live_servers")
+	}
+	return c, nil
 }
 
 // startLocked starts (or restarts) the server for id; callers hold c.mu.
@@ -251,6 +286,7 @@ func (c *Cluster) startLocked(id orbit.SatID) (*Server, error) {
 	delete(c.survivors, id)
 	delete(c.downAddr, id)
 	c.servers[id] = s
+	c.live.Set(float64(len(c.servers)))
 	return s, nil
 }
 
@@ -312,6 +348,8 @@ func (c *Cluster) Kill(id orbit.SatID) error {
 		delete(c.servers, id)
 		c.downAddr[id] = s.Addr()
 		c.survivors[id] = ServerOptions{Cache: s.cache, Meter: s.Meter()}
+		c.kills.Inc()
+		c.live.Set(float64(len(c.servers)))
 	} else if _, down := c.downAddr[id]; !down {
 		// Never started: bind and release a port so there is a concrete
 		// address that refuses connections. (The kernel could hand the
@@ -329,6 +367,7 @@ func (c *Cluster) Kill(id orbit.SatID) error {
 			return err
 		}
 		c.downAddr[id] = addr
+		c.kills.Inc()
 	}
 	c.mu.Unlock()
 	if running {
@@ -349,7 +388,28 @@ func (c *Cluster) Revive(id orbit.SatID) error {
 		return nil
 	}
 	_, err := c.startLocked(id)
+	if err == nil {
+		c.revives.Inc()
+	}
 	return err
+}
+
+// Health snapshots the cluster's availability for the /healthz endpoint: OK
+// iff no satellite server is currently killed, with the down list sorted by
+// satellite ID.
+func (c *Cluster) Health() obs.Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.downAddr))
+	for id := range c.downAddr {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	down := make([]string, len(ids))
+	for i, id := range ids {
+		down[i] = strconv.Itoa(id)
+	}
+	return obs.Health{OK: len(down) == 0, Live: len(c.servers), Down: down}
 }
 
 // Len returns the number of live servers.
@@ -369,6 +429,7 @@ func (c *Cluster) Close() error {
 	c.servers = make(map[orbit.SatID]*Server)
 	c.downAddr = make(map[orbit.SatID]string)
 	c.survivors = make(map[orbit.SatID]ServerOptions)
+	c.live.Set(0)
 	c.mu.Unlock()
 	var first error
 	for _, s := range servers {

@@ -25,26 +25,74 @@ const (
 	SourceGroundEdge
 )
 
+// numSources is the number of defined service sources; Sources() and the
+// per-source metric vectors in Run are sized by it.
+const numSources = int(SourceGroundEdge) + 1
+
+// sourceNames maps each Source to its stable wire/metric-label name. Metric
+// series and trace JSONL use these names, never the Source(%d) fallback.
+var sourceNames = [numSources]string{
+	SourceLocal:      "local",
+	SourceBucket:     "bucket",
+	SourceRelayWest:  "relay-west",
+	SourceRelayEast:  "relay-east",
+	SourceGround:     "ground",
+	SourceNoCover:    "no-coverage",
+	SourceGroundEdge: "ground-edge",
+}
+
+// Sources enumerates every defined service source in declaration order —
+// the canonical iteration for per-source metric vectors and report rows.
+func Sources() []Source {
+	out := make([]Source, numSources)
+	for i := range out {
+		out[i] = Source(i)
+	}
+	return out
+}
+
+// Valid reports whether s is one of the defined sources.
+func (s Source) Valid() bool { return s >= 0 && int(s) < numSources }
+
 // String implements fmt.Stringer.
 func (s Source) String() string {
-	switch s {
-	case SourceLocal:
-		return "local"
-	case SourceBucket:
-		return "bucket"
-	case SourceRelayWest:
-		return "relay-west"
-	case SourceRelayEast:
-		return "relay-east"
-	case SourceGround:
-		return "ground"
-	case SourceNoCover:
-		return "no-coverage"
-	case SourceGroundEdge:
-		return "ground-edge"
-	default:
-		return fmt.Sprintf("Source(%d)", int(s))
+	if s.Valid() {
+		return sourceNames[s]
 	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Hit reports whether the source counts as a satellite cache hit (§2.2's
+// headline metric; ground-edge hits count as hits for latency but still
+// climb the uplink — see Metrics.UplinkBytes).
+func (s Source) Hit() bool {
+	switch s {
+	case SourceLocal, SourceBucket, SourceRelayWest, SourceRelayEast, SourceGroundEdge:
+		return true
+	}
+	return false
+}
+
+// MarshalText implements encoding.TextMarshaler with the stable source
+// names, so labels and trace JSONL never leak the numeric fallback.
+func (s Source) MarshalText() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("sim: cannot marshal unknown Source(%d)", int(s))
+	}
+	return []byte(sourceNames[s]), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (the inverse of
+// MarshalText), accepting exactly the stable names.
+func (s *Source) UnmarshalText(text []byte) error {
+	name := string(text)
+	for i, n := range sourceNames {
+		if n == name {
+			*s = Source(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown source name %q", name)
 }
 
 // RelayAvailability tallies Table 3: when the bucket owner misses, where was
@@ -134,9 +182,7 @@ func NewMetrics(collectLatency, collectPerSat bool) *Metrics {
 
 // record registers one served request.
 func (m *Metrics) record(sat orbit.SatID, loc int, size int64, src Source, latencyMs float64) {
-	hit := src == SourceLocal || src == SourceBucket ||
-		src == SourceRelayWest || src == SourceRelayEast ||
-		src == SourceGroundEdge
+	hit := src.Hit()
 	m.Meter.Record(size, hit)
 	// Ground-edge hits avoid the origin fetch but still climb the uplink —
 	// the §7 trade-off this metric exists to expose.

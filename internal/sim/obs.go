@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strconv"
+
+	"starcdn/internal/obs"
+	"starcdn/internal/orbit"
+)
+
+// runObs holds the pre-resolved obs instruments for one Run. Handles are
+// fetched once up front (registry lookups take a mutex) and updated with
+// plain atomics on the per-request path. A nil *runObs is the disabled
+// configuration; every method is a nil-safe no-op, so the hot loop pays one
+// pointer test when observability is off.
+//
+// Instrument updates never read or advance the run's seeded RNG streams, so
+// enabling metrics or tracing cannot change simulation results.
+type runObs struct {
+	bySource    [numSources]*obs.Counter
+	bytesSource [numSources]*obs.Counter
+	uplinkBytes *obs.Counter
+	islBytes    *obs.Counter
+	latency     *obs.Histogram
+	kills       *obs.Counter
+	revives     *obs.Counter
+	reg         *obs.Registry
+	perSat      map[orbit.SatID]*satObs
+}
+
+// satObs tracks one serving satellite's live hit rate.
+type satObs struct {
+	req, hit int64
+	rate     *obs.Gauge
+}
+
+// newRunObs resolves the run-level series; nil registry disables everything.
+func newRunObs(reg *obs.Registry) *runObs {
+	if reg == nil {
+		return nil
+	}
+	ro := &runObs{
+		reg:         reg,
+		uplinkBytes: reg.Counter("starcdn_sim_uplink_bytes_total"),
+		islBytes:    reg.Counter("starcdn_sim_isl_bytes_total"),
+		latency:     reg.Histogram("starcdn_sim_request_latency_ms", nil),
+		kills:       reg.Counter("starcdn_sim_failures_total", obs.L("kind", "kill")),
+		revives:     reg.Counter("starcdn_sim_failures_total", obs.L("kind", "revive")),
+		perSat:      make(map[orbit.SatID]*satObs),
+	}
+	for _, s := range Sources() {
+		l := obs.L("source", s.String())
+		ro.bySource[s] = reg.Counter("starcdn_sim_requests_total", l)
+		ro.bytesSource[s] = reg.Counter("starcdn_sim_bytes_total", l)
+	}
+	return ro
+}
+
+// record mirrors one served request into the live instruments.
+func (ro *runObs) record(out *Outcome, size int64, totalMs float64) {
+	if ro == nil {
+		return
+	}
+	src := out.Source
+	if !src.Valid() {
+		src = SourceGround // never reached for well-formed policies
+	}
+	hit := src.Hit()
+	ro.bySource[src].Inc()
+	ro.bytesSource[src].Add(size)
+	if !hit || src == SourceGroundEdge {
+		ro.uplinkBytes.Add(size)
+	}
+	ro.islBytes.Add(out.ISLBytes)
+	ro.latency.Observe(totalMs)
+	if sat := out.ServerSat; sat >= 0 {
+		so := ro.perSat[sat]
+		if so == nil {
+			so = &satObs{rate: ro.reg.Gauge("starcdn_sim_sat_hit_rate",
+				obs.L("sat", strconv.Itoa(int(sat))))}
+			ro.perSat[sat] = so
+		}
+		so.req++
+		if hit {
+			so.hit++
+		}
+		so.rate.Set(float64(so.hit) / float64(so.req))
+	}
+}
+
+// onFailure is the FailureSchedule.OnApply hook counting kills and revivals.
+// It never returns an error, so Run's Advance stays infallible.
+func (ro *runObs) onFailure(ev FailureEvent) error {
+	if ev.Down {
+		ro.kills.Inc()
+	} else {
+		ro.revives.Inc()
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/obs"
+)
+
+// runTwice replays the same env/policy-config with and without observability
+// and returns both metrics plus the instrumented run's artefacts.
+func runTwice(t *testing.T, e *testEnv, mkPolicy func() Policy, cfg Config) (plain, observed *Metrics, reg *obs.Registry, spans []obs.Span) {
+	t.Helper()
+	plain, err := Run(e.c, e.users, e.tr, mkPolicy(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = obs.NewRegistry()
+	var buf bytes.Buffer
+	ocfg := cfg
+	ocfg.Metrics = reg
+	ocfg.Tracer = obs.NewTracer(&buf, 1, 42)
+	observed, err = Run(e.c, e.users, e.tr, mkPolicy(), ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ocfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err = obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, observed, reg, spans
+}
+
+// TestRunObsDoesNotChangeResults: enabling the registry and a rate-1 tracer
+// must leave every simulation result byte-identical — observability reads
+// the event stream, it never perturbs it.
+func TestRunObsDoesNotChangeResults(t *testing.T) {
+	e := newEnv(t, 3000, 900)
+	mk := func() Policy {
+		return e.starcdn(t, 9, 64<<20, StarCDNOptions{Hashing: true, Relay: true})
+	}
+	cfg := Config{Seed: 5, CollectLatency: true}
+	plain, observed, _, _ := runTwice(t, e, mk, cfg)
+	if plain.Meter != observed.Meter {
+		t.Errorf("meters diverged: plain=%+v observed=%+v", plain.Meter, observed.Meter)
+	}
+	if plain.UplinkBytes != observed.UplinkBytes || plain.ISLBytes != observed.ISLBytes {
+		t.Errorf("byte accounting diverged: uplink %d vs %d, isl %d vs %d",
+			plain.UplinkBytes, observed.UplinkBytes, plain.ISLBytes, observed.ISLBytes)
+	}
+	if fmt.Sprintf("%v", plain.BySource) != fmt.Sprintf("%v", observed.BySource) {
+		t.Errorf("source mix diverged: %v vs %v", plain.BySource, observed.BySource)
+	}
+	if pa, ob := plain.Latency.Quantile(0.5), observed.Latency.Quantile(0.5); pa != ob {
+		t.Errorf("median latency diverged: %v vs %v", pa, ob)
+	}
+}
+
+// TestRunObsMirrorsMetrics: the live registry must agree with the end-of-run
+// Metrics, and rate-1 tracing must emit one span per request with a coherent
+// hop chain.
+func TestRunObsMirrorsMetrics(t *testing.T) {
+	e := newEnv(t, 2000, 600)
+	mk := func() Policy {
+		return e.starcdn(t, 9, 32<<20, StarCDNOptions{Hashing: true, Relay: true})
+	}
+	_, m, reg, spans := runTwice(t, e, mk, Config{Seed: 7})
+
+	counts := make(map[string]float64)
+	var latencyCount int64
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "starcdn_sim_requests_total":
+			counts[s.LabelString()] = s.Value
+		case "starcdn_sim_uplink_bytes_total":
+			if int64(s.Value) != m.UplinkBytes {
+				t.Errorf("uplink counter = %v, metrics say %d", s.Value, m.UplinkBytes)
+			}
+		case "starcdn_sim_isl_bytes_total":
+			if int64(s.Value) != m.ISLBytes {
+				t.Errorf("isl counter = %v, metrics say %d", s.Value, m.ISLBytes)
+			}
+		case "starcdn_sim_request_latency_ms":
+			latencyCount = s.HistCount
+		}
+	}
+	for src, n := range m.BySource {
+		key := fmt.Sprintf("{source=%q}", src.String())
+		if int64(counts[key]) != n {
+			t.Errorf("requests_total%s = %v, metrics say %d", key, counts[key], n)
+		}
+	}
+	if latencyCount != m.Meter.Requests {
+		t.Errorf("latency histogram count = %d, want %d", latencyCount, m.Meter.Requests)
+	}
+
+	if int64(len(spans)) != m.Meter.Requests {
+		t.Fatalf("rate-1 tracer emitted %d spans for %d requests",
+			len(spans), m.Meter.Requests)
+	}
+	hits := int64(0)
+	for i := range spans {
+		s := &spans[i]
+		if s.Req != int64(i) {
+			t.Fatalf("span %d has Req=%d; spans must be emitted in order", i, s.Req)
+		}
+		var src Source
+		if err := src.UnmarshalText([]byte(s.Source)); err != nil {
+			t.Fatalf("span %d: %v", i, err)
+		}
+		if s.Hit != src.Hit() {
+			t.Errorf("span %d: Hit=%v for source %s", i, s.Hit, s.Source)
+		}
+		if s.Hit {
+			hits++
+		}
+		if len(s.Hops) == 0 {
+			t.Fatalf("span %d has no hops", i)
+		}
+		// Coverage implies the chain starts at first contact and ends with
+		// the user link; the sum of hop latencies never exceeds the total.
+		if src != SourceNoCover {
+			if s.Hops[0].Kind != "first-contact" {
+				t.Errorf("span %d starts with %q", i, s.Hops[0].Kind)
+			}
+			if last := s.Hops[len(s.Hops)-1]; last.Kind != "user-link" {
+				t.Errorf("span %d ends with %q", i, last.Kind)
+			}
+		}
+		var hopMs float64
+		for _, h := range s.Hops {
+			hopMs += h.SimMs
+		}
+		if hopMs > s.SimMs+1e-9 {
+			t.Errorf("span %d: hop latencies %v exceed total %v", i, hopMs, s.SimMs)
+		}
+	}
+	if hits != m.Meter.Hits {
+		t.Errorf("span hit count = %d, metrics say %d", hits, m.Meter.Hits)
+	}
+}
+
+// TestRunObsFailureCounters: kills and revivals applied by the failure
+// schedule must show up under starcdn_sim_failures_total.
+func TestRunObsFailureCounters(t *testing.T) {
+	e := newEnv(t, 1500, 900)
+	// Choose satellites that actually serve so the run proceeds regardless.
+	events := []FailureEvent{
+		{TimeSec: 100, Sat: 3, Down: true, Transient: true},
+		{TimeSec: 200, Sat: 4, Down: true},
+		{TimeSec: 300, Sat: 3, Down: false},
+	}
+	reg := obs.NewRegistry()
+	cfg := Config{Seed: 11, Failures: events, Metrics: reg}
+	if _, err := Run(e.c, e.users, e.tr,
+		NewNaiveLRU(CacheConfig{Kind: cache.LRU, Bytes: 4 << 20}), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("starcdn_sim_failures_total", obs.L("kind", "kill")).Value(); got != 2 {
+		t.Errorf("kills = %d, want 2", got)
+	}
+	if got := reg.Counter("starcdn_sim_failures_total", obs.L("kind", "revive")).Value(); got != 1 {
+		t.Errorf("revives = %d, want 1", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
 	"starcdn/internal/invariant"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
@@ -22,6 +23,10 @@ type ServeContext struct {
 	// (served as a miss, §3.4) rather than a long-term one (remapped).
 	// Nil means no transient failures are active.
 	TransientDown func(orbit.SatID) bool
+	// Span, when non-nil, is the request's trace span; policies append one
+	// hop per segment the request traverses (AddHop is nil-safe, so
+	// instrumented paths need no guard).
+	Span *obs.Span
 }
 
 // Outcome is a policy's answer: where the request was served and the
@@ -110,16 +115,18 @@ func (p *NaiveLRU) Name() string { return "naive-" + string(p.caches.cfg.Kind) }
 // Serve implements Policy.
 func (p *NaiveLRU) Serve(ctx *ServeContext) Outcome {
 	if ctx.First < 0 {
-		return Outcome{Source: SourceNoCover, ServerSat: -1,
-			SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+		groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+		ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: -1, SimMs: groundMs})
+		return Outcome{Source: SourceNoCover, ServerSat: -1, SpaceMs: groundMs}
 	}
 	c := p.caches.at(ctx.First)
 	if c.Get(ctx.Req.Object) {
 		return Outcome{Source: SourceLocal, ServerSat: ctx.First}
 	}
 	admit(c, ctx.Req.Object, ctx.Req.Size)
-	return Outcome{Source: SourceGround, ServerSat: ctx.First,
-		SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+	groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+	ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: int(ctx.First), SimMs: groundMs})
+	return Outcome{Source: SourceGround, ServerSat: ctx.First, SpaceMs: groundMs}
 }
 
 // StaticCache is the paper's idealised north-star baseline (§5.1): orbital
@@ -224,8 +231,9 @@ func (p *StarCDN) Name() string {
 // Serve implements Policy.
 func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	if ctx.First < 0 {
-		return Outcome{Source: SourceNoCover, ServerSat: -1,
-			SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+		groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+		ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: -1, SimMs: groundMs})
+		return Outcome{Source: SourceNoCover, ServerSat: -1, SpaceMs: groundMs}
 	}
 	home := ctx.First
 	routeMs := 0.0
@@ -238,8 +246,9 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 		// pipelines agree under any failure schedule.
 		owner, serve := p.hash.ServingOwner(ctx.First, b, ctx.TransientDown)
 		if !serve {
-			return Outcome{Source: SourceGround, ServerSat: -1,
-				SpaceMs: ctx.Latency.GroundFetchRTTMs(ctx.Rng)}
+			groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+			ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: -1, SimMs: groundMs})
+			return Outcome{Source: SourceGround, ServerSat: -1, SpaceMs: groundMs}
 		}
 		home = owner
 		ph, sh := p.hash.RoutingHops(ctx.First, home)
@@ -251,6 +260,8 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	// Content served away from the first contact rides the ISLs back.
 	routeHops := p.hash.Grid().TotalHops(ctx.First, home)
 	routeISLBytes := ctx.Req.Size * int64(routeHops)
+	ctx.Span.AddHop(obs.Hop{Kind: "owner", Sat: int(home),
+		ISLHops: routeHops, SimMs: routeMs})
 	c := p.caches.at(home)
 	if c.Get(ctx.Req.Object) {
 		if p.prefetch != nil {
@@ -294,6 +305,8 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 			admit(c, ctx.Req.Object, ctx.Req.Size)
 			relayMs := ctx.Latency.ISLPathRTTMs(p.relayHops(), 0, ctx.Rng)
 			relayISLBytes := ctx.Req.Size * int64(p.relayHops())
+			ctx.Span.AddHop(obs.Hop{Kind: src.String(), Sat: int(nb),
+				ISLHops: p.relayHops(), SimMs: relayMs})
 			return Outcome{Source: src, ServerSat: home, SpaceMs: routeMs + relayMs,
 				ISLBytes: routeISLBytes + relayISLBytes}
 		}
@@ -301,8 +314,10 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 
 	// Ground fetch; the owner caches the object on the way through.
 	admit(c, ctx.Req.Object, ctx.Req.Size)
+	groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+	ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: int(home), SimMs: groundMs})
 	return Outcome{Source: SourceGround, ServerSat: home,
-		SpaceMs:  routeMs + ctx.Latency.GroundFetchRTTMs(ctx.Rng),
+		SpaceMs:  routeMs + groundMs,
 		ISLBytes: routeISLBytes}
 }
 

@@ -7,6 +7,7 @@ import (
 	"starcdn/internal/cache"
 	"starcdn/internal/geo"
 	"starcdn/internal/invariant"
+	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
 	"starcdn/internal/trace"
@@ -52,6 +53,16 @@ type Config struct {
 	// Failures are applied in time order as the trace replays. They must be
 	// sorted by TimeSec.
 	Failures []FailureEvent
+	// Metrics, when non-nil, receives live per-source/per-satellite counters,
+	// gauges, and latency histograms under the starcdn_sim_* names. Updates
+	// are atomic and never touch the seeded RNG streams, so enabling metrics
+	// cannot change results.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, emits one JSONL span per sampled request with the
+	// full hop chain (first-contact -> owner -> relay -> ground -> user-link).
+	// Sampling is a pure hash of (tracer seed, request index), so it is
+	// deterministic and independent of the run's RNGs.
+	Tracer *obs.Tracer
 }
 
 // Run replays the trace through the policy over the constellation. users[i]
@@ -73,6 +84,10 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	failures, err := NewFailureSchedule(c, cfg.Failures)
 	if err != nil {
 		return nil, err
+	}
+	ro := newRunObs(cfg.Metrics)
+	if ro != nil {
+		failures.OnApply(ro.onFailure)
 	}
 	scheduler, err := sched.New(c, users, cfg.EpochSec, cfg.Seed)
 	if err != nil {
@@ -122,12 +137,22 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 				i, r.TimeSec, prevTimeSec)
 			prevTimeSec = r.TimeSec
 		}
-		// Advance cannot fail here: no OnApply hook is registered.
+		// Advance cannot fail here: the only hook ever registered (the obs
+		// failure counters) never returns an error.
 		_ = failures.Advance(r.TimeSec)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {
 			first = -1
 		}
+		var span *obs.Span
+		if cfg.Tracer.Sampled(int64(i)) {
+			span = &obs.Span{Req: int64(i), TimeSec: r.TimeSec, Loc: r.Location,
+				Object: uint64(r.Object), Size: r.Size}
+			if first >= 0 {
+				span.AddHop(obs.Hop{Kind: "first-contact", Sat: int(first)})
+			}
+		}
+		ctx.Span = span
 		if cfg.TrafficScale > 0 && r.TimeSec-demandWindowStart >= demandWindowSec {
 			demandBits := float64(demandWindowBytes) * 8 * cfg.TrafficScale
 			utilization = demandBits / demandWindowSec / gslCapacityBitsPerSec
@@ -159,8 +184,17 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 				// No coverage: account a nominal overhead-path user link.
 				prop = geo.PropagationDelayMs(c.Config().AltitudeKm)
 			}
-			totalMs += lat.UserLinkRTTMs(prop, rng)
+			userMs := lat.UserLinkRTTMs(prop, rng)
+			totalMs += userMs
+			span.AddHop(obs.Hop{Kind: "user-link", Sat: int(first), SimMs: userMs})
 		}
+		if span != nil {
+			span.Source = out.Source.String()
+			span.Hit = out.Source.Hit()
+			span.SimMs = totalMs
+			cfg.Tracer.Emit(span)
+		}
+		ro.record(&out, r.Size, totalMs)
 		metrics.record(out.ServerSat, r.Location, r.Size, out.Source, totalMs)
 		metrics.ISLBytes += out.ISLBytes
 		if metrics.PerClass != nil {
@@ -225,10 +259,4 @@ func uplinkSource(s Source) bool {
 }
 
 // hitSource reports whether a service source counts as a cache hit.
-func hitSource(s Source) bool {
-	switch s {
-	case SourceLocal, SourceBucket, SourceRelayWest, SourceRelayEast, SourceGroundEdge:
-		return true
-	}
-	return false
-}
+func hitSource(s Source) bool { return s.Hit() }

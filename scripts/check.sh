@@ -10,7 +10,9 @@
 #   6. go test        (starcdn_debug tags: invariant sanitizers armed)
 #   7. chaos pass     (seeded fault schedules + injected network faults
 #                      through the TCP replayer, race + debug invariants on)
-#   8. bench smoke    (every benchmark compiles and runs once)
+#   8. obs smoke      (live /metrics + /healthz + pprof scrape during a TCP
+#                      replay, span summarisation with starcdn-trace)
+#   9. bench smoke    (every benchmark compiles and runs once)
 #
 # Usage: scripts/check.sh   (or `make check`)
 set -eu
@@ -49,6 +51,9 @@ step "chaos pass (-race -tags starcdn_debug, fault + chaos suites)"
 go test -race -tags starcdn_debug -count=1 \
 	-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
 	./internal/replayer/ ./internal/sim/
+
+step "obs smoke (metrics endpoint + span tracing end to end)"
+sh scripts/obs_smoke.sh
 
 step "bench smoke (-bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null

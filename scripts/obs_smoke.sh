@@ -1,0 +1,129 @@
+#!/usr/bin/env sh
+# scripts/obs_smoke.sh — end-to-end smoke test of the observability layer.
+#
+# Builds the tool chain, replays a small synthetic trace through the TCP
+# cluster with a live metrics endpoint and rate-1 span tracing, then proves
+# the whole loop works from the outside:
+#
+#   1. /healthz answers 200 with a JSON body
+#   2. /metrics exposes source-labelled replay counters, server-side hit-rate
+#      gauges, and client retry counters in Prometheus text format
+#   3. /metrics.json parses (via the starcdn-trace build's json handling)
+#   4. /debug/pprof/profile returns a non-empty CPU profile
+#   5. starcdn-trace summarises the emitted spans (per-source latency table)
+#
+# Usage: scripts/obs_smoke.sh   (or `make obs`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+	printf '== %s\n' "$*"
+}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/starcdn-obs.XXXXXX")
+REPLAY_PID=""
+cleanup() {
+	if [ -n "$REPLAY_PID" ] && kill -0 "$REPLAY_PID" 2>/dev/null; then
+		kill "$REPLAY_PID" 2>/dev/null || true
+		wait "$REPLAY_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+step "build tools"
+go build -o "$WORK/spacegen" ./cmd/spacegen
+go build -o "$WORK/starcdn-replay" ./cmd/starcdn-replay
+go build -o "$WORK/starcdn-trace" ./cmd/starcdn-trace
+
+step "generate trace (4000 web requests)"
+"$WORK/spacegen" -synthesize-production -class web -requests 4000 \
+	-duration 600 -seed 7 -out "$WORK/web.sctr" >/dev/null
+
+step "replay with metrics + tracing"
+"$WORK/starcdn-replay" -in "$WORK/web.sctr" -cache-mb 64 -buckets 4 -fault \
+	-metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+	-trace-out "$WORK/spans.jsonl" -trace-sample 1 \
+	>"$WORK/replay.out" 2>&1 &
+REPLAY_PID=$!
+
+# The replay prints the resolved listen address on stdout; poll for it.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^metrics: listening on //p' "$WORK/replay.out" | head -n1)
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$REPLAY_PID" 2>/dev/null; then
+		echo "replay exited before publishing the metrics address:" >&2
+		cat "$WORK/replay.out" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "metrics address never appeared in replay output" >&2
+	cat "$WORK/replay.out" >&2
+	exit 1
+fi
+echo "   metrics endpoint: $ADDR"
+
+step "scrape /healthz"
+curl -fsS "http://$ADDR/healthz" | grep -q '"ok"' || {
+	echo "healthz body missing ok field" >&2
+	exit 1
+}
+
+step "scrape /debug/pprof/profile (1s CPU profile during replay)"
+curl -fsS "http://$ADDR/debug/pprof/profile?seconds=1" -o "$WORK/cpu.pb.gz"
+[ -s "$WORK/cpu.pb.gz" ] || { echo "empty CPU profile" >&2; exit 1; }
+
+# Wait for the replay itself to finish (the endpoint lingers afterwards) so
+# the final scrape sees complete counters.
+j=0
+while ! grep -q '^wall time:' "$WORK/replay.out"; do
+	if ! kill -0 "$REPLAY_PID" 2>/dev/null; then
+		echo "replay died before finishing:" >&2
+		cat "$WORK/replay.out" >&2
+		exit 1
+	fi
+	j=$((j + 1))
+	[ $j -gt 600 ] && { echo "replay did not finish in 60s" >&2; exit 1; }
+	sleep 0.1
+done
+
+step "scrape /metrics (final counters)"
+curl -fsS "http://$ADDR/metrics" >"$WORK/metrics.txt"
+for series in \
+	'starcdn_replay_requests_total{source="' \
+	'starcdn_server_hit_rate{' \
+	'starcdn_client_attempts_total'; do
+	grep -q "$series" "$WORK/metrics.txt" || {
+		echo "metrics exposition missing $series" >&2
+		head -50 "$WORK/metrics.txt" >&2
+		exit 1
+	}
+done
+
+step "scrape /metrics.json"
+curl -fsS "http://$ADDR/metrics.json" | grep -q 'starcdn_replay_requests_total' || {
+	echo "json exposition missing replay counters" >&2
+	exit 1
+}
+
+kill "$REPLAY_PID" 2>/dev/null || true
+wait "$REPLAY_PID" 2>/dev/null || true
+REPLAY_PID=""
+
+step "summarise spans with starcdn-trace"
+[ -s "$WORK/spans.jsonl" ] || { echo "no spans were written" >&2; exit 1; }
+"$WORK/starcdn-trace" -in "$WORK/spans.jsonl" -top 5 >"$WORK/trace.out"
+grep -q 'per-source latency' "$WORK/trace.out" || {
+	echo "trace summary missing per-source latency table" >&2
+	cat "$WORK/trace.out" >&2
+	exit 1
+}
+sed 's/^/   /' "$WORK/trace.out" | head -20
+
+step "obs smoke passed"

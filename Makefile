@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint fmt bench debug-test race chaos obs clean
+.PHONY: all build test check lint waivers fmt bench debug-test race chaos obs clean
 
 all: build
 
@@ -13,15 +13,22 @@ build:
 test:
 	$(GO) test ./...
 
-## check: the repository's CI gate — fmt, vet, starcdn-lint, build (both
-## tag sets), race tests, debug-invariant tests, a chaos pass, and a bench
-## smoke.
+## check: the repository's CI gate — fmt, vet, starcdn-lint + waiver audit,
+## build (both tag sets), race tests, debug-invariant tests, a chaos pass,
+## an obs smoke, and a bench smoke. Independent steps run concurrently and
+## each reports its wall-clock time (see scripts/check.sh).
 check:
 	sh scripts/check.sh
 
-## lint: run only the StarCDN static-analysis suite.
+## lint: run only the StarCDN static-analysis suite (type-checked engine,
+## see cmd/starcdn-lint and DESIGN.md §7).
 lint:
 	$(GO) run ./cmd/starcdn-lint ./...
+
+## waivers: audit every //lint:ignore directive — rule, reason, position —
+## and fail on stale waivers (lines that no longer trigger the rule).
+waivers:
+	$(GO) run ./cmd/starcdn-lint -waivers ./...
 
 fmt:
 	gofmt -w $(shell gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/')

@@ -1,20 +1,36 @@
-// Command starcdn-lint is the repository's stdlib-only static analyzer. It
-// walks Go packages with go/parser and enforces StarCDN-specific determinism
-// and robustness rules that `go vet` cannot express:
+// Command starcdn-lint is the repository's stdlib-only static analyzer.
+// Since PR 4 it is a type-checked analysis engine: every package of the
+// module is parsed under one file set and type-checked with go/types
+// (load.go), and an interprocedural call graph (callgraph.go) makes the
+// determinism rules taint analyses. The rules:
 //
-//	simtime    — no wall-clock time (time.Now/time.Since) inside the
-//	             simulation packages; sim time must flow through the clock
+//	simtime    — no wall-clock time (time.Now/Since/Until) inside the
+//	             simulation packages, nor in any function transitively
+//	             reachable from them; sim time must flow through the clock
 //	             abstraction so runs are reproducible.
-//	globalrand — no global math/rand top-level functions in internal/;
+//	globalrand — no global math/rand top-level functions in internal/, nor
+//	             in any function reachable from the simulation packages;
 //	             randomness must come from an injected seeded *rand.Rand.
 //	maporder   — in hashing/figure-emitting packages, ranging over a map
-//	             must not feed slice appends or output directly without a
-//	             sort: Go map iteration order is random and would make
-//	             emitted figures nondeterministic.
+//	             (resolved exactly through aliases, embedded fields, and
+//	             cross-package types) must not feed slice appends or output
+//	             directly without a sort.
 //	panicfree  — no panic() in library code (non-cmd, non-example,
 //	             non-test); Must* constructors are exempt by convention.
 //	closecheck — no unchecked Close()/Flush() calls in cmd/ and the
 //	             multi-process replayer; dropped errors there lose data.
+//	errdrop    — no silently discarded error results in internal/ and cmd/
+//	             (generalizing closecheck to every error-returning call);
+//	             fmt print-family calls and never-failing in-memory writers
+//	             are exempt by policy.
+//	atomicmix  — no struct field accessed both through sync/atomic
+//	             functions and by plain loads/stores; mixed access hides
+//	             data races from the race detector's happens-before view.
+//	deadline   — net.Conn reads/writes in internal/replayer must be
+//	             preceded by a SetDeadline/SetReadDeadline/SetWriteDeadline
+//	             on the same connection in the same function, protecting
+//	             the fault-tolerance contract (a stalled peer must not
+//	             hang a replay).
 //	printf     — no fmt.Print*/global log.* in internal/ (outside
 //	             internal/obs); library output must flow through injected
 //	             writers and the obs slog logger so tests can capture it.
@@ -22,20 +38,25 @@
 // A finding can be suppressed with a directive comment on the same line or
 // the line above:
 //
-//	//lint:ignore <rule> <reason>
+//	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// The reason is mandatory; a directive without one is itself reported.
+// The reason is mandatory; a directive without one is itself reported, as
+// is a directive buried in a /* */ block comment (which has no effect).
+// `starcdn-lint -waivers` audits every directive in the tree and fails on
+// stale ones (waived lines that no longer trigger the rule).
+//
+// The fixture tests under testdata/ compare against goldens; after auditing
+// a deliberate change in findings, regenerate with
+//
+//	go test ./cmd/starcdn-lint -run TestGoldenDiagnostics -update
 package main
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -50,27 +71,26 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Package is one parsed directory of non-test Go files.
-type Package struct {
-	// RelPath is the slash-separated directory path relative to the module
-	// root, e.g. "internal/sim". Rules select targets by RelPath prefix so
-	// the same engine runs against fixture trees in tests.
-	RelPath string
-	Fset    *token.FileSet
-	Files   []*ast.File
-}
-
-// Rule is one self-contained check.
+// Rule is one self-contained per-package check, running with full type
+// information for the package and the whole tree.
 type Rule interface {
 	// Name is the rule identifier used in diagnostics and ignore directives.
 	Name() string
 	// Applies reports whether the rule inspects the package at relPath.
 	Applies(relPath string) bool
 	// Check returns the rule's findings for the package.
-	Check(pkg *Package) []Diagnostic
+	Check(tree *Tree, pkg *Package) []Diagnostic
 }
 
-// allRules returns the full rule set in reporting order.
+// TreeRule is a whole-module analysis: it sees every package at once (the
+// taint rules need the full call graph) and may report findings in any
+// package.
+type TreeRule interface {
+	Name() string
+	CheckTree(tree *Tree) []Diagnostic
+}
+
+// allRules returns the per-package rule set in reporting order.
 func allRules() []Rule {
 	return []Rule{
 		ruleSimTime{},
@@ -78,54 +98,16 @@ func allRules() []Rule {
 		ruleMapOrder{},
 		rulePanicFree{},
 		ruleCloseCheck{},
+		ruleErrDrop{},
+		ruleAtomicMix{},
+		ruleDeadline{},
 		rulePrintf{},
 	}
 }
 
-// importedAs returns the local name under which file imports path, and
-// whether it imports it at all. An unnamed import of "math/rand" is known
-// as "rand", "math/rand/v2" as "rand" too (Go strips the version suffix).
-func importedAs(file *ast.File, path string) (string, bool) {
-	for _, imp := range file.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != path {
-			continue
-		}
-		if imp.Name != nil {
-			return imp.Name.Name, true
-		}
-		base := filepath.Base(p)
-		if strings.HasPrefix(base, "v") && p != base {
-			// Version-suffix import paths like math/rand/v2 are known by
-			// the second-to-last element.
-			if _, err := strconv.Atoi(base[1:]); err == nil {
-				return filepath.Base(filepath.Dir(p)), true
-			}
-		}
-		return base, true
-	}
-	return "", false
-}
-
-// isPkgCall reports whether call is pkgName.fn(...) for fn in names.
-func isPkgCall(call *ast.CallExpr, pkgName string, names map[string]bool) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	ident, ok := sel.X.(*ast.Ident)
-	if !ok || ident.Name != pkgName {
-		return "", false
-	}
-	// A selector whose base resolves to a local object (parameter, local
-	// variable) is not a package reference.
-	if ident.Obj != nil {
-		return "", false
-	}
-	if names == nil || names[sel.Sel.Name] {
-		return sel.Sel.Name, true
-	}
-	return "", false
+// allTreeRules returns the whole-module analyses.
+func allTreeRules() []TreeRule {
+	return []TreeRule{ruleTaint{}}
 }
 
 // ignoreDirective is a parsed //lint:ignore comment.
@@ -134,16 +116,58 @@ type ignoreDirective struct {
 	reason string
 	line   int // line the directive appears on
 	pos    token.Position
+	used   map[string]bool // rules that actually suppressed a finding
+}
+
+// ruleNames returns the directive's rule list, sorted.
+func (d *ignoreDirective) ruleNames() []string {
+	out := make([]string, 0, len(d.rules))
+	for r := range d.rules {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stale returns the directive's rules that suppressed nothing.
+func (d *ignoreDirective) stale() []string {
+	var out []string
+	for _, r := range d.ruleNames() {
+		if !d.used[r] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // parseIgnores extracts the lint:ignore directives of a file, keyed by the
 // line(s) they suppress: the directive's own line and the line below it.
-func parseIgnores(fset *token.FileSet, file *ast.File) (map[int]*ignoreDirective, []Diagnostic) {
+// Malformed directives (missing reason) and inert ones (inside /* */ block
+// comments, which never suppress anything) are reported.
+func parseIgnores(fset *token.FileSet, file *ast.File) (map[int]*ignoreDirective, []*ignoreDirective, []Diagnostic) {
 	const prefix = "//lint:ignore"
 	byLine := make(map[int]*ignoreDirective)
+	var all []*ignoreDirective
 	var malformed []Diagnostic
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "/*") && strings.Contains(c.Text, "lint:ignore") {
+				// A directive buried in a block comment silently does
+				// nothing; surface it so the author moves it to a //-style
+				// comment instead of believing the finding waived.
+				for i, line := range strings.Split(c.Text, "\n") {
+					trimmed := strings.TrimLeft(line, " \t*/")
+					if strings.HasPrefix(trimmed, "lint:ignore") {
+						pos := fset.Position(c.Pos())
+						malformed = append(malformed, Diagnostic{
+							Pos:     token.Position{Filename: pos.Filename, Line: pos.Line + i, Column: pos.Column},
+							Rule:    "directive",
+							Message: "lint:ignore inside a block comment has no effect; use a //-style comment",
+						})
+					}
+				}
+				continue
+			}
 			if !strings.HasPrefix(c.Text, prefix) {
 				continue
 			}
@@ -163,123 +187,173 @@ func parseIgnores(fset *token.FileSet, file *ast.File) (map[int]*ignoreDirective
 				reason: strings.Join(fields[1:], " "),
 				line:   pos.Line,
 				pos:    pos,
+				used:   make(map[string]bool),
 			}
 			for _, r := range strings.Split(fields[0], ",") {
 				d.rules[r] = true
 			}
 			byLine[pos.Line] = d
 			byLine[pos.Line+1] = d
+			all = append(all, d)
 		}
 	}
-	return byLine, malformed
+	return byLine, all, malformed
 }
 
-// checkPackage runs every applicable rule over pkg and filters findings
-// through the ignore directives.
-func checkPackage(pkg *Package, rules []Rule) []Diagnostic {
-	var diags []Diagnostic
-	ignores := make(map[string]map[int]*ignoreDirective) // filename -> line -> directive
-	for _, f := range pkg.Files {
-		byLine, malformed := parseIgnores(pkg.Fset, f)
-		if len(byLine) > 0 {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			ignores[name] = byLine
+// ignoreIndex holds every parsed directive of the tree, addressable by
+// suppressed (filename, line).
+type ignoreIndex struct {
+	byFile     map[string]map[int]*ignoreDirective
+	directives []*ignoreDirective
+	malformed  []Diagnostic
+}
+
+// buildIgnoreIndex parses the directives of every file in the tree.
+func buildIgnoreIndex(tree *Tree) *ignoreIndex {
+	idx := &ignoreIndex{byFile: make(map[string]map[int]*ignoreDirective)}
+	for _, pkg := range tree.Packages {
+		for _, f := range pkg.Files {
+			byLine, all, malformed := parseIgnores(tree.Fset, f)
+			if len(byLine) > 0 {
+				name := tree.Fset.Position(f.Pos()).Filename
+				idx.byFile[name] = byLine
+			}
+			idx.directives = append(idx.directives, all...)
+			idx.malformed = append(idx.malformed, malformed...)
 		}
-		diags = append(diags, malformed...)
 	}
-	for _, r := range rules {
-		if !r.Applies(pkg.RelPath) {
-			continue
-		}
-		for _, d := range r.Check(pkg) {
-			if byLine := ignores[d.Pos.Filename]; byLine != nil {
-				if dir := byLine[d.Pos.Line]; dir != nil && dir.rules[d.Rule] {
-					continue
+	return idx
+}
+
+// suppress reports whether d is waived by a directive, marking the
+// directive used if so.
+func (idx *ignoreIndex) suppress(d Diagnostic) bool {
+	byLine := idx.byFile[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	dir := byLine[d.Pos.Line]
+	if dir == nil || !dir.rules[d.Rule] {
+		return false
+	}
+	dir.used[d.Rule] = true
+	return true
+}
+
+// lintResult is one full analysis run over a tree.
+type lintResult struct {
+	tree *Tree
+	// diags are the unsuppressed findings in the selected packages, sorted.
+	diags []Diagnostic
+	// directives are every //lint:ignore in the tree, with usage marked.
+	directives []*ignoreDirective
+}
+
+// selectPackages resolves lint patterns to the set of RelPaths rules report
+// on. "./..." (or "...") selects the whole tree; "./dir/..." a subtree;
+// anything else one directory.
+func selectPackages(tree *Tree, patterns []string) map[string]bool {
+	selected := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		switch {
+		case pat == "..." || pat == "":
+			for _, pkg := range tree.Packages {
+				selected[pkg.RelPath] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			for _, pkg := range tree.Packages {
+				if pkg.RelPath == base || strings.HasPrefix(pkg.RelPath, base+"/") {
+					selected[pkg.RelPath] = true
 				}
 			}
+		default:
+			selected[strings.TrimSuffix(pat, "/")] = true
+		}
+	}
+	return selected
+}
+
+// runLint loads the module at root and runs the full rule suite. Rules
+// always analyze the whole tree (cross-package types and the call graph
+// need every package); patterns only restrict which packages' findings are
+// reported. Directive usage is tracked tree-wide so the waiver audit sees
+// exact liveness.
+func runLint(root string, patterns []string) (*lintResult, error) {
+	tree, err := loadTree(root)
+	if err != nil {
+		return nil, err
+	}
+	selected := selectPackages(tree, patterns)
+	ignores := buildIgnoreIndex(tree)
+
+	var raw []Diagnostic
+	for _, rule := range allRules() {
+		for _, pkg := range tree.Packages {
+			if !rule.Applies(pkg.RelPath) {
+				continue
+			}
+			raw = append(raw, rule.Check(tree, pkg)...)
+		}
+	}
+	for _, rule := range allTreeRules() {
+		raw = append(raw, rule.CheckTree(tree)...)
+	}
+
+	var diags []Diagnostic
+	for _, d := range raw {
+		if ignores.suppress(d) {
+			continue
+		}
+		if selected[relDirOf(root, d.Pos.Filename)] {
 			diags = append(diags, d)
 		}
 	}
-	return diags
-}
-
-// loadPackage parses all non-test .go files of one directory.
-func loadPackage(root, dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
+	for _, d := range ignores.malformed {
+		if selected[relDirOf(root, d.Pos.Filename)] {
+			diags = append(diags, d)
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	if rel == "." {
-		rel = ""
-	}
-	return &Package{RelPath: filepath.ToSlash(rel), Fset: fset, Files: files}, nil
-}
-
-// lintTree lints every package under root matching the patterns. A pattern
-// of "./..." (or "...") walks the whole tree; "./dir/..." walks a subtree;
-// anything else names a single directory. testdata, vendor, and hidden
-// directories are skipped.
-func lintTree(root string, patterns []string) ([]Diagnostic, error) {
-	dirs := make(map[string]bool)
-	for _, pat := range patterns {
-		pat = filepath.ToSlash(pat)
-		switch {
-		case pat == "./..." || pat == "...":
-			if err := collectDirs(root, dirs); err != nil {
-				return nil, err
-			}
-		case strings.HasSuffix(pat, "/..."):
-			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
-			if err := collectDirs(base, dirs); err != nil {
-				return nil, err
-			}
-		default:
-			dirs[filepath.Join(root, pat)] = true
-		}
-	}
-	sorted := make([]string, 0, len(dirs))
-	for d := range dirs {
-		sorted = append(sorted, d)
-	}
-	sort.Strings(sorted)
-
-	rules := allRules()
-	var diags []Diagnostic
-	for _, dir := range sorted {
-		pkg, err := loadPackage(root, dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg == nil {
-			continue
-		}
-		diags = append(diags, checkPackage(pkg, rules)...)
 	}
 	for i := range diags {
-		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].Pos.Filename = filepath.ToSlash(rel)
-		}
+		diags[i].Pos.Filename = relativize(root, diags[i].Pos.Filename)
 	}
+	sortDiagnostics(diags)
+	return &lintResult{tree: tree, diags: diags, directives: ignores.directives}, nil
+}
+
+// lintTree is the plain-findings entry point used by main and the tests.
+func lintTree(root string, patterns []string) ([]Diagnostic, error) {
+	res, err := runLint(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return res.diags, nil
+}
+
+// relDirOf returns the slash-separated directory of filename relative to
+// root ("" for the root package itself).
+func relDirOf(root, filename string) string {
+	rel, err := filepath.Rel(root, filepath.Dir(filename))
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Dir(filename))
+	}
+	if rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// relativize rewrites filename relative to root when possible.
+func relativize(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// sortDiagnostics orders findings by file, line, column, then rule.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -292,23 +366,5 @@ func lintTree(root string, patterns []string) ([]Diagnostic, error) {
 			return a.Pos.Column < b.Pos.Column
 		}
 		return a.Rule < b.Rule
-	})
-	return diags, nil
-}
-
-func collectDirs(base string, dirs map[string]bool) error {
-	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		dirs[path] = true
-		return nil
 	})
 }

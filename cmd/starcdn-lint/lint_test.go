@@ -2,6 +2,8 @@ package main
 
 import (
 	"flag"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,9 +57,93 @@ func TestEachRuleFires(t *testing.T) {
 	for _, d := range diags {
 		seen[d.Rule]++
 	}
-	for _, rule := range []string{"simtime", "globalrand", "maporder", "panicfree", "closecheck", "printf", "directive"} {
+	for _, rule := range []string{
+		"simtime", "globalrand", "maporder", "panicfree", "closecheck",
+		"errdrop", "atomicmix", "deadline", "printf", "directive",
+	} {
 		if seen[rule] == 0 {
 			t.Errorf("rule %s produced no findings on fixtures", rule)
+		}
+	}
+}
+
+// TestInterproceduralTaint pins the taint analysis behaviour the goldens
+// alone cannot express: findings outside the simulation packages must carry
+// the call chain from an entry point, and the same wall-clock call in an
+// unreachable function must draw no finding.
+func TestInterproceduralTaint(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	diags, err := lintTree(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simutilTime, simutilRand, statsTime bool
+	for _, d := range diags {
+		switch {
+		case d.Pos.Filename == "simutil/simutil.go" && d.Rule == "simtime":
+			simutilTime = true
+			if !strings.Contains(d.Message, "sim.Run") || !strings.Contains(d.Message, "simutil.StepCost") {
+				t.Errorf("simutil simtime finding lacks the call chain: %s", d.Message)
+			}
+		case d.Pos.Filename == "simutil/simutil.go" && d.Rule == "globalrand":
+			simutilRand = true
+			if !strings.Contains(d.Message, "simutil.jitter") {
+				t.Errorf("simutil globalrand finding lacks the call chain: %s", d.Message)
+			}
+		case d.Pos.Filename == "internal/stats/lib.go" && d.Rule == "simtime":
+			statsTime = true
+			if !strings.Contains(d.Message, "sim.Profile") || !strings.Contains(d.Message, "stats.TimedMean") {
+				t.Errorf("stats simtime finding lacks the call chain: %s", d.Message)
+			}
+		}
+		// Unreached() holds the same time.Now call but is dead from the
+		// simulation packages; any finding on it is a false positive.
+		if d.Pos.Filename == "simutil/simutil.go" && d.Pos.Line >= 28 {
+			t.Errorf("unreachable function flagged by taint: %s", d)
+		}
+	}
+	if !simutilTime || !simutilRand || !statsTime {
+		t.Errorf("missing interprocedural findings: simutil simtime=%v simutil globalrand=%v stats simtime=%v",
+			simutilTime, simutilRand, statsTime)
+	}
+}
+
+// TestWaiverAudit runs the -waivers audit over the fixture tree: every
+// directive must be listed with its rule(s) and reason, the misattached
+// directive in internal/directives must be reported stale, and the two
+// inert/malformed directives must count as problems.
+func TestWaiverAudit(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	res, err := runLint(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	problems := auditWaivers(res, &buf)
+	out := buf.String()
+
+	// 3 problems: one stale waiver, one missing-reason directive
+	// (internal/replayer/conn.go), one block-comment directive
+	// (internal/directives/directives.go).
+	if problems != 3 {
+		t.Errorf("auditWaivers problems = %d, want 3\n%s", problems, out)
+	}
+	for _, want := range []string{
+		"STALE waiver for globalrand",
+		// the comma-rule directive lists both rules, sorted, and is live
+		// for both (no stale line may name it).
+		"internal/directives/directives.go:14: errdrop,globalrand: fixture: one directive waiving two rules on one line",
+		"malformed //lint:ignore",
+		"lint:ignore inside a block comment has no effect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit output missing %q\n%s", want, out)
+		}
+	}
+	// Live waivers must not be reported stale.
+	for _, live := range []string{"deadline", "atomicmix", "errdrop", "simtime", "panicfree", "printf", "maporder", "closecheck"} {
+		if strings.Contains(out, "STALE waiver for "+live) {
+			t.Errorf("live %s waiver reported stale\n%s", live, out)
 		}
 	}
 }
@@ -120,6 +206,66 @@ func TestWantMarkersMatch(t *testing.T) {
 		if !wanted[k] {
 			t.Errorf("%s:%d: unmarked %s finding (add `// want %s` or fix the fixture)", k.file, k.line, k.rule, k.rule)
 		}
+	}
+}
+
+// TestDirectiveEdgeCases pins parseIgnores behaviour on a synthetic file:
+// line binding (the directive's own line and the one below, nothing else),
+// comma-separated rule lists, the missing-reason report position, and the
+// inert block-comment report position.
+func TestDirectiveEdgeCases(t *testing.T) {
+	src := `package p
+
+//lint:ignore alpha,beta shared reason
+var a int
+
+//lint:ignore gamma
+var b int
+
+/*
+lint:ignore delta buried
+*/
+var c int
+
+var d int //lint:ignore epsilon same-line reason
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "edge.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine, all, malformed := parseIgnores(fset, file)
+
+	if len(all) != 2 {
+		t.Fatalf("parsed %d well-formed directives, want 2", len(all))
+	}
+	multi := byLine[3]
+	if multi == nil || !multi.rules["alpha"] || !multi.rules["beta"] || multi.reason != "shared reason" {
+		t.Errorf("comma-rule directive misparsed: %+v", multi)
+	}
+	if byLine[4] != multi {
+		t.Error("directive does not bind to the line below it")
+	}
+	if byLine[5] != nil {
+		t.Error("directive binds two lines below; it must only cover its own line and the next")
+	}
+	same := byLine[14]
+	if same == nil || !same.rules["epsilon"] || same.reason != "same-line reason" {
+		t.Errorf("same-line directive misparsed: %+v", same)
+	}
+
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed/inert reports, want 2: %v", len(malformed), malformed)
+	}
+	byMsg := make(map[int]string)
+	for _, d := range malformed {
+		byMsg[d.Pos.Line] = d.Message
+	}
+	if msg, ok := byMsg[6]; !ok || !strings.Contains(msg, "malformed //lint:ignore") {
+		t.Errorf("missing-reason directive not reported at its own line 6: %v", byMsg)
+	}
+	if msg, ok := byMsg[10]; !ok || !strings.Contains(msg, "block comment") {
+		t.Errorf("block-comment directive not reported at the lint:ignore line 10: %v", byMsg)
 	}
 }
 

@@ -8,10 +8,15 @@ import (
 )
 
 func main() {
+	waivers := flag.Bool("waivers", false,
+		"audit //lint:ignore directives: list rule, reason, and file:line for each, "+
+			"and fail on stale waivers (waived lines that no longer trigger the rule)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: starcdn-lint [packages]\n\n"+
-				"Lints StarCDN Go packages for determinism and robustness rules.\n"+
+			"usage: starcdn-lint [-waivers] [packages]\n\n"+
+				"Type-checked lint for StarCDN Go packages: determinism (simtime/\n"+
+				"globalrand taint, maporder), robustness (panicfree, closecheck,\n"+
+				"errdrop, atomicmix, deadline), and output hygiene (printf).\n"+
 				"Patterns: ./... (whole module), ./dir/... (subtree), or a directory.\n"+
 				"Defaults to ./... relative to the enclosing module root.\n")
 		flag.PrintDefaults()
@@ -27,16 +32,23 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lintTree(root, patterns)
+	res, err := runLint(root, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
+	if *waivers {
+		if problems := auditWaivers(res, os.Stdout); problems > 0 {
+			fmt.Fprintf(os.Stderr, "starcdn-lint: %d waiver problem(s)\n", problems)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, d := range res.diags {
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "starcdn-lint: %d finding(s)\n", len(diags))
+	if len(res.diags) > 0 {
+		fmt.Fprintf(os.Stderr, "starcdn-lint: %d finding(s)\n", len(res.diags))
 		os.Exit(1)
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -13,6 +14,12 @@ import (
 // explicitly discarding it (`_ = x.Close()`, possibly inside a deferred
 // closure) passes, because the discard is then a visible, reviewable
 // decision.
+//
+// With type information the rule only fires when the Close/Flush actually
+// returns an error — a `Close()` with no results (a pure teardown hook) has
+// nothing to drop. The broader errdrop rule covers every other
+// error-returning call; Close/Flush stay under this rule's name where it
+// applies so existing waivers keep their meaning.
 type ruleCloseCheck struct{}
 
 func (ruleCloseCheck) Name() string { return "closecheck" }
@@ -34,11 +41,32 @@ func flushLikeCall(call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-func (r ruleCloseCheck) Check(pkg *Package) []Diagnostic {
+// callReturnsError reports whether the call's signature carries an error
+// result (anywhere in the result tuple).
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin, conversion
+	}
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ruleCloseCheck) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	flag := func(call *ast.CallExpr, deferred bool) {
 		name, ok := flushLikeCall(call)
-		if !ok {
+		if !ok || !callReturnsError(pkg.Info, call) {
 			return
 		}
 		how := "unchecked"

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleDeadline protects the replayer's fault-tolerance contract (DESIGN.md
+// §8): a stalled peer must never hang a replay, so every net.Conn
+// read/write path must be covered by a deadline. Within each function of
+// internal/replayer the rule flags
+//
+//   - a direct x.Read(...)/x.Write(...) on a net.Conn-typed value, and
+//   - a net.Conn-typed value handed to a plain reader/writer helper (a
+//     parameter whose type is an io.Reader/io.Writer-style interface that
+//     is not itself a net.Conn) — the helper then performs the I/O with no
+//     way to arm a deadline,
+//
+// unless the same connection expression received a SetDeadline/
+// SetReadDeadline/SetWriteDeadline call earlier in that function. The
+// "earlier in the same function" check is a source-order approximation of
+// dominance: it accepts the canonical arm-then-use shape (including a
+// conditional arm like `if timeout > 0 { conn.SetDeadline(...) }`, whose
+// policy decision belongs to the caller) and rejects use-before-arm.
+// Server-side handlers that deliberately block until the peer hangs up
+// must carry a //lint:ignore deadline waiver explaining why.
+//
+// Methods on types that themselves implement net.Conn are exempt: a conn
+// wrapper (the fault injector's faultConn, say) transparently delegates
+// Read/Write/SetDeadline, so the deadline obligation belongs to whoever
+// holds the wrapper — exactly where this rule already looks.
+type ruleDeadline struct{}
+
+func (ruleDeadline) Name() string { return "deadline" }
+
+func (ruleDeadline) Applies(relPath string) bool {
+	return relPath == "internal/replayer"
+}
+
+// deadlineMethods arm a connection deadline.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// ioMethods perform the guarded I/O.
+var ioMethods = map[string]bool{
+	"Read": true, "Write": true,
+}
+
+// netConnIface digs the net.Conn interface type out of the package's
+// imports (nil when the package never touches net).
+func netConnIface(pkg *Package) *types.Interface {
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "net" {
+			if obj := imp.Scope().Lookup("Conn"); obj != nil {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isNetConn reports whether t (or *t) implements net.Conn.
+func isNetConn(t types.Type, conn *types.Interface) bool {
+	if t == nil || conn == nil {
+		return false
+	}
+	return types.Implements(t, conn) || types.Implements(types.NewPointer(t), conn)
+}
+
+// connKey renders a stable identity for a connection expression built from
+// identifiers and field selections (e.conn, s.ln, conn). Object pointers
+// anchor the identity so shadowing cannot alias two different variables.
+func connKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[v]; obj != nil {
+			return fmt.Sprintf("%p", obj), true
+		}
+	case *ast.SelectorExpr:
+		if base, ok := connKey(info, v.X); ok {
+			return base + "." + v.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// readerWriterHandoff reports whether the i'th parameter of sig is a plain
+// reader/writer interface (has Read or Write, does not itself satisfy
+// net.Conn) — i.e. handing a conn there performs I/O outside deadline
+// control.
+func readerWriterHandoff(sig *types.Signature, i int, conn *types.Interface) bool {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return false
+	}
+	idx := i
+	if sig.Variadic() && idx >= params.Len()-1 {
+		idx = params.Len() - 1
+	}
+	if idx >= params.Len() {
+		return false
+	}
+	t := params.At(idx).Type()
+	if sig.Variadic() && idx == params.Len()-1 {
+		if slice, ok := t.(*types.Slice); ok {
+			t = slice.Elem()
+		}
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok || isNetConn(t, conn) {
+		return false
+	}
+	for j := 0; j < iface.NumMethods(); j++ {
+		if name := iface.Method(j).Name(); name == "Read" || name == "Write" {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ruleDeadline) Check(tree *Tree, pkg *Package) []Diagnostic {
+	conn := netConnIface(pkg)
+	if conn == nil {
+		return nil
+	}
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := pkg.Info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+				if recv := obj.Type().(*types.Signature).Recv(); recv != nil && isNetConn(recv.Type(), conn) {
+					continue // conn wrapper method: obligation sits with the holder
+				}
+			}
+			// Pass 1: deadline arms, keyed by connection identity.
+			armed := make(map[string]token.Pos)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !deadlineMethods[sel.Sel.Name] || !isNetConn(typeOf(sel.X), conn) {
+					return true
+				}
+				if key, ok := connKey(pkg.Info, sel.X); ok {
+					if prev, seen := armed[key]; !seen || call.Pos() < prev {
+						armed[key] = call.Pos()
+					}
+				}
+				return true
+			})
+			// Pass 2: I/O uses; flag those with no earlier arm on the same
+			// connection.
+			flag := func(pos token.Pos, key string, keyed bool, what string) {
+				if keyed {
+					if armPos, ok := armed[key]; ok && armPos < pos {
+						return
+					}
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(pos),
+					Rule: r.Name(),
+					Message: what + " on a net.Conn with no prior SetDeadline in " + fn.Name.Name +
+						"; a stalled peer would hang the replay — arm a deadline (or waive with the blocking rationale)",
+				})
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && ioMethods[sel.Sel.Name] && isNetConn(typeOf(sel.X), conn) {
+					key, keyed := connKey(pkg.Info, sel.X)
+					flag(call.Pos(), key, keyed, sel.Sel.Name)
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Fun]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				sig, ok := tv.Type.Underlying().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range call.Args {
+					if !isNetConn(typeOf(arg), conn) || !readerWriterHandoff(sig, i, conn) {
+						continue
+					}
+					key, keyed := connKey(pkg.Info, arg)
+					flag(arg.Pos(), key, keyed, "reader/writer handoff")
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -10,6 +10,11 @@ import (
 // shared across goroutines, so any use makes simulation output depend on
 // unrelated code paths and on goroutine interleaving. All randomness must
 // flow through an injected, explicitly seeded *rand.Rand.
+//
+// Calls are resolved through type information, so aliased imports and
+// *rand.Rand method calls are classified exactly. The interprocedural
+// extension (global draws reachable from the simulation packages but
+// outside internal/) lives in rule_taint.go under the same rule name.
 type ruleGlobalRand struct{}
 
 func (ruleGlobalRand) Name() string { return "globalrand" }
@@ -31,33 +36,21 @@ var globalRandFuncs = map[string]bool{
 	"Uint64N": true, "N": true,
 }
 
-func (r ruleGlobalRand) Check(pkg *Package) []Diagnostic {
+func (r ruleGlobalRand) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
-		names := make(map[string]bool)
-		if n, ok := importedAs(file, "math/rand"); ok {
-			names[n] = true
-		}
-		if n, ok := importedAs(file, "math/rand/v2"); ok {
-			names[n] = true
-		}
-		if len(names) == 0 {
-			continue
-		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			for pkgName := range names {
-				if fn, ok := isPkgCall(call, pkgName, globalRandFuncs); ok {
-					diags = append(diags, Diagnostic{
-						Pos:  pkg.Fset.Position(call.Pos()),
-						Rule: r.Name(),
-						Message: "global rand." + fn + " draws from the shared process-wide source; " +
-							"inject a seeded *rand.Rand instead",
-					})
-				}
+			if fn := calleeOf(pkg.Info, call); isGlobalRand(fn) {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Message: "global rand." + fn.Name() + " draws from the shared process-wide source; " +
+						"inject a seeded *rand.Rand instead",
+				})
 			}
 			return true
 		})

@@ -3,19 +3,24 @@ package main
 import (
 	"go/ast"
 	"go/token"
-	"strings"
+	"go/types"
 )
 
 // ruleMapOrder guards the determinism of everything the repo emits: Go map
 // iteration order is deliberately randomised, so a `for k := range m` that
 // feeds a slice append or an output writer directly produces different
 // figure files on every run. In the hashing and figure-emitting packages
-// the rule flags a range over a (package-locally provable) map whose body
+// the rule flags a range over a map whose body
 //
 //   - appends to a slice declared outside the loop that is never passed to
 //     a sort/slices call in the same function, or
 //   - writes output directly (fmt.Print*/Fprint*, or Write*/WriteString
 //     method calls).
+//
+// Map-ness is decided by go/types — the expression's underlying type —
+// which resolves exactly through type aliases, named map types, embedded
+// struct fields, and cross-package declarations that the old package-local
+// syntactic index (pre-PR-4 maptype.go) could not see.
 //
 // The idiomatic fix — collect keys, sort them, then iterate the sorted
 // slice — passes, because the collected slice *is* sorted in-function.
@@ -33,12 +38,7 @@ var mapOrderPackages = []string{
 }
 
 func (ruleMapOrder) Applies(relPath string) bool {
-	for _, p := range mapOrderPackages {
-		if relPath == p || strings.HasPrefix(relPath, p+"/") {
-			return true
-		}
-	}
-	return false
+	return pathIn(relPath, mapOrderPackages)
 }
 
 // outputFuncs are fmt-style emitters whose call inside a map range makes
@@ -54,8 +54,17 @@ var writerMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 }
 
-func (r ruleMapOrder) Check(pkg *Package) []Diagnostic {
-	idx := buildMapIndex(pkg.Files)
+// isMapExpr reports whether e's type is (under the hood) a map.
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func (r ruleMapOrder) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -63,12 +72,10 @@ func (r ruleMapOrder) Check(pkg *Package) []Diagnostic {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			local := localMapVars(fn.Body, idx)
-			paramMapNames(fn.Type, local)
-			sorted := sortedIdents(fn.Body)
+			sorted := sortedIdents(pkg.Info, fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				rs, ok := n.(*ast.RangeStmt)
-				if !ok || !exprResolvesToMap(rs.X, idx, local) {
+				if !ok || !isMapExpr(pkg.Info, rs.X) {
 					return true
 				}
 				diags = append(diags, r.checkMapRangeBody(pkg, rs, sorted)...)
@@ -81,7 +88,7 @@ func (r ruleMapOrder) Check(pkg *Package) []Diagnostic {
 
 // sortedIdents returns the names of identifiers passed to any sort.* or
 // slices.* call anywhere in the function body.
-func sortedIdents(body *ast.BlockStmt) map[string]bool {
+func sortedIdents(info *types.Info, body *ast.BlockStmt) map[string]bool {
 	out := make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -93,7 +100,14 @@ func sortedIdents(body *ast.BlockStmt) map[string]bool {
 			return true
 		}
 		base, ok := sel.X.(*ast.Ident)
-		if !ok || (base.Name != "sort" && base.Name != "slices") || base.Obj != nil {
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[base].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
 			return true
 		}
 		for _, arg := range call.Args {
@@ -152,7 +166,7 @@ func (r ruleMapOrder) checkMapRangeBody(pkg *Package, rs *ast.RangeStmt, sorted 
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.Ident:
-			if fun.Name == "append" && fun.Obj == nil && len(call.Args) > 0 {
+			if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "append" && len(call.Args) > 0 {
 				target, ok := call.Args[0].(*ast.Ident)
 				if !ok || inner[target.Name] || sorted[target.Name] {
 					return true

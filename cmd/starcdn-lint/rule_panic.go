@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -11,7 +12,8 @@ import (
 // cmd/ and examples/ binaries (panic == crash-on-startup is acceptable),
 // functions following the Must* convention (panic-on-error wrappers for
 // constant arguments, like regexp.MustCompile), and test files (which the
-// loader already skips).
+// loader already skips). The builtin is recognised through type
+// information, so a local function named "panic" is never confused for it.
 type rulePanicFree struct{}
 
 func (rulePanicFree) Name() string { return "panicfree" }
@@ -23,7 +25,7 @@ func (rulePanicFree) Applies(relPath string) bool {
 	return true
 }
 
-func (r rulePanicFree) Check(pkg *Package) []Diagnostic {
+func (r rulePanicFree) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -41,7 +43,10 @@ func (r rulePanicFree) Check(pkg *Package) []Diagnostic {
 					return true
 				}
 				ident, ok := call.Fun.(*ast.Ident)
-				if !ok || ident.Name != "panic" || ident.Obj != nil {
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[ident].(*types.Builtin); !isBuiltin {
 					return true
 				}
 				diags = append(diags, Diagnostic{

@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -12,7 +13,9 @@ import (
 // through the injected slog logger and metrics registry in internal/obs —
 // which is itself the one exempt package, since it implements the sinks.
 // Writer-parameterised output (fmt.Fprintf to an explicit io.Writer) stays
-// legal: the writer is the injection point.
+// legal: the writer is the injection point. Calls are resolved through type
+// information, so aliased imports and methods on *log.Logger values (which
+// are injectable, hence fine) are classified exactly.
 type rulePrintf struct{}
 
 func (rulePrintf) Name() string { return "printf" }
@@ -37,35 +40,34 @@ var bannedLogFuncs = map[string]bool{
 	"Panic": true, "Panicf": true, "Panicln": true,
 }
 
-func (r rulePrintf) Check(pkg *Package) []Diagnostic {
+func (r rulePrintf) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
-		fmtName, hasFmt := importedAs(file, "fmt")
-		logName, hasLog := importedAs(file, "log")
-		if !hasFmt && !hasLog {
-			continue
-		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if hasFmt {
-				if fn, ok := isPkgCall(call, fmtName, bannedFmtFuncs); ok {
+			fn := calleeOf(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				if bannedFmtFuncs[fn.Name()] {
 					diags = append(diags, Diagnostic{
 						Pos:  pkg.Fset.Position(call.Pos()),
 						Rule: r.Name(),
-						Message: "fmt." + fn + " writes to process stdout from library code; " +
+						Message: "fmt." + fn.Name() + " writes to process stdout from library code; " +
 							"take an io.Writer or log through the injected obs logger",
 					})
 				}
-			}
-			if hasLog {
-				if fn, ok := isPkgCall(call, logName, bannedLogFuncs); ok {
+			case "log":
+				if bannedLogFuncs[fn.Name()] {
 					diags = append(diags, Diagnostic{
 						Pos:  pkg.Fset.Position(call.Pos()),
 						Rule: r.Name(),
-						Message: "global log." + fn + " bypasses the injected logger; " +
+						Message: "global log." + fn.Name() + " bypasses the injected logger; " +
 							"thread a *slog.Logger (internal/obs) instead",
 					})
 				}

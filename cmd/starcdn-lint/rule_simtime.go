@@ -9,11 +9,18 @@ import (
 // Simulated time must come from trace timestamps / the scheduler epoch
 // clock; a single time.Now() makes two runs of the same seed diverge and
 // silently invalidates every figure built on top.
+//
+// This is the *direct* check: calls are resolved through type information
+// (import aliases and shadowing are handled exactly). The interprocedural
+// extension — wall-clock reads in helpers merely *reachable* from the
+// simulation packages — lives in rule_taint.go and reports under the same
+// rule name, so one waiver vocabulary covers both.
 type ruleSimTime struct{}
 
 func (ruleSimTime) Name() string { return "simtime" }
 
-// simTimePackages are the RelPath prefixes where wall-clock time is banned.
+// simTimePackages are the RelPath prefixes where wall-clock time is banned
+// outright.
 var simTimePackages = []string{
 	"internal/sim",
 	"internal/orbit",
@@ -21,8 +28,9 @@ var simTimePackages = []string{
 	"internal/experiments",
 }
 
-func (ruleSimTime) Applies(relPath string) bool {
-	for _, p := range simTimePackages {
+// pathIn reports whether relPath equals or sits under one of the prefixes.
+func pathIn(relPath string, prefixes []string) bool {
+	for _, p := range prefixes {
 		if relPath == p || strings.HasPrefix(relPath, p+"/") {
 			return true
 		}
@@ -30,30 +38,23 @@ func (ruleSimTime) Applies(relPath string) bool {
 	return false
 }
 
-// wallClockFuncs are the banned time package functions.
-var wallClockFuncs = map[string]bool{
-	"Now":   true,
-	"Since": true,
-	"Until": true,
+func (ruleSimTime) Applies(relPath string) bool {
+	return pathIn(relPath, simTimePackages)
 }
 
-func (r ruleSimTime) Check(pkg *Package) []Diagnostic {
+func (r ruleSimTime) Check(tree *Tree, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pkg.Files {
-		timeName, ok := importedAs(file, "time")
-		if !ok {
-			continue
-		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if fn, ok := isPkgCall(call, timeName, wallClockFuncs); ok {
+			if fn := calleeOf(pkg.Info, call); isWallClock(fn) {
 				diags = append(diags, Diagnostic{
 					Pos:  pkg.Fset.Position(call.Pos()),
 					Rule: r.Name(),
-					Message: "wall-clock time." + fn + " in a simulation package; " +
+					Message: "wall-clock time." + fn.Name() + " in a simulation package; " +
 						"derive time from the trace/scheduler clock so runs are reproducible",
 				})
 			}

@@ -1,0 +1,70 @@
+package main
+
+// ruleTaint is the interprocedural extension of the determinism rules: a
+// wall-clock read or a global math/rand draw poisons reproducibility not
+// only when it sits *inside* a simulation package but whenever simulation
+// code can *reach* it through the call graph. The analysis:
+//
+//  1. entry points are every function declared in internal/sim,
+//     internal/orbit, and internal/spacegen (the packages whose outputs
+//     must be byte-identical across runs of the same seed);
+//  2. reachability is computed over statically resolved call edges
+//     (callgraph.go) — calls through interfaces or stored function values
+//     end at the abstract callee, keeping the analysis free of false
+//     paths;
+//  3. every wall-clock / global-rand call site inside a reachable function
+//     is reported, *except* in packages the direct rules already police
+//     (no double reporting), with the call chain from an entry point in
+//     the message so the leak is traceable.
+//
+// Findings carry the rule names "simtime" and "globalrand": one waiver
+// vocabulary covers the direct and the interprocedural variant of the same
+// determinism obligation.
+
+// taintEntryPackages are the RelPath prefixes whose declared functions
+// seed the reachability analysis.
+var taintEntryPackages = []string{
+	"internal/sim",
+	"internal/orbit",
+	"internal/spacegen",
+}
+
+type ruleTaint struct{}
+
+func (ruleTaint) Name() string { return "taint" }
+
+func (ruleTaint) CheckTree(tree *Tree) []Diagnostic {
+	g := tree.callGraph()
+	reach, parent := g.reachableFrom(func(relPath string) bool {
+		return pathIn(relPath, taintEntryPackages)
+	})
+	var diags []Diagnostic
+	for _, n := range g.order {
+		if !reach[n.obj] {
+			continue
+		}
+		if len(n.wallClock) > 0 && !(ruleSimTime{}).Applies(n.pkg.RelPath) {
+			chain := g.chainTo(parent, n.obj)
+			for _, c := range n.wallClock {
+				diags = append(diags, Diagnostic{
+					Pos:  tree.Fset.Position(c.pos),
+					Rule: "simtime",
+					Message: "wall-clock " + c.name + " is transitively reachable from simulation code (" +
+						chain + "); derive time from the trace/scheduler clock or break the call path",
+				})
+			}
+		}
+		if len(n.globalRand) > 0 && !(ruleGlobalRand{}).Applies(n.pkg.RelPath) {
+			chain := g.chainTo(parent, n.obj)
+			for _, c := range n.globalRand {
+				diags = append(diags, Diagnostic{
+					Pos:  tree.Fset.Position(c.pos),
+					Rule: "globalrand",
+					Message: "global " + c.name + " is transitively reachable from simulation code (" +
+						chain + "); inject a seeded *rand.Rand or break the call path",
+				})
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,10 @@
+// Package catalog exports a defined map type consumed by internal/core:
+// the typed maporder rule must resolve map-ness through the cross-package
+// named type, which the old syntactic engine could not see.
+package catalog
+
+// Set is a named map type.
+type Set map[string]bool
+
+// Default returns the built-in content catalog.
+func Default() Set { return Set{"cdn": true} }

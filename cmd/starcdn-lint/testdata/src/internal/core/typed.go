@@ -1,0 +1,68 @@
+// typed.go exercises the exact typed map resolution of the maporder rule:
+// aliases, defined map types, promoted (embedded) map fields, and
+// cross-package named map types all range like maps and must be flagged —
+// none of them spell `map[` at the range site, so the old syntactic engine
+// missed every one.
+package core
+
+import (
+	"sort"
+
+	"fixture/internal/catalog"
+)
+
+// Table is an alias whose underlying type is a map.
+type Table = map[string]int
+
+// Index is a defined map type.
+type Index map[string]int
+
+type meterSet struct {
+	runs map[string]float64
+}
+
+// envBox embeds meterSet, promoting the runs map field.
+type envBox struct {
+	meterSet
+}
+
+func badAlias(t Table) []string {
+	var keys []string
+	for k := range t {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func badNamed(ix Index) []string {
+	var keys []string
+	for k := range ix {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func badEmbedded(e *envBox) []string {
+	var names []string
+	for name := range e.runs {
+		names = append(names, name) // want maporder
+	}
+	return names
+}
+
+func badCrossPackage() []string {
+	var out []string
+	for name := range catalog.Default() {
+		out = append(out, name) // want maporder
+	}
+	return out
+}
+
+func okNamedSorted(ix Index) []string {
+	keys := make([]string, 0, len(ix))
+	for k := range ix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,42 @@
+// Package meters is an atomicmix-rule fixture: a struct field updated
+// through sync/atomic in one place and read or written plainly in another
+// hides a data race. Consistently atomic fields, consistently plain fields,
+// typed atomic.Int64 fields, and waived sites pass.
+package meters
+
+import "sync/atomic"
+
+type counter struct {
+	n  int64 // updated atomically — every other access must be too
+	hi int64 // plain everywhere: fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want atomicmix
+}
+
+func (c *counter) snapshot() int64 {
+	return atomic.LoadInt64(&c.n) // ok: atomic everywhere
+}
+
+func (c *counter) bumpHi(v int64) {
+	if v > c.hi {
+		c.hi = v // ok: hi is never touched atomically
+	}
+}
+
+func (c *counter) waivedPeek() int64 {
+	//lint:ignore atomicmix fixture: owner-goroutine read with established happens-after
+	return c.n
+}
+
+// typedCounter is the preferred shape: an atomic.Int64 field makes mixed
+// access unrepresentable, so the rule has nothing to say.
+type typedCounter struct{ n atomic.Int64 }
+
+func (t *typedCounter) inc() int64  { return t.n.Add(1) }
+func (t *typedCounter) read() int64 { return t.n.Load() }

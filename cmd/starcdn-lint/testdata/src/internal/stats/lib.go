@@ -5,6 +5,7 @@ package stats
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 type Histogram struct{ bins []int }
@@ -46,4 +47,21 @@ func mustInternal(cond bool) {
 func waived() {
 	//lint:ignore panicfree fixture demonstrating the escape hatch
 	panic("waived")
+}
+
+// TimedMean is reached from internal/sim (sim.Profile). stats is not itself
+// a simulation package, so the direct simtime rule stays quiet here — the
+// interprocedural taint analysis flags the wall-clock read with the call
+// chain in the message.
+func TimedMean(xs []float64) float64 {
+	start := time.Now() // want simtime
+	_ = start
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
 }

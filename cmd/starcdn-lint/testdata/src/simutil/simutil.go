@@ -1,0 +1,30 @@
+// Package simutil sits outside internal/, beyond the reach of the direct
+// determinism rules; its wall-clock reads and global-rand draws are caught
+// only by the interprocedural taint analysis, and only when simulation code
+// actually calls in.
+package simutil
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// StepCost is called from internal/sim (sim.Run): the wall-clock read here
+// and the global draw one hop further down (jitter) are both flagged by the
+// taint rules even though this package is not a simulation package.
+func StepCost(i int) float64 {
+	start := time.Now() // want simtime
+	_ = start
+	return jitter(i)
+}
+
+func jitter(i int) float64 {
+	return mrand.Float64() * float64(i) // want globalrand
+}
+
+// Unreached is dead code from the simulation packages' point of view: the
+// same wall-clock call draws no finding — taint is reachability-based, not
+// textual.
+func Unreached() time.Time {
+	return time.Now()
+}

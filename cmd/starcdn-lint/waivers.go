@@ -1,0 +1,71 @@
+package main
+
+// The -waivers audit mode: list every //lint:ignore directive in the tree
+// with its rule(s), reason, and position, and fail on
+//
+//   - stale waivers: the waived line no longer triggers the rule, so the
+//     directive silently suppresses nothing and would mask a future
+//     regression at that site;
+//   - malformed directives (missing reason) and directives buried in block
+//     comments (which never take effect).
+//
+// The audit runs the full analysis with suppression tracking: a directive
+// is "live" for a rule exactly when it suppressed at least one finding of
+// that rule in this run. check.sh runs `starcdn-lint -waivers ./...` so
+// the waiver ledger stays honest as code moves.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// waiverReport is the audit outcome for one directive.
+type waiverReport struct {
+	file   string
+	line   int
+	rules  []string
+	reason string
+	stale  []string // rules that suppressed nothing
+}
+
+// auditWaivers renders the waiver ledger of a finished lint run to w and
+// returns the number of problems (stale rules + malformed directives).
+func auditWaivers(res *lintResult, w io.Writer) int {
+	reports := make([]waiverReport, 0, len(res.directives))
+	for _, d := range res.directives {
+		reports = append(reports, waiverReport{
+			file:   relativize(res.tree.Root, d.pos.Filename),
+			line:   d.pos.Line,
+			rules:  d.ruleNames(),
+			reason: d.reason,
+			stale:  d.stale(),
+		})
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].file != reports[j].file {
+			return reports[i].file < reports[j].file
+		}
+		return reports[i].line < reports[j].line
+	})
+
+	problems := 0
+	for _, r := range reports {
+		fmt.Fprintf(w, "%s:%d: %s: %s\n", r.file, r.line, strings.Join(r.rules, ","), r.reason)
+		for _, rule := range r.stale {
+			fmt.Fprintf(w, "%s:%d: STALE waiver for %s: the waived line no longer triggers the rule — remove the directive\n",
+				r.file, r.line, rule)
+			problems++
+		}
+	}
+	// Malformed / inert directives surfaced by the directive pseudo-rule.
+	for _, d := range res.diags {
+		if d.Rule == "directive" {
+			fmt.Fprintf(w, "%s\n", d)
+			problems++
+		}
+	}
+	fmt.Fprintf(w, "%d waiver(s), %d problem(s)\n", len(reports), problems)
+	return problems
+}

@@ -1,61 +1,146 @@
 #!/usr/bin/env sh
 # scripts/check.sh — the repository's single CI gate.
 #
-# Runs, in order:
-#   1. gofmt          (no unformatted files)
-#   2. go vet         (stdlib analyses)
-#   3. starcdn-lint   (determinism/robustness rules, see DESIGN.md)
-#   4. go build       (release and starcdn_debug tags)
-#   5. go test -race  (release tags, race detector on)
-#   6. go test        (starcdn_debug tags: invariant sanitizers armed)
-#   7. chaos pass     (seeded fault schedules + injected network faults
-#                      through the TCP replayer, race + debug invariants on)
-#   8. obs smoke      (live /metrics + /healthz + pprof scrape during a TCP
-#                      replay, span summarisation with starcdn-trace)
-#   9. bench smoke    (every benchmark compiles and runs once)
+# Steps are grouped into phases: steps inside a phase are independent of
+# each other and run concurrently (the go build cache is safe under
+# concurrent invocations); phases run in order because later ones consume
+# what earlier ones prove (no point racing tests against a broken build).
+# Every step reports its wall-clock time so budget regressions show up in
+# the CI output itself.
+#
+#   phase 1 (static):  gofmt, go vet, starcdn-lint, starcdn-lint -waivers
+#   phase 2 (build):   go build (release), go build (starcdn_debug)
+#   phase 3 (test):    go test -race, go test -tags starcdn_debug
+#   phase 4 (smoke):   chaos pass, obs smoke, bench smoke
 #
 # Usage: scripts/check.sh   (or `make check`)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-step() {
-	printf '== %s\n' "$*"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/starcdn-check.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+TOTAL_START=$(date +%s.%N)
+
+# --- step bodies ------------------------------------------------------
+
+step_gofmt() {
+	unformatted=$(gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/' || true)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt: the following files need formatting:"
+		echo "$unformatted"
+		return 1
+	fi
 }
 
-step "gofmt"
-unformatted=$(gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/' || true)
-if [ -n "$unformatted" ]; then
-	echo "gofmt: the following files need formatting:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
+step_vet() { go vet ./...; }
 
-step "go vet ./..."
-go vet ./...
+step_lint() { go run ./cmd/starcdn-lint ./...; }
 
-step "starcdn-lint ./..."
-go run ./cmd/starcdn-lint ./...
+# The waiver ledger: every //lint:ignore must carry a reason and still
+# suppress something; stale waivers fail the gate (DESIGN.md §7).
+step_waivers() { go run ./cmd/starcdn-lint -waivers ./...; }
 
-step "go build ./... (release + starcdn_debug)"
-go build ./...
-go build -tags starcdn_debug ./...
+step_build_release() { go build ./...; }
 
-step "go test -race ./..."
-go test -race ./...
+step_build_debug() { go build -tags starcdn_debug ./...; }
 
-step "go test -tags starcdn_debug ./..."
-go test -tags starcdn_debug ./...
+step_test_race() { go test -race ./...; }
 
-step "chaos pass (-race -tags starcdn_debug, fault + chaos suites)"
-go test -race -tags starcdn_debug -count=1 \
-	-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
-	./internal/replayer/ ./internal/sim/
+step_test_debug() { go test -tags starcdn_debug ./...; }
 
-step "obs smoke (metrics endpoint + span tracing end to end)"
-sh scripts/obs_smoke.sh
+# Seeded fault schedules + injected network faults through the TCP
+# replayer, race detector and debug invariants both armed (DESIGN.md §8).
+step_chaos() {
+	go test -race -tags starcdn_debug -count=1 \
+		-run 'TestChaos|TestGenerateChaos|TestFault|TestClientRetries|TestClientExhausts|TestClientDeadline|TestServerSide|TestReplayDeadServer|TestFailureSchedule' \
+		./internal/replayer/ ./internal/sim/
+}
 
-step "bench smoke (-bench=. -benchtime=1x)"
-go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null
+# Live /metrics + /healthz + pprof scrape during a TCP replay, then span
+# summarisation with starcdn-trace (DESIGN.md §9). Binds only ephemeral
+# ports, so it is safe next to the chaos pass.
+step_obs() { sh scripts/obs_smoke.sh; }
 
-step "check passed"
+step_bench() { go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null; }
+
+# --- phase driver -----------------------------------------------------
+
+# spawn <id> <fn>: run a step body in the background, capturing its output
+# and wall-clock time under $TMP/<id>.*.
+spawn() {
+	s_id=$1
+	s_fn=$2
+	(
+		start=$(date +%s.%N)
+		rc=0
+		"$s_fn" >"$TMP/$s_id.log" 2>&1 || rc=$?
+		end=$(date +%s.%N)
+		awk -v s="$start" -v e="$end" 'BEGIN { printf "%.1f", e - s }' >"$TMP/$s_id.time"
+		exit "$rc"
+	) &
+	eval "pid_$s_id=\$!"
+}
+
+# reap <id> <label>: wait for a spawned step, then print its status line
+# (with timing) followed by whatever it wrote.
+FAILED=0
+reap() {
+	r_id=$1
+	r_label=$2
+	rc=0
+	eval "wait \"\$pid_$r_id\"" || rc=$?
+	secs=$(cat "$TMP/$r_id.time" 2>/dev/null || echo '?')
+	if [ "$rc" -eq 0 ]; then
+		printf '== ok   %6ss  %s\n' "$secs" "$r_label"
+	else
+		printf '== FAIL %6ss  %s (exit %d)\n' "$secs" "$r_label" "$rc"
+		FAILED=1
+	fi
+	cat "$TMP/$r_id.log" 2>/dev/null || true
+}
+
+# gate <phase>: stop at a phase boundary if anything in it failed.
+gate() {
+	if [ "$FAILED" -ne 0 ]; then
+		echo "check FAILED in $1 phase" >&2
+		exit 1
+	fi
+}
+
+# --- phases -----------------------------------------------------------
+
+spawn fmt step_gofmt
+spawn vet step_vet
+spawn lint step_lint
+spawn waivers step_waivers
+reap fmt "gofmt"
+reap vet "go vet ./..."
+reap lint "starcdn-lint ./..."
+reap waivers "starcdn-lint -waivers ./... (waiver audit)"
+gate static
+
+spawn brel step_build_release
+spawn bdbg step_build_debug
+reap brel "go build ./..."
+reap bdbg "go build -tags starcdn_debug ./..."
+gate build
+
+spawn trace step_test_race
+spawn tdbg step_test_debug
+reap trace "go test -race ./..."
+reap tdbg "go test -tags starcdn_debug ./..."
+gate test
+
+spawn chaos step_chaos
+spawn obs step_obs
+spawn bench step_bench
+reap chaos "chaos pass (-race -tags starcdn_debug)"
+reap obs "obs smoke (metrics endpoint + span tracing)"
+reap bench "bench smoke (-bench=. -benchtime=1x)"
+gate smoke
+
+TOTAL_END=$(date +%s.%N)
+awk -v s="$TOTAL_START" -v e="$TOTAL_END" \
+	'BEGIN { printf "== check passed in %.1fs\n", e - s }'

@@ -89,6 +89,36 @@ func BenchmarkExtraCongestion(b *testing.B)       { runExperiment(b, "extra-cong
 func BenchmarkExtraMixedClasses(b *testing.B)     { runExperiment(b, "extra-mixed") }
 func BenchmarkExtraColoring(b *testing.B)         { runExperiment(b, "extra-coloring") }
 
+// BenchmarkSimHotPath is the core perf baseline (recorded in
+// BENCH_core.json): one seeded StarCDN sim.Run (hashing+relay, LRU) over the
+// shared production trace per iteration, with all observability off. This is
+// the pure decision-pipeline cost — scheduler lookup, hash ownership, cache
+// ops, latency model — that every experiment above pays per request.
+// SetBytes counts requests, so the reported MB/s reads as Mreq/s.
+func BenchmarkSimHotPath(b *testing.B) {
+	e := env()
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Constellation("bench-hotpath")
+	h, err := core.NewHashScheme(topo.NewGrid(c, topo.StarlinkTable1()), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := e.Users()
+	b.SetBytes(int64(len(tr.Requests)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sim.NewStarCDN(h, sim.CacheConfig{
+			Kind: cache.LRU, Bytes: e.Scale.LatencyCacheSize,
+		}, sim.StarCDNOptions{Hashing: true, Relay: true})
+		if _, err := sim.Run(c, users, tr, p, sim.Config{Seed: e.Scale.Seed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObsOverhead measures what the observability layer costs the
 // simulator's hot path (see BENCH_obs.json for recorded numbers). Three
 // variants run the identical seeded sim.Run:
@@ -99,8 +129,11 @@ func BenchmarkExtraColoring(b *testing.B)         { runExperiment(b, "extra-colo
 //	          per-satellite hit-rate gauges updated on every request
 //	trace   — registry plus a rate-1 tracer serialising every span to
 //	          io.Discard (the worst case: JSON encode per request)
+//	recorder — registry plus a flight recorder snapshotting every series on
+//	          a 15s simulated epoch (the /timeseries.json + SLO data source)
 //
-// The acceptance bar is ≤5% slowdown for the metrics variant.
+// The acceptance bar is ≤5% slowdown for the metrics variant and ≤2% extra
+// for the recorder on top of metrics.
 func BenchmarkObsOverhead(b *testing.B) {
 	e := env()
 	tr, err := e.ProductionTrace("video")
@@ -129,6 +162,20 @@ func BenchmarkObsOverhead(b *testing.B) {
 				Seed:    e.Scale.Seed,
 				Metrics: obs.NewRegistry(),
 				Tracer:  obs.NewTracer(io.Discard, 1, 1),
+			}
+		}},
+		{"metrics+recorder", func() sim.Config {
+			// Flight recorder at a 15s simulated epoch: the sim clock drives
+			// TickAt per request, snapshotting every registry series into the
+			// ring. The byte-identical assertion below doubles as the proof
+			// that recording cannot change results.
+			reg := obs.NewRegistry()
+			return sim.Config{
+				Seed:    e.Scale.Seed,
+				Metrics: reg,
+				Recorder: obs.NewRecorder(reg, obs.RecorderOptions{
+					EpochSec: 15, Capacity: 1024,
+				}),
 			}
 		}},
 	}

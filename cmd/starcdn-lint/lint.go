@@ -102,6 +102,7 @@ func allRules() []Rule {
 		ruleAtomicMix{},
 		ruleDeadline{},
 		rulePrintf{},
+		ruleMetricName{},
 	}
 }
 

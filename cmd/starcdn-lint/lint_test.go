@@ -59,7 +59,7 @@ func TestEachRuleFires(t *testing.T) {
 	}
 	for _, rule := range []string{
 		"simtime", "globalrand", "maporder", "panicfree", "closecheck",
-		"errdrop", "atomicmix", "deadline", "printf", "directive",
+		"errdrop", "atomicmix", "deadline", "printf", "metricname", "directive",
 	} {
 		if seen[rule] == 0 {
 			t.Errorf("rule %s produced no findings on fixtures", rule)

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ruleMetricName enforces the registry series naming convention wherever an
+// obs.Registry instrument is created. Dashboards, the flight recorder, and
+// the SLO engine all address series by name, so a drifting name silently
+// orphans every consumer. The contract:
+//
+//   - every name matches `starcdn_[a-z0-9_]+` (lowercase, namespaced, no
+//     trailing underscore)
+//   - counters end in `_total` (the Prometheus cumulative convention)
+//   - gauges do NOT end in `_total` — a gauge named like a counter lies to
+//     rate() queries
+//   - histograms end in a unit suffix (`_ms`, `_us`, `_ns`, `_seconds`,
+//     `_bytes`) so quantiles are interpretable, and no series of any kind
+//     may end in `_bucket`, `_sum`, or `_count`, which the recorder reserves
+//     for histogram fan-out
+//
+// Only string-literal names are checked: a computed name is a deliberate
+// choice the reviewer can see at the call site. Receivers are matched by
+// type (a pointer to a named type `Registry`), so the rule follows the
+// registry through struct fields and function results without caring which
+// package it is imported from.
+type ruleMetricName struct{}
+
+func (ruleMetricName) Name() string { return "metricname" }
+
+func (ruleMetricName) Applies(relPath string) bool { return true }
+
+// metricUnitSuffixes are the suffixes accepted on histogram names.
+var metricUnitSuffixes = []string{"_ms", "_us", "_ns", "_seconds", "_bytes"}
+
+// metricReservedSuffixes collide with the recorder's histogram fan-out
+// series (`<name>_bucket{le=...}`, `<name>_sum`, `<name>_count`).
+var metricReservedSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// wellFormedMetricName reports whether name matches starcdn_[a-z0-9_]+ with
+// no trailing underscore.
+func wellFormedMetricName(name string) bool {
+	const prefix = "starcdn_"
+	if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
+		return false
+	}
+	if name[len(name)-1] == '_' {
+		return false
+	}
+	for i := len(prefix); i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// registryMethod returns the instrument kind ("Counter", "Gauge",
+// "Histogram") when call is a method of that name on a *Registry (or
+// Registry) receiver.
+func registryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (r ruleMetricName) Check(tree *Tree, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(call.Pos()),
+			Rule:    r.Name(),
+			Message: msg,
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryMethod(pkg.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := stringLiteral(call.Args[0])
+			if !ok {
+				return true // computed names are a visible, reviewable choice
+			}
+			name := lit
+			if !wellFormedMetricName(name) {
+				flag(call, fmt.Sprintf("metric name %q must match starcdn_[a-z0-9_]+ with no trailing underscore", name))
+				return true
+			}
+			for _, s := range metricReservedSuffixes {
+				if strings.HasSuffix(name, s) {
+					flag(call, fmt.Sprintf("metric name %q ends in %s, reserved for the recorder's histogram fan-out", name, s))
+					return true
+				}
+			}
+			switch kind {
+			case "Counter":
+				if !strings.HasSuffix(name, "_total") {
+					flag(call, fmt.Sprintf("counter %q must end in _total", name))
+				}
+			case "Gauge":
+				if strings.HasSuffix(name, "_total") {
+					flag(call, fmt.Sprintf("gauge %q must not end in _total (reserved for counters)", name))
+				}
+			case "Histogram":
+				unit := false
+				for _, s := range metricUnitSuffixes {
+					if strings.HasSuffix(name, s) {
+						unit = true
+						break
+					}
+				}
+				if strings.HasSuffix(name, "_total") {
+					flag(call, fmt.Sprintf("histogram %q must not end in _total (reserved for counters)", name))
+				} else if !unit {
+					flag(call, fmt.Sprintf("histogram %q must end in a unit suffix (%s)", name, strings.Join(metricUnitSuffixes, ", ")))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// stringLiteral unwraps a string literal (possibly parenthesised or a
+// concatenation of literals), returning its value.
+func stringLiteral(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return stringLiteral(v.X)
+	case *ast.BasicLit:
+		if v.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(v.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.BinaryExpr:
+		if v.Op != token.ADD {
+			return "", false
+		}
+		l, ok := stringLiteral(v.X)
+		if !ok {
+			return "", false
+		}
+		r, ok := stringLiteral(v.Y)
+		if !ok {
+			return "", false
+		}
+		return l + r, true
+	}
+	return "", false
+}

@@ -1,0 +1,57 @@
+// Package metrics is the metricname-rule fixture: a local Registry stub
+// (matched by receiver type name, exactly like the real obs.Registry)
+// exercising the naming contract — starcdn_ prefix and charset, counter
+// _total suffix, gauge/_total exclusion, histogram unit suffixes, the
+// recorder's reserved fan-out suffixes, computed-name exemption, and the
+// waiver escape hatch.
+package metrics
+
+// Label mirrors obs.Label.
+type Label struct{ K, V string }
+
+// Counter, Gauge, and Histogram mirror the obs instrument handles.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+// Registry mirrors obs.Registry's constructor surface; the rule matches the
+// receiver's type name, not the import path.
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels ...Label) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge     { return &Gauge{} }
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}
+
+type instruments struct {
+	reg *Registry
+}
+
+func register(r *Registry, shard string) {
+	// Clean names draw no findings.
+	r.Counter("starcdn_fixture_events_total")
+	r.Gauge("starcdn_fixture_queue_depth")
+	r.Histogram("starcdn_fixture_latency_ms", nil)
+	r.Histogram("starcdn_fixture_payload_bytes", []float64{1024})
+
+	r.Counter("starcdn_fixture_events")                         // want metricname
+	r.Counter("fixture_events_total")                           // want metricname
+	r.Counter("starcdn_Fixture_events_total")                   // want metricname
+	r.Counter("starcdn_fixture_events_total_")                  // want metricname
+	r.Gauge("starcdn_fixture_depth_total")                      // want metricname
+	r.Histogram("starcdn_fixture_latency", nil)                 // want metricname
+	r.Histogram("starcdn_fixture_latency_count", []float64{10}) // want metricname
+
+	// Reaching the registry through a struct field still resolves.
+	in := instruments{reg: r}
+	in.reg.Counter("starcdn_fixture_frames") // want metricname
+
+	// Computed names are a visible call-site decision; the rule stays quiet.
+	r.Counter("starcdn_fixture_" + shard + "_events_total")
+
+	//lint:ignore metricname fixture: legacy dashboards pin this name
+	r.Counter("legacy_events")
+}

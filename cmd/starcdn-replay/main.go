@@ -69,6 +69,14 @@ func main() {
 		traceOut      = flag.String("trace-out", "", "write request-path spans as JSONL to this file (consumed by starcdn-trace)")
 		traceSample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (deterministic per-request hash)")
 		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
+		tracePropa    = flag.Bool("trace-propagate", false, "propagate trace context over the wire (protocol v2); server spans join the client's traces")
+		serverTrace   = flag.String("server-trace-out", "", "write server-side operation spans as JSONL to this file (requires -trace-propagate; assemble with starcdn-trace -assemble)")
+
+		recordEpoch = flag.Duration("record-epoch", 0, "flight-recorder snapshot interval (wall clock; 0 disables; e.g. 1s)")
+		sloP99Ms    = flag.Float64("slo-p99-ms", 0, "SLO: p99 client frame latency <= this many ms over -slo-window (0 disables; requires -record-epoch)")
+		sloHitRate  = flag.Float64("slo-hit-rate", 0, "SLO: request hit rate >= this fraction over -slo-window (0 disables; requires -record-epoch)")
+		sloWindow   = flag.Duration("slo-window", time.Minute, "SLO evaluation window")
+		sloBudget   = flag.Float64("slo-budget", 0.01, "SLO error budget: tolerated fraction of breaching epochs")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -181,10 +189,64 @@ func main() {
 			log.Fatal(err)
 		}
 		opts.Tracer = obs.NewTracer(traceFile, *traceSample, *traceSeed)
+		opts.Propagate = *tracePropa
+	} else if *tracePropa {
+		log.Fatal("-trace-propagate requires -trace-out")
+	}
+
+	// Server-side span stream: the satellite-server tier of the distributed
+	// trace, written to its own JSONL file exactly as a separate server
+	// process would, and stitched back by starcdn-trace -assemble.
+	var serverTracer *obs.Tracer
+	var serverTraceFile *os.File
+	if *serverTrace != "" {
+		if !*tracePropa {
+			log.Fatal("-server-trace-out requires -trace-propagate (servers only see sampled contexts over the wire)")
+		}
+		serverTraceFile, err = os.Create(*serverTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serverTracer = obs.NewTracer(serverTraceFile, 1, *traceSeed)
+	}
+
+	// Flight recorder + SLO engine: the registry becomes a queryable time
+	// series on /timeseries.json and /dashboard, with starcdn_slo_* burn
+	// rates feeding /healthz degradation alongside cluster kill state.
+	var recorder *obs.Recorder
+	var sloEngine *obs.SLOEngine
+	if *recordEpoch > 0 {
+		if reg == nil {
+			reg = obs.NewRegistry()
+			opts.Obs = reg
+		}
+		recorder = obs.NewRecorder(reg, obs.RecorderOptions{EpochSec: recordEpoch.Seconds()})
+		opts.Recorder = recorder
+		var slos []obs.SLO
+		if *sloP99Ms > 0 {
+			slos = append(slos, obs.SLO{
+				Name: "frame-p99", Series: "starcdn_client_frame_ms",
+				Quantile: 0.99, MaxValue: *sloP99Ms,
+				WindowSec: sloWindow.Seconds(), BudgetFraction: *sloBudget,
+			})
+		}
+		if *sloHitRate > 0 {
+			slos = append(slos, obs.SLO{
+				Name: "hit-rate", Good: "starcdn_replay_hits_total",
+				Total: "starcdn_replay_served_total", MinRatio: *sloHitRate,
+				WindowSec: sloWindow.Seconds(), BudgetFraction: *sloBudget,
+			})
+		}
+		sloEngine, err = obs.NewSLOEngine(recorder, reg, slos)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *sloP99Ms > 0 || *sloHitRate > 0 {
+		log.Fatal("SLO flags require -record-epoch (objectives evaluate per recorder epoch)")
 	}
 
 	cluster, err := replayer.NewClusterOpts(cache.LRU, *cacheMB<<20,
-		replayer.ServerOptions{Obs: reg})
+		replayer.ServerOptions{Obs: reg, Tracer: serverTracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -195,7 +257,12 @@ func main() {
 	}()
 
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, reg, cluster.Health)
+		srv, err := obs.ServeWith(*metricsAddr, obs.ServeOptions{
+			Registry: reg,
+			Health:   sloEngine.Health(cluster.Health),
+			Recorder: recorder,
+			SLOs:     sloEngine,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -244,6 +311,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace spans:      %d written to %s\n", opts.Tracer.Emitted(), *traceOut)
+	}
+	if serverTracer != nil {
+		if err := serverTracer.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := serverTraceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server spans:     %d written to %s\n", serverTracer.Emitted(), *serverTrace)
+	}
+	if recorder != nil {
+		fmt.Printf("flight recorder:  %d epochs @ %s\n", recorder.Epochs(), *recordEpoch)
+		for _, s := range sloEngine.Snapshot() {
+			state := "ok"
+			if s.BurnRate > 1 {
+				state = "burning"
+			}
+			fmt.Printf("slo %-12s value=%.4g burn=%.3g budget=%.3g (%s)\n",
+				s.Name, s.Value, s.BurnRate, s.Budget, state)
+		}
 	}
 	if *metricsAddr != "" && *metricsLinger > 0 {
 		fmt.Printf("metrics: lingering %s for scrapes\n", *metricsLinger)

@@ -39,6 +39,7 @@ func main() {
 		traceOut      = flag.String("trace-out", "", "write request-path spans as JSONL to this file (consumed by starcdn-trace)")
 		traceSample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (deterministic per-request hash)")
 		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
+		recordEpoch   = flag.Float64("record-epoch", 0, "flight-recorder epoch in simulated seconds (0 disables; requires -metrics-addr); enables /timeseries.json and /dashboard")
 	)
 	flag.Parse()
 
@@ -73,12 +74,25 @@ func main() {
 
 	// Observability is strictly opt-in: a nil registry/tracer keeps the
 	// simulator's hot path free of instrument lookups.
+	if *recordEpoch > 0 && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "-record-epoch requires -metrics-addr")
+		os.Exit(2)
+	}
 	if *metricsAddr != "" {
 		env.Obs = obs.NewRegistry()
-		srv, err := obs.Serve(*metricsAddr, env.Obs, func() obs.Health {
-			// The in-process simulator has no servers to die; /healthz is a
-			// liveness probe for the experiment run itself.
-			return obs.Health{OK: true, Note: "in-process simulator"}
+		if *recordEpoch > 0 {
+			// The recorder ticks on simulated time: sim.Run advances it per
+			// request, so epochs line up with the trace clock, not wall time.
+			env.Recorder = obs.NewRecorder(env.Obs, obs.RecorderOptions{EpochSec: *recordEpoch})
+		}
+		srv, err := obs.ServeWith(*metricsAddr, obs.ServeOptions{
+			Registry: env.Obs,
+			Health: func() obs.Health {
+				// The in-process simulator has no servers to die; /healthz is
+				// a liveness probe for the experiment run itself.
+				return obs.Health{OK: true, Note: "in-process simulator"}
+			},
+			Recorder: env.Recorder,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
@@ -123,6 +137,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace spans: %d written to %s\n", env.Tracer.Emitted(), *traceOut)
+	}
+	if env.Recorder != nil {
+		fmt.Printf("recorder: %d epochs at %gs (simulated time)\n",
+			env.Recorder.Epochs(), env.Recorder.EpochSec())
 	}
 	if *metricsAddr != "" && *metricsLinger > 0 {
 		fmt.Printf("metrics: lingering %s for scrapes\n", *metricsLinger)

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starcdn/internal/obs"
+	"starcdn/internal/stats"
+)
+
+// traceNode is one span in an assembled trace tree.
+type traceNode struct {
+	span     *obs.Span
+	order    int // input order, for deterministic sibling sorting
+	children []*traceNode
+}
+
+// hopNode is one client-side hop of a root span, with the remote spans that
+// executed under it.
+type hopNode struct {
+	hop      *obs.Hop
+	children []*traceNode
+}
+
+// traceTree is one fully assembled distributed trace.
+type traceTree struct {
+	id   string
+	root *traceNode
+	// hops mirrors root.span.Hops with attached remote children.
+	hops []hopNode
+	// adopted are spans whose parent ID matched nothing in the trace (e.g. a
+	// relay probe that found no copy never records its hop); they attach
+	// directly under the root.
+	adopted []*traceNode
+}
+
+// assembly is the result of stitching multi-process span files together.
+type assembly struct {
+	trees     []*traceTree
+	orphans   int // spans whose trace has no root at all
+	untraced  int // spans with no trace ID (legacy files, propagation off)
+	dupRoots  int // extra roots for one trace ID (e.g. sim + replay mixed)
+	attached  int // child spans attached beneath a hop
+	underRoot int // child spans attached directly beneath the root span
+}
+
+// assemble stitches spans (possibly from several processes' JSONL files) into
+// per-trace trees. A root is a span with a trace ID and no parent; every
+// other traced span attaches beneath the span or client hop named by its
+// Parent, falling back to adoption under the root when the parent span was
+// never recorded.
+func assemble(spans []obs.Span) *assembly {
+	a := &assembly{}
+	byTrace := make(map[string][]*traceNode)
+	var traceOrder []string
+	for i := range spans {
+		s := &spans[i]
+		if s.TraceID == "" {
+			a.untraced++
+			continue
+		}
+		if _, ok := byTrace[s.TraceID]; !ok {
+			traceOrder = append(traceOrder, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], &traceNode{span: s, order: i})
+	}
+	for _, id := range traceOrder {
+		nodes := byTrace[id]
+		tree := &traceTree{id: id}
+		for _, n := range nodes {
+			if n.span.Parent == "" {
+				if tree.root == nil {
+					tree.root = n
+				} else {
+					a.dupRoots++
+				}
+			}
+		}
+		if tree.root == nil {
+			a.orphans += len(nodes)
+			continue
+		}
+		// Client hops are addressable attachment points: remote spans name a
+		// hop's span ID as their Parent.
+		hopIdx := make(map[string]int)
+		tree.hops = make([]hopNode, len(tree.root.span.Hops))
+		for i := range tree.root.span.Hops {
+			h := &tree.root.span.Hops[i]
+			tree.hops[i] = hopNode{hop: h}
+			if h.SpanID != "" {
+				hopIdx[h.SpanID] = i
+			}
+		}
+		byID := make(map[string]*traceNode)
+		for _, n := range nodes {
+			if n.span.SpanID != "" {
+				byID[n.span.SpanID] = n
+			}
+		}
+		for _, n := range nodes {
+			if n == tree.root || n.span.Parent == "" {
+				continue
+			}
+			if i, ok := hopIdx[n.span.Parent]; ok {
+				tree.hops[i].children = append(tree.hops[i].children, n)
+				a.attached++
+				continue
+			}
+			if p, ok := byID[n.span.Parent]; ok && p != n {
+				p.children = append(p.children, n)
+				if p == tree.root {
+					a.underRoot++
+				} else {
+					a.attached++
+				}
+				continue
+			}
+			tree.adopted = append(tree.adopted, n)
+		}
+		for i := range tree.hops {
+			sortNodes(tree.hops[i].children)
+		}
+		sortNodes(tree.adopted)
+		a.trees = append(a.trees, tree)
+	}
+	// Deterministic report order: by root request index, then trace ID.
+	sort.Slice(a.trees, func(i, j int) bool {
+		ri, rj := a.trees[i].root.span.Req, a.trees[j].root.span.Req
+		if ri != rj {
+			return ri < rj
+		}
+		return a.trees[i].id < a.trees[j].id
+	})
+	return a
+}
+
+func sortNodes(ns []*traceNode) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].order < ns[j].order })
+}
+
+// latency picks a node's latency on the chosen axis.
+func nodeLatency(s *obs.Span, unit string) float64 {
+	if unit == "wall" {
+		return s.WallMs
+	}
+	return s.SimMs
+}
+
+// assembleReport renders the -assemble output: stitching stats, per-hop
+// critical-path attribution (network vs remote serving time), and the top-N
+// slowest traces with their full cross-process trees.
+func assembleReport(spans []obs.Span, files int, by string, topN int) string {
+	var b strings.Builder
+	if len(spans) == 0 {
+		fmt.Fprintf(&b, "no spans (%d input files)\n", files)
+		return b.String()
+	}
+	unit := "sim"
+	if by == "wall" || (by == "auto" && spans[0].WallMs > 0) {
+		unit = "wall"
+	}
+	a := assemble(spans)
+
+	fmt.Fprintf(&b, "input spans:   %d (%d files)\n", len(spans), files)
+	fmt.Fprintf(&b, "rooted trees:  %d\n", len(a.trees))
+	fmt.Fprintf(&b, "child spans:   %d under hops, %d under roots, %d adopted\n",
+		a.attached, a.underRoot, countAdopted(a))
+	fmt.Fprintf(&b, "orphan spans:  %d\n", a.orphans)
+	if a.untraced > 0 {
+		fmt.Fprintf(&b, "untraced:      %d (no trace ID; emitted without propagation)\n", a.untraced)
+	}
+	if a.dupRoots > 0 {
+		fmt.Fprintf(&b, "extra roots:   %d (same trace ID in multiple root files?)\n", a.dupRoots)
+	}
+	if len(a.trees) == 0 {
+		return b.String()
+	}
+
+	// Critical-path attribution. The request path is sequential, so the whole
+	// hop chain is the critical path; per hop kind we split its measured time
+	// into remote serving (sum of server-span residencies beneath it) and
+	// network/transport (the remainder).
+	type attr struct {
+		kind           string
+		count          int
+		total, network *stats.CDF
+		serve          *stats.CDF
+	}
+	byKind := make(map[string]*attr)
+	for _, t := range a.trees {
+		for i := range t.hops {
+			h := t.hops[i].hop
+			at := byKind[h.Kind]
+			if at == nil {
+				at = &attr{kind: h.Kind, total: &stats.CDF{}, network: &stats.CDF{}, serve: &stats.CDF{}}
+				byKind[h.Kind] = at
+			}
+			hopMs := h.SimMs
+			if unit == "wall" {
+				hopMs = h.WallMs
+			}
+			var serveMs float64
+			for _, c := range t.hops[i].children {
+				serveMs += nodeLatency(c.span, unit)
+			}
+			net := hopMs - serveMs
+			if net < 0 {
+				net = 0
+			}
+			at.count++
+			at.total.Add(hopMs)
+			at.serve.Add(serveMs)
+			at.network.Add(net)
+		}
+	}
+	b.WriteString("\ncritical path by hop (ms, " + unit + "):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %9s %9s %9s\n", "hop", "count", "p50", "p50-net", "p50-serve")
+	hopOrder := map[string]int{
+		"first-contact": 0, "owner": 1, "relay-west": 2, "relay-east": 3,
+		"ground": 4, "user-link": 5,
+	}
+	attrs := make([]*attr, 0, len(byKind))
+	for _, at := range byKind {
+		attrs = append(attrs, at)
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		oi, iok := hopOrder[attrs[i].kind]
+		oj, jok := hopOrder[attrs[j].kind]
+		if iok != jok {
+			return iok
+		}
+		if oi != oj {
+			return oi < oj
+		}
+		return attrs[i].kind < attrs[j].kind
+	})
+	for _, at := range attrs {
+		fmt.Fprintf(&b, "  %-14s %8d %9.3f %9.3f %9.3f\n", at.kind, at.count,
+			at.total.Quantile(0.5), at.network.Quantile(0.5), at.serve.Quantile(0.5))
+	}
+
+	// Top-N slowest traces, rendered as trees.
+	if topN > len(a.trees) {
+		topN = len(a.trees)
+	}
+	idx := make([]int, len(a.trees))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		li := nodeLatency(a.trees[idx[i]].root.span, unit)
+		lj := nodeLatency(a.trees[idx[j]].root.span, unit)
+		if li != lj {
+			return li > lj
+		}
+		return a.trees[idx[i]].root.span.Req < a.trees[idx[j]].root.span.Req
+	})
+	fmt.Fprintf(&b, "\ntop %d slow traces:\n", topN)
+	for _, i := range idx[:topN] {
+		writeTree(&b, a.trees[i], unit)
+	}
+	return b.String()
+}
+
+func countAdopted(a *assembly) int {
+	n := 0
+	for _, t := range a.trees {
+		n += len(t.adopted)
+	}
+	return n
+}
+
+// writeTree renders one assembled trace.
+func writeTree(b *strings.Builder, t *traceTree, unit string) {
+	r := t.root.span
+	fmt.Fprintf(b, "  trace %s req %-8d %9.3fms %s\n",
+		shortID(t.id), r.Req, nodeLatency(r, unit), r.Source)
+	for i := range t.hops {
+		h := t.hops[i].hop
+		lat := h.SimMs
+		if unit == "wall" {
+			lat = h.WallMs
+		}
+		fmt.Fprintf(b, "    %-14s sat=%-5d %9.3fms\n", h.Kind, h.Sat, lat)
+		for _, c := range t.hops[i].children {
+			writeNode(b, c, unit, 3)
+		}
+	}
+	for _, c := range t.root.children {
+		writeNode(b, c, unit, 2)
+	}
+	for _, c := range t.adopted {
+		fmt.Fprintf(b, "    (adopted)\n")
+		writeNode(b, c, unit, 3)
+	}
+}
+
+// writeNode renders one remote/child span and its subtree.
+func writeNode(b *strings.Builder, n *traceNode, unit string, depth int) {
+	s := n.span
+	fmt.Fprintf(b, "%s%s %s %9.3fms\n",
+		strings.Repeat("  ", depth), s.Proc, s.Kind, nodeLatency(s, unit))
+	for _, c := range n.children {
+		writeNode(b, c, unit, depth+1)
+	}
+}
+
+// shortID abbreviates a 32-hex trace ID for display.
+func shortID(id string) string {
+	if len(id) > 16 {
+		return id[:16]
+	}
+	return id
+}

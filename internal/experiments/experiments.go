@@ -84,6 +84,9 @@ type Env struct {
 	// re-simulation and therefore do not re-emit metrics or spans.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, ticks on simulated time through every run,
+	// turning Obs into a flight-recorder time series (sim.Config.Recorder).
+	Recorder *obs.Recorder
 
 	mu     sync.Mutex
 	consts map[string]*orbit.Constellation
@@ -230,6 +233,7 @@ func (e *Env) runSchemeUncached(constKey, scheme string, l int, cacheBytes int64
 	}
 	cfg.Metrics = e.Obs
 	cfg.Tracer = e.Tracer
+	cfg.Recorder = e.Recorder
 	return sim.Run(c, e.Users(), tr, p, cfg)
 }
 

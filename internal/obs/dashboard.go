@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// dashboardMaxCharts caps how many sparklines one page renders; constellation
+// runs register hundreds of per-satellite series and a debug page does not
+// need them all (use /timeseries.json?match=... for targeted queries).
+const dashboardMaxCharts = 64
+
+// dashboardWindowSec is the sparkline lookback.
+const dashboardWindowSec = 300.0
+
+// dashboardChart is one series' render state.
+type dashboardChart struct {
+	Key    string
+	Last   string
+	Points string // SVG polyline points
+	Empty  bool
+}
+
+// dashboardData feeds the page template.
+type dashboardData struct {
+	EpochSec  float64
+	Epochs    int64
+	NSeries   int
+	Truncated bool
+	Match     string
+	SLOs      []SLOStatus
+	Charts    []dashboardChart
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>starcdn flight recorder</title>
+<style>
+body { font-family: monospace; background: #0b0e14; color: #cdd6e3; margin: 1.5em; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 10px; border-bottom: 1px solid #223; text-align: left; }
+.breach { color: #ff5566; font-weight: bold; }
+.ok { color: #5fd787; }
+.grid { display: flex; flex-wrap: wrap; gap: 12px; }
+.card { border: 1px solid #223; padding: 6px 8px; }
+.card .k { font-size: 0.85em; color: #8899aa; }
+svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
+</style></head><body>
+<h1>starcdn flight recorder</h1>
+<p>{{.Epochs}} epochs · {{.EpochSec}}s/epoch · {{.NSeries}} series
+{{- if .Match}} · match={{.Match}}{{end}} · auto-refresh 2s ·
+<a href="/metrics">/metrics</a> <a href="/timeseries.json">/timeseries.json</a>
+<a href="/healthz">/healthz</a></p>
+{{if .SLOs}}<h2>SLOs</h2>
+<table><tr><th>slo</th><th>objective</th><th>value</th><th>burn rate</th><th>budget left</th><th>state</th></tr>
+{{range .SLOs}}<tr><td>{{.Name}}</td><td>{{.Objective}}</td><td>{{printf "%.4g" .Value}}</td>
+<td>{{printf "%.3g" .BurnRate}}</td><td>{{printf "%.3g" .Budget}}</td>
+<td class="{{if .Breach}}breach{{else}}ok{{end}}">{{if .Breach}}BREACH{{else}}ok{{end}}</td></tr>
+{{end}}</table>{{end}}
+<h2>series{{if .Truncated}} (first {{len .Charts}}){{end}}</h2>
+<div class="grid">
+{{range .Charts}}<div class="card"><div class="k">{{.Key}} = {{.Last}}</div>
+{{if .Empty}}<div class="k">(no data)</div>{{else}}<svg width="220" height="48" viewBox="0 0 220 48"><polyline points="{{.Points}}"/></svg>{{end}}
+</div>
+{{end}}</div>
+</body></html>
+`))
+
+// handleDashboard renders the live flight-recorder page: SLO table plus one
+// inline-SVG sparkline per recorded series (sorted; ?match= filters by
+// substring). Everything is stdlib — html/template and hand-rolled SVG.
+func (r *Recorder) handleDashboard(slos *SLOEngine) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		match := req.URL.Query().Get("match")
+		keys := r.Series()
+		data := dashboardData{
+			EpochSec: r.EpochSec(),
+			Epochs:   r.Epochs(),
+			Match:    match,
+			SLOs:     slos.Snapshot(),
+		}
+		for _, key := range keys {
+			if match != "" && !strings.Contains(key, match) {
+				continue
+			}
+			data.NSeries++
+			if len(data.Charts) >= dashboardMaxCharts {
+				data.Truncated = true
+				continue
+			}
+			data.Charts = append(data.Charts, sparkline(key, r.Window(key, dashboardWindowSec)))
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		// A client hanging up mid-render is not actionable.
+		_ = dashboardTmpl.Execute(w, data)
+	}
+}
+
+// sparkline lays a series' window out as SVG polyline points in a 220x48 box
+// (4px padding), scaling value range to height and time range to width.
+func sparkline(key string, pts []Point) dashboardChart {
+	const w, h, pad = 220.0, 48.0, 4.0
+	ch := dashboardChart{Key: key, Last: "–", Empty: true}
+	var xs, ys []float64
+	for _, p := range pts {
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			continue
+		}
+		xs = append(xs, p.T)
+		ys = append(ys, p.V)
+	}
+	if len(ys) == 0 {
+		return ch
+	}
+	ch.Empty = false
+	ch.Last = formatFloat(ys[len(ys)-1])
+	tMin, tMax := xs[0], xs[len(xs)-1]
+	vMin, vMax := ys[0], ys[0]
+	for _, v := range ys {
+		vMin = math.Min(vMin, v)
+		vMax = math.Max(vMax, v)
+	}
+	var b strings.Builder
+	for i := range xs {
+		x := w / 2
+		if tMax > tMin {
+			x = pad + (xs[i]-tMin)/(tMax-tMin)*(w-2*pad)
+		}
+		y := h / 2
+		if vMax > vMin {
+			y = h - pad - (ys[i]-vMin)/(vMax-vMin)*(h-2*pad)
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+	}
+	ch.Points = b.String()
+	return ch
+}

@@ -1,0 +1,532 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the constellation flight recorder: it snapshots every series of
+// a Registry on a fixed epoch into fixed-capacity ring buffers, turning the
+// point-in-time /metrics surface into a queryable time series (hit rate over
+// a kill window, latency quantiles across handovers, per-satellite health
+// history). Epochs can be driven by simulated time (sim.Run calls TickAt with
+// each request's trace timestamp) or by wall time (StartWall spawns a ticker,
+// for the TCP replayer) — the storage and query sides are identical.
+//
+// The recorder only ever reads the registry; it consumes no randomness and
+// touches no simulation state, so enabling it cannot change results.
+//
+// Counters and gauges record their value per epoch under their canonical
+// series key (name{labels}). Histograms fan out into `<key>_count`,
+// `<key>_sum`, and one `<name>_bucket{...,le="..."}` series per bound, which
+// is what lets the SLO engine compute windowed quantiles from bucket deltas.
+//
+// A nil *Recorder ignores every call, like the rest of this package.
+type Recorder struct {
+	reg      *Registry
+	epochSec float64
+	capN     int
+
+	mu    sync.Mutex
+	times []float64            // shared epoch-timestamp ring
+	vals  map[string][]float64 // per-series ring, NaN-padded, aligned to times
+	hists map[string][]float64 // histogram series key -> bucket bounds
+	head  int                  // next physical write slot
+	n     int                  // live entries (<= capN)
+	next  float64              // next epoch boundary (TickAt driving)
+	ticks int64                // total snapshots taken
+
+	// plan caches, per registry series, the destination ring slices and the
+	// atomic sources, so the steady-state snapshot is a straight array walk
+	// with no sorting, label rendering, or map lookups. planGen is the
+	// registry generation the plan was built against; it is rebuilt (paying
+	// the key-rendering cost once) only when new series register.
+	plan    []recSeries
+	planGen uint64
+
+	onEpoch []func(epochSec float64) // hooks (SLO evaluation), run unlocked
+}
+
+// recSeries is one plan entry: where a series' epoch samples land.
+type recSeries struct {
+	src     *series
+	ring    []float64   // counter/gauge destination
+	cntRing []float64   // histogram <key>_count destination
+	sumRing []float64   // histogram <key>_sum destination
+	buckets [][]float64 // histogram cumulative _bucket destinations
+}
+
+// RecorderOptions configures a Recorder.
+type RecorderOptions struct {
+	// EpochSec is the snapshot interval in seconds (simulated or wall,
+	// depending on the driver). 0 selects 1s.
+	EpochSec float64
+	// Capacity is the ring size in epochs. 0 selects 512.
+	Capacity int
+}
+
+// NewRecorder builds a flight recorder over reg. A nil registry yields a
+// recorder that ticks but records nothing (hooks still fire, so SLOs over an
+// empty registry simply never evaluate).
+func NewRecorder(reg *Registry, opts RecorderOptions) *Recorder {
+	if opts.EpochSec <= 0 {
+		opts.EpochSec = 1
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 512
+	}
+	return &Recorder{
+		reg:      reg,
+		epochSec: opts.EpochSec,
+		capN:     opts.Capacity,
+		times:    make([]float64, opts.Capacity),
+		vals:     make(map[string][]float64),
+		hists:    make(map[string][]float64),
+		next:     opts.EpochSec,
+		planGen:  ^uint64(0), // force the first snapshot to build a plan
+	}
+}
+
+// EpochSec returns the snapshot interval (0 on nil).
+func (r *Recorder) EpochSec() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.epochSec
+}
+
+// Epochs returns how many snapshots have been taken (0 on nil).
+func (r *Recorder) Epochs() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ticks
+}
+
+// OnEpoch registers a hook invoked (outside the recorder lock) after every
+// snapshot with the epoch's timestamp. The SLO engine registers itself here.
+func (r *Recorder) OnEpoch(fn func(t float64)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onEpoch = append(r.onEpoch, fn)
+	r.mu.Unlock()
+}
+
+// TickAt drives the recorder from a monotone event clock (simulated seconds):
+// the first call at or past the next epoch boundary snapshots the registry,
+// stamped with the boundary time. At most one snapshot is taken per call, so
+// quiet stretches skip epochs rather than replaying stale values. Nil-safe.
+func (r *Recorder) TickAt(t float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if t < r.next {
+		r.mu.Unlock()
+		return
+	}
+	boundary := math.Floor(t/r.epochSec) * r.epochSec
+	r.snapshotLocked(boundary)
+	r.next = boundary + r.epochSec
+	hooks := r.onEpoch
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(boundary)
+	}
+}
+
+// Seal forces one final snapshot at time t regardless of epoch alignment —
+// the end-of-run flush, so the last partial epoch is not lost. Nil-safe.
+func (r *Recorder) Seal(t float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.snapshotLocked(t)
+	r.next = math.Floor(t/r.epochSec)*r.epochSec + r.epochSec
+	hooks := r.onEpoch
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(t)
+	}
+}
+
+// StartWall drives the recorder from wall time: a background ticker snapshots
+// every EpochSec seconds, stamped with seconds-since-start. The returned stop
+// function halts the ticker and seals a final epoch; it is idempotent.
+func (r *Recorder) StartWall() (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(time.Duration(r.epochSec * float64(time.Second)))
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				r.Seal(now.Sub(start).Seconds())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			r.Seal(time.Since(start).Seconds())
+		})
+	}
+}
+
+// snapshotLocked appends one epoch. Callers hold r.mu.
+//
+// The hot path is the plan walk: one atomic load and one float store per
+// recorded series, with the key rendering and ring allocation amortised into
+// rebuildPlanLocked (which only runs when the registry gained series).
+// Registry series are append-only, so every ring in r.vals is covered by the
+// plan and no NaN back-padding pass is needed.
+func (r *Recorder) snapshotLocked(t float64) {
+	slot := r.head
+	r.times[slot] = t
+	if gen := r.reg.generation(); gen != r.planGen {
+		r.rebuildPlanLocked()
+		r.planGen = gen
+	}
+	for _, rs := range r.plan {
+		s := rs.src
+		switch s.kind {
+		case counterKind:
+			rs.ring[slot] = float64(s.c.Value())
+		case gaugeKind:
+			rs.ring[slot] = s.g.Value()
+		case histogramKind:
+			var run int64
+			for i := range s.h.counts {
+				run += s.h.counts[i].Load()
+				rs.buckets[i][slot] = float64(run)
+			}
+			rs.cntRing[slot] = float64(run)
+			rs.sumRing[slot] = s.h.Sum()
+		}
+	}
+	r.head = (r.head + 1) % r.capN
+	if r.n < r.capN {
+		r.n++
+	}
+	r.ticks++
+}
+
+// rebuildPlanLocked recomputes the snapshot plan from the registry: one entry
+// per series, with destination rings resolved (and NaN-backfilled on first
+// appearance) and histogram bucket keys rendered once. Callers hold r.mu.
+func (r *Recorder) rebuildPlanLocked() {
+	all := r.reg.allSeries()
+	r.plan = r.plan[:0]
+	for _, s := range all {
+		rs := recSeries{src: s}
+		switch s.kind {
+		case histogramKind:
+			r.hists[s.key] = s.h.bounds
+			rs.cntRing = r.ringLocked(s.key + "_count")
+			rs.sumRing = r.ringLocked(s.key + "_sum")
+			rs.buckets = make([][]float64, len(s.h.counts))
+			for i := range s.h.counts {
+				le := "+Inf"
+				if i < len(s.h.bounds) {
+					le = formatFloat(s.h.bounds[i])
+				}
+				bs := SeriesSnapshot{Labels: append(append([]Label(nil), s.labels...), L("le", le))}
+				rs.buckets[i] = r.ringLocked(s.name + "_bucket" + bs.LabelString())
+			}
+		default:
+			rs.ring = r.ringLocked(s.key)
+		}
+		r.plan = append(r.plan, rs)
+	}
+}
+
+// ringLocked returns (creating and NaN-backfilling if needed) the ring for a
+// series key. Callers hold r.mu.
+func (r *Recorder) ringLocked(key string) []float64 {
+	ring, ok := r.vals[key]
+	if !ok {
+		ring = make([]float64, r.capN)
+		for i := range ring {
+			ring[i] = math.NaN()
+		}
+		r.vals[key] = ring
+	}
+	return ring
+}
+
+// Point is one (time, value) sample of a recorded series. Value is NaN for
+// epochs the series had not yet appeared in.
+type Point struct {
+	T float64
+	V float64
+}
+
+// slotAt maps logical index i (0 oldest .. n-1 newest) to a physical slot.
+func (r *Recorder) slotAt(i int) int {
+	return (r.head - r.n + i + r.capN) % r.capN
+}
+
+// Series returns the sorted keys of every recorded series (nil on nil).
+func (r *Recorder) Series() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.vals))
+	for k := range r.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Window returns the samples of series key whose epoch time is strictly
+// greater than lastEpochTime-windowSec (windowSec <= 0 returns everything
+// retained). Unknown series and nil recorders return nil.
+func (r *Recorder) Window(key string, windowSec float64) []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring, ok := r.vals[key]
+	if !ok || r.n == 0 {
+		return nil
+	}
+	latest := r.times[r.slotAt(r.n-1)]
+	var out []Point
+	for i := 0; i < r.n; i++ {
+		slot := r.slotAt(i)
+		if windowSec > 0 && r.times[slot] <= latest-windowSec {
+			continue
+		}
+		out = append(out, Point{T: r.times[slot], V: ring[slot]})
+	}
+	return out
+}
+
+// Last returns the most recent sample of a series (ok=false when the series
+// is unknown, empty, or the recorder nil).
+func (r *Recorder) Last(key string) (Point, bool) {
+	pts := r.Window(key, 0)
+	for i := len(pts) - 1; i >= 0; i-- {
+		if !math.IsNaN(pts[i].V) {
+			return pts[i], true
+		}
+	}
+	return Point{}, false
+}
+
+// Delta returns how much a cumulative series (counter, histogram
+// _count/_sum/_bucket) grew inside the window: the latest in-window value
+// minus the last value recorded *before* the window (0 when the series was
+// born inside the retained history, so a freshly started counter's whole
+// value counts). This is the increase() convention: the first in-window
+// epoch's increments are attributed to the window, not silently dropped.
+// ok=false without at least one in-window sample.
+func (r *Recorder) Delta(key string, windowSec float64) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring, ok := r.vals[key]
+	if !ok || r.n == 0 {
+		return 0, false
+	}
+	latest := r.times[r.slotAt(r.n-1)]
+	baseline, last := 0.0, math.NaN()
+	for i := 0; i < r.n; i++ {
+		slot := r.slotAt(i)
+		v := ring[slot]
+		if math.IsNaN(v) {
+			continue
+		}
+		if windowSec > 0 && r.times[slot] <= latest-windowSec {
+			baseline = v
+			continue
+		}
+		last = v
+	}
+	if math.IsNaN(last) {
+		return 0, false
+	}
+	return last - baseline, true
+}
+
+// HistogramWindow returns a histogram series' bucket bounds and per-bucket
+// (non-cumulative) counts of the samples observed within the window, ready
+// for HistQuantile. ok=false when the key is not a recorded histogram or the
+// window holds no epochs.
+func (r *Recorder) HistogramWindow(key string, windowSec float64) (bounds []float64, counts []int64, ok bool) {
+	if r == nil {
+		return nil, nil, false
+	}
+	r.mu.Lock()
+	bounds = r.hists[key]
+	r.mu.Unlock()
+	if bounds == nil {
+		return nil, nil, false
+	}
+	name, labels := splitSeriesKey(key)
+	counts = make([]int64, len(bounds)+1)
+	any := false
+	prev := int64(0)
+	for i := range counts {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		bs := SeriesSnapshot{Labels: append(append([]Label(nil), labels...), L("le", le))}
+		d, dok := r.Delta(name+"_bucket"+bs.LabelString(), windowSec)
+		if dok {
+			any = true
+		}
+		// The recorded _bucket series are cumulative across buckets;
+		// de-cumulate so counts[i] holds just bucket i's samples.
+		counts[i] = int64(d) - prev
+		if counts[i] < 0 {
+			counts[i] = 0
+		}
+		prev = int64(d)
+	}
+	return bounds, counts, any
+}
+
+// splitSeriesKey splits a canonical series key (name{k="v",...}) back into
+// name and labels. Values were rendered with %q, so strconv-style unquoting
+// applies; the recorder only ever splits keys it rendered itself.
+func splitSeriesKey(key string) (string, []Label) {
+	i := indexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name := key[:i]
+	body := key[i+1 : len(key)-1]
+	var labels []Label
+	for len(body) > 0 {
+		eq := indexByte(body, '=')
+		if eq < 0 {
+			break
+		}
+		k := body[:eq]
+		rest := body[eq+1:]
+		v, n := unquotePrefix(rest)
+		labels = append(labels, Label{Key: k, Value: v})
+		if n < len(rest) && rest[n] == ',' {
+			n++
+		}
+		body = rest[n:]
+	}
+	return name, labels
+}
+
+// indexByte is strings.IndexByte without the import churn.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// unquotePrefix decodes one leading %q-quoted string, returning the value and
+// the number of input bytes consumed.
+func unquotePrefix(s string) (string, int) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", 0
+	}
+	var b []byte
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b = append(b, '\n')
+				case 't':
+					b = append(b, '\t')
+				default:
+					b = append(b, s[i])
+				}
+			}
+		case '"':
+			return string(b), i + 1
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return string(b), len(s)
+}
+
+// HistQuantile computes quantile q (in [0,1]) from bucket bounds and
+// per-bucket (non-cumulative) counts, with linear interpolation inside the
+// target bucket — the histogram_quantile convention. The +Inf bucket answers
+// with the highest finite bound. Zero samples yield NaN; with a single
+// sample, q interpolates across that sample's bucket (its lower edge at q=0,
+// its upper bound at q=1). Out-of-range q values are clamped.
+func HistQuantile(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var run int64
+	for i, c := range counts {
+		prev := run
+		run += c
+		if float64(run) < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: report the highest finite bound.
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	return bounds[len(bounds)-1]
+}

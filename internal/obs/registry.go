@@ -163,9 +163,12 @@ func (k metricKind) String() string {
 	}
 }
 
-// series is one registered (name, labels) instrument.
+// series is one registered (name, labels) instrument. key caches the
+// canonical name{labels} identity so hot readers (the flight recorder) never
+// re-render labels.
 type series struct {
 	name   string
+	key    string
 	labels []Label
 	kind   metricKind
 	c      *Counter
@@ -182,6 +185,7 @@ type series struct {
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
+	gen    uint64 // bumped whenever a new series registers
 }
 
 // NewRegistry returns an empty registry.
@@ -223,7 +227,7 @@ func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds [
 	if ok && s.kind == kind {
 		return s
 	}
-	ns := &series{name: name, labels: ls, kind: kind}
+	ns := &series{name: name, key: key, labels: ls, kind: kind}
 	switch kind {
 	case counterKind:
 		ns.c = &Counter{}
@@ -234,8 +238,35 @@ func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds [
 	}
 	if !ok {
 		r.series[key] = ns
+		r.gen++
 	}
 	return ns
+}
+
+// generation returns a counter that changes whenever a new series registers,
+// so snapshot plans (the flight recorder's) know when to rebuild. Nil-safe.
+func (r *Registry) generation() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// allSeries returns the registered series in arbitrary order, without the
+// sorting or label rendering Snapshot pays. Nil-safe.
+func (r *Registry) allSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	return out
 }
 
 // Counter returns the counter registered under (name, labels), creating it

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -117,6 +119,165 @@ func TestSnapshotSortedAndLabelled(t *testing.T) {
 	want := []string{"a_total", `b_total{s="1"}`, `b_total{s="2"}`}
 	if strings.Join(got, "|") != strings.Join(want, "|") {
 		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+}
+
+// TestPrometheusLabelEscaping: label values containing the three characters
+// the Prometheus text format escapes (newline, double quote, backslash) must
+// render escaped — and round-trip through the recorder's series-key parser,
+// so a recorded series with hostile labels stays addressable.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // escaped form inside the exposition line
+	}{
+		{"newline", "a\nb", `a\nb`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"backslash", `C:\tmp`, `C:\\tmp`},
+		{"mixed", "\\\"\n", `\\\"\n`},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Counter("starcdn_test_events_total", L("path", tc.value)).Inc()
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		line := `starcdn_test_events_total{path="` + tc.want + `"} 1`
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("%s: exposition lacks %q:\n%s", tc.name, line, b.String())
+		}
+		// Exactly one line, no raw newline splitting the sample line.
+		for _, l := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+			if strings.HasPrefix(l, "starcdn_test_events_total{") &&
+				!strings.HasSuffix(l, "} 1") {
+				t.Errorf("%s: sample line broken by unescaped character: %q", tc.name, l)
+			}
+		}
+		// Round trip: the canonical key parses back to the original value.
+		snap := r.Snapshot()[0]
+		key := snap.Name + snap.LabelString()
+		name, labels := splitSeriesKey(key)
+		if name != "starcdn_test_events_total" || len(labels) != 1 ||
+			labels[0].Value != tc.value {
+			t.Errorf("%s: key %q parsed to name=%q labels=%v, want value %q",
+				tc.name, key, name, labels, tc.value)
+		}
+	}
+}
+
+// TestHistogramInfOnlyBucket: a histogram built with zero finite bounds still
+// exposes a consistent +Inf bucket, count, and sum.
+func TestHistogramInfOnlyBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("starcdn_test_latency_ms", []float64{})
+	h.Observe(3)
+	h.Observe(4000)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`starcdn_test_latency_ms_bucket{le="+Inf"} 2`,
+		"starcdn_test_latency_ms_sum 4003",
+		"starcdn_test_latency_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("+Inf-only exposition lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "starcdn_test_latency_ms_bucket") != 1 {
+		t.Errorf("+Inf-only histogram exposed extra buckets:\n%s", out)
+	}
+}
+
+// TestHistogramExpositionConsistency: the _count row must equal the +Inf
+// cumulative bucket and the sum of observations, including after boundary
+// and tail observations — the invariant scrapers rely on when computing
+// histogram_quantile.
+func TestHistogramExpositionConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("starcdn_test_latency_ms", []float64{1, 10, 100}, L("op", "get"))
+	for _, x := range []float64{0.1, 1, 1.0001, 10, 99.9, 100, 101, 1e9} {
+		h.Observe(x)
+	}
+	snap := r.Snapshot()[0]
+	if snap.Kind != "histogram" {
+		t.Fatalf("snapshot kind = %s", snap.Kind)
+	}
+	if got := snap.HistCumulative[len(snap.HistCumulative)-1]; got != snap.HistCount {
+		t.Errorf("+Inf cumulative %d != count %d", got, snap.HistCount)
+	}
+	if snap.HistCount != 8 {
+		t.Errorf("count = %d, want 8", snap.HistCount)
+	}
+	// Cumulative rows are monotone non-decreasing.
+	for i := 1; i < len(snap.HistCumulative); i++ {
+		if snap.HistCumulative[i] < snap.HistCumulative[i-1] {
+			t.Fatalf("cumulative not monotone: %v", snap.HistCumulative)
+		}
+	}
+	// Inclusive upper bounds: le=1 holds 0.1 and 1; le=10 adds 1.0001 and 10.
+	if snap.HistCumulative[0] != 2 || snap.HistCumulative[1] != 4 {
+		t.Errorf("cumulative = %v, want [2 4 6 8]", snap.HistCumulative)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Labelled histograms interleave their own labels with le.
+	for _, want := range []string{
+		`starcdn_test_latency_ms_bucket{op="get",le="1"} 2`,
+		`starcdn_test_latency_ms_bucket{op="get",le="+Inf"} 8`,
+		`starcdn_test_latency_ms_count{op="get"} 8`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramQuantileEdgeSamples: quantiles over registry snapshots with
+// zero and one observation — the cases a naive interpolation divides by zero
+// on.
+func TestHistogramQuantileEdgeSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("starcdn_test_latency_ms", []float64{1, 10})
+
+	toCounts := func() (bounds []float64, counts []int64) {
+		snap := r.Snapshot()[0]
+		counts = make([]int64, len(snap.HistCumulative))
+		prev := int64(0)
+		for i, c := range snap.HistCumulative {
+			counts[i] = c - prev
+			prev = c
+		}
+		return snap.HistBounds, counts
+	}
+
+	// Zero samples: NaN at every quantile.
+	bounds, counts := toCounts()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := HistQuantile(bounds, counts, q); !math.IsNaN(got) {
+			t.Errorf("empty histogram q=%v = %v, want NaN", q, got)
+		}
+	}
+
+	// One sample in the middle bucket: q=0 pins its lower edge, q=1 its
+	// upper bound, q=0.5 lands between.
+	h.Observe(5)
+	bounds, counts = toCounts()
+	if got := HistQuantile(bounds, counts, 0); got != 1 {
+		t.Errorf("single-sample q=0 = %v, want 1", got)
+	}
+	if got := HistQuantile(bounds, counts, 1); got != 10 {
+		t.Errorf("single-sample q=1 = %v, want 10", got)
+	}
+	if got := HistQuantile(bounds, counts, 0.5); got <= 1 || got >= 10 {
+		t.Errorf("single-sample q=0.5 = %v, want inside (1,10)", got)
 	}
 }
 

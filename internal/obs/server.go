@@ -36,11 +36,30 @@ type Server struct {
 	srv *http.Server
 }
 
+// ServeOptions configures the observability listener beyond the basic
+// registry + health pair.
+type ServeOptions struct {
+	Registry *Registry
+	Health   HealthFunc
+	// Recorder, when non-nil, additionally mounts the flight-recorder
+	// endpoints: /timeseries.json (windowed raw/delta/rate queries) and
+	// /dashboard (live HTML page with SVG sparklines and the SLO table).
+	Recorder *Recorder
+	// SLOs feeds the dashboard's objective table (nil hides it).
+	SLOs *SLOEngine
+}
+
 // Serve starts the observability listener on addr (host:port; port 0 picks a
 // free one). The registry may be nil, in which case /metrics expositions are
 // empty but pprof and /healthz still work — profiling does not require
 // metrics.
 func Serve(addr string, reg *Registry, health HealthFunc) (*Server, error) {
+	return ServeWith(addr, ServeOptions{Registry: reg, Health: health})
+}
+
+// ServeWith is Serve with the full option set (flight recorder, SLO engine).
+func ServeWith(addr string, opts ServeOptions) (*Server, error) {
+	reg, health := opts.Registry, opts.Health
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -67,6 +86,10 @@ func Serve(addr string, reg *Registry, health HealthFunc) (*Server, error) {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
+	if opts.Recorder != nil {
+		mux.HandleFunc("/timeseries.json", opts.Recorder.handleTimeseries)
+		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(opts.SLOs))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSLOValidate rejects malformed objectives.
+func TestSLOValidate(t *testing.T) {
+	bad := []SLO{
+		{},                     // no name
+		{Name: "x"},            // no objective
+		{Name: "x", Good: "g"}, // Good without Total
+		{Name: "x", Good: "g", Total: "t", MinRatio: 2},                // ratio out of range
+		{Name: "x", Series: "s", Quantile: 0},                          // quantile out of range
+		{Name: "x", Series: "s", Quantile: 1.5},                        // quantile out of range
+		{Name: "x", Series: "s", Quantile: 0.5, Good: "g", Total: "t"}, // mixed forms
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad[%d] %+v validated", i, s)
+		}
+	}
+	good := []SLO{
+		{Name: "ratio", Good: "g", Total: "t", MinRatio: 0.6},
+		{Name: "quant", Series: "s", Quantile: 0.99, MaxValue: 50},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestSLOEngineNilWiring checks the unconditional-wiring contract: nil
+// recorder or empty objective list yields a nil engine whose methods no-op.
+func TestSLOEngineNilWiring(t *testing.T) {
+	if e, err := NewSLOEngine(nil, NewRegistry(), []SLO{{Name: "x", Good: "g", Total: "t"}}); e != nil || err != nil {
+		t.Errorf("nil recorder: engine=%v err=%v", e, err)
+	}
+	rec := NewRecorder(NewRegistry(), RecorderOptions{})
+	if e, err := NewSLOEngine(rec, NewRegistry(), nil); e != nil || err != nil {
+		t.Errorf("no slos: engine=%v err=%v", e, err)
+	}
+	var e *SLOEngine
+	e.evaluate(0)
+	if e.Snapshot() != nil || e.Burning() != nil {
+		t.Error("nil engine returned state")
+	}
+	h := e.Health(nil)
+	if h != nil {
+		t.Error("nil engine Health(nil) != nil")
+	}
+}
+
+// TestSLORatioBurn drives a hit-rate objective through a healthy phase, a
+// breach phase (the "kill window"), and a recovery, checking the exported
+// burn-rate crosses 1 during the breach and the budget depletes.
+func TestSLORatioBurn(t *testing.T) {
+	reg := NewRegistry()
+	served := reg.Counter("starcdn_test_served_total")
+	hits := reg.Counter("starcdn_test_hits_total")
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name:     "hit-rate",
+		Good:     "starcdn_test_hits_total",
+		Total:    "starcdn_test_served_total",
+		MinRatio: 0.5,
+		// Window of 4 epochs, 25% budget: one breaching epoch in four is
+		// exactly burn 1; two is burn 2.
+		WindowSec:      4,
+		BudgetFraction: 0.25,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng == nil {
+		t.Fatal("engine is nil")
+	}
+
+	step := func(t0 float64, nServed, nHits int64) {
+		served.Add(nServed)
+		hits.Add(nHits)
+		rec.TickAt(t0)
+	}
+
+	// Healthy epochs: 80% hit rate.
+	for i := 1; i <= 4; i++ {
+		step(float64(i), 10, 8)
+	}
+	if burning := eng.Burning(); len(burning) != 0 {
+		t.Fatalf("burning during healthy phase: %v", burning)
+	}
+	snap := eng.Snapshot()
+	if len(snap) != 1 || snap[0].Breach || snap[0].Value < 0.5 {
+		t.Fatalf("healthy snapshot = %+v", snap)
+	}
+
+	// Kill window: hit rate collapses to 0% for three epochs. The sliding
+	// ΔGood/ΔTotal crosses below 0.5 and breaching epochs accumulate.
+	for i := 5; i <= 7; i++ {
+		step(float64(i), 10, 0)
+	}
+	snap = eng.Snapshot()
+	if !snap[0].Breach {
+		t.Fatalf("no breach after kill window: %+v", snap[0])
+	}
+	if snap[0].BurnRate <= 1 {
+		t.Errorf("burn rate %v during kill window, want > 1", snap[0].BurnRate)
+	}
+	if got := eng.Burning(); len(got) != 1 || got[0] != "hit-rate" {
+		t.Errorf("Burning = %v, want [hit-rate]", got)
+	}
+	if snap[0].Budget >= 1 {
+		t.Errorf("budget %v did not deplete", snap[0].Budget)
+	}
+
+	// Exported series carry the slo label and are themselves recorded.
+	if v := reg.Gauge("starcdn_slo_breach", L("slo", "hit-rate")).Value(); v != 1 {
+		t.Errorf("starcdn_slo_breach = %v, want 1", v)
+	}
+	if c := reg.Counter("starcdn_slo_breaches_total", L("slo", "hit-rate")).Value(); c == 0 {
+		t.Error("starcdn_slo_breaches_total = 0")
+	}
+	if pts := rec.Window(`starcdn_slo_burn_rate{slo="hit-rate"}`, 0); len(pts) == 0 {
+		t.Errorf("burn rate not recorded as a time series; have %v", rec.Series())
+	}
+
+	// Recovery: healthy epochs push the breach bits out of the window.
+	for i := 8; i <= 14; i++ {
+		step(float64(i), 10, 10)
+	}
+	if burning := eng.Burning(); len(burning) != 0 {
+		t.Errorf("still burning after recovery: %v", burning)
+	}
+}
+
+// TestSLOQuantile drives a latency objective over a recorded histogram.
+func TestSLOQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("starcdn_test_latency_ms", []float64{1, 10, 100, 1000})
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "p99", Series: "starcdn_test_latency_ms",
+		Quantile: 0.99, MaxValue: 100, WindowSec: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast epochs: everything under 10ms.
+	for i := 1; i <= 3; i++ {
+		for j := 0; j < 20; j++ {
+			h.Observe(5)
+		}
+		rec.TickAt(float64(i))
+	}
+	snap := eng.Snapshot()
+	if snap[0].Breach || snap[0].Value > 10 {
+		t.Fatalf("fast phase snapshot = %+v", snap[0])
+	}
+
+	// Stall: tail samples land in the +Inf-adjacent bucket.
+	for j := 0; j < 20; j++ {
+		h.Observe(900)
+	}
+	rec.TickAt(4)
+	snap = eng.Snapshot()
+	if !snap[0].Breach {
+		t.Fatalf("no breach after stall: %+v", snap[0])
+	}
+	if snap[0].Value <= 100 {
+		t.Errorf("windowed p99 = %v, want > 100", snap[0].Value)
+	}
+}
+
+// TestSLOIdleWindows checks epochs without samples neither breach nor burn.
+func TestSLOIdleWindows(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "idle", Good: "starcdn_test_hits_total",
+		Total: "starcdn_test_served_total", MinRatio: 0.9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		rec.TickAt(float64(i))
+	}
+	snap := eng.Snapshot()
+	if snap[0].Evals != 0 || snap[0].Breach || len(eng.Burning()) != 0 {
+		t.Errorf("idle engine evaluated: %+v burning=%v", snap[0], eng.Burning())
+	}
+}
+
+// TestSLOHealth checks the /healthz composition with a base health func.
+func TestSLOHealth(t *testing.T) {
+	reg := NewRegistry()
+	served := reg.Counter("starcdn_test_served_total")
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "hit-rate", Good: "starcdn_test_hits_total",
+		Total: "starcdn_test_served_total", MinRatio: 0.9,
+		WindowSec: 2, BudgetFraction: 0.01,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() Health { return Health{OK: true, Note: "cluster fine"} }
+
+	if h := eng.Health(base)(); !h.OK {
+		t.Fatalf("healthy engine degraded health: %+v", h)
+	}
+	// All misses: every epoch breaches, burn explodes past 1.
+	for i := 1; i <= 3; i++ {
+		served.Add(10)
+		rec.TickAt(float64(i))
+	}
+	h := eng.Health(base)()
+	if h.OK {
+		t.Fatalf("burning engine reported OK: %+v", h)
+	}
+	found := false
+	for _, d := range h.Down {
+		if strings.HasPrefix(d, "slo:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Down %v lacks slo: entry", h.Down)
+	}
+	// Base note survives when present.
+	if h.Note != "cluster fine" {
+		t.Errorf("Note = %q, want base note preserved", h.Note)
+	}
+}
+
+// TestSLODescribe pins the human-readable objective strings the dashboard
+// shows.
+func TestSLODescribe(t *testing.T) {
+	r := SLO{Name: "hr", Good: "hits", Total: "served", MinRatio: 0.6, WindowSec: 60}
+	if got := r.Describe(); got != "hits/served >= 0.6 over 60s" {
+		t.Errorf("ratio Describe = %q", got)
+	}
+	q := SLO{Name: "lat", Series: "lat_ms", Quantile: 0.99, MaxValue: 50, WindowSec: 300}
+	if got := q.Describe(); got != "p99(lat_ms) <= 50 over 300s" {
+		t.Errorf("quantile Describe = %q", got)
+	}
+}
+
+// TestSLOBudgetMath sanity-checks budget_remaining against hand-computed
+// values: budget 0.25, 4 evals, 1 breach → 1 - (1/4)/0.25 = 0.
+func TestSLOBudgetMath(t *testing.T) {
+	reg := NewRegistry()
+	served := reg.Counter("starcdn_test_served_total")
+	hits := reg.Counter("starcdn_test_hits_total")
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "hr", Good: "starcdn_test_hits_total", Total: "starcdn_test_served_total",
+		MinRatio: 0.5, WindowSec: 1, BudgetFraction: 0.25,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 healthy epochs + 1 breach. WindowSec=1 means each epoch evaluates
+	// only its own delta.
+	for i := 1; i <= 3; i++ {
+		served.Add(10)
+		hits.Add(10)
+		rec.TickAt(float64(i))
+	}
+	served.Add(10)
+	rec.TickAt(4)
+	snap := eng.Snapshot()
+	if snap[0].Evals != 4 {
+		t.Fatalf("evals = %d, want 4", snap[0].Evals)
+	}
+	if math.Abs(snap[0].Budget-0) > 1e-9 {
+		t.Errorf("budget = %v, want 0 (1 - (1/4)/0.25)", snap[0].Budget)
+	}
+}

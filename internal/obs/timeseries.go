@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// timeseriesPayload is the /timeseries.json response shape.
+type timeseriesPayload struct {
+	EpochSec float64                     `json:"epoch_sec"`
+	Epochs   int64                       `json:"epochs"`
+	Form     string                      `json:"form"`
+	Series   map[string]timeseriesPoints `json:"series"`
+}
+
+// timeseriesPoints is one series' windowed samples. Values are pointers so
+// epochs the series had not appeared in marshal as null (JSON has no NaN).
+type timeseriesPoints struct {
+	T []float64  `json:"t"`
+	V []*float64 `json:"v"`
+}
+
+// handleTimeseries answers windowed queries against the flight recorder:
+//
+//	GET /timeseries.json?window=60&form=rate&match=starcdn_slo
+//
+// window bounds the lookback in recorded seconds (0/absent = everything
+// retained), match filters series by substring, and form selects raw values
+// (default), per-epoch deltas, or per-second rates — the latter two for
+// cumulative series (counters, histogram _count/_sum/_bucket).
+func (r *Recorder) handleTimeseries(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	window := 0.0
+	if s := q.Get("window"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "bad window", http.StatusBadRequest)
+			return
+		}
+		window = v
+	}
+	form := q.Get("form")
+	switch form {
+	case "", "raw":
+		form = "raw"
+	case "delta", "rate":
+	default:
+		http.Error(w, "bad form (raw|delta|rate)", http.StatusBadRequest)
+		return
+	}
+	match := q.Get("match")
+
+	out := timeseriesPayload{
+		EpochSec: r.EpochSec(),
+		Epochs:   r.Epochs(),
+		Form:     form,
+		Series:   make(map[string]timeseriesPoints),
+	}
+	for _, key := range r.Series() {
+		if match != "" && !strings.Contains(key, match) {
+			continue
+		}
+		pts := r.Window(key, window)
+		if form != "raw" {
+			pts = transformPoints(pts, form)
+		}
+		tp := timeseriesPoints{T: make([]float64, 0, len(pts)), V: make([]*float64, 0, len(pts))}
+		for _, p := range pts {
+			tp.T = append(tp.T, p.T)
+			if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+				tp.V = append(tp.V, nil)
+			} else {
+				v := p.V
+				tp.V = append(tp.V, &v)
+			}
+		}
+		out.Series[key] = tp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A client hanging up mid-response surfaces as a write error here;
+	// there is nothing useful to do with it.
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// transformPoints converts raw samples to per-epoch deltas or per-second
+// rates. The first point is dropped (no predecessor to difference against).
+func transformPoints(pts []Point, form string) []Point {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Point, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if form == "rate" {
+			dt := pts[i].T - pts[i-1].T
+			if dt > 0 {
+				d /= dt
+			} else {
+				d = math.NaN()
+			}
+		}
+		out = append(out, Point{T: pts[i].T, V: d})
+	}
+	return out
+}

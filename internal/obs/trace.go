@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Hop is one step of a request's serving path. Kind names the role of the
@@ -22,6 +23,11 @@ type Hop struct {
 	SimMs float64 `json:"sim_ms,omitempty"`
 	// WallMs is the measured wall-clock latency (the TCP replayer fills it).
 	WallMs float64 `json:"wall_ms,omitempty"`
+	// SpanID is the hop's span identity (16 hex chars) when cross-process
+	// trace propagation is on: remote spans emitted by the server this hop
+	// contacted carry it as their Parent, which is how starcdn-trace
+	// -assemble stitches multi-process span files into one tree.
+	SpanID string `json:"span,omitempty"`
 }
 
 // Span is one sampled request's trace record, serialised as a JSONL line by
@@ -45,6 +51,22 @@ type Span struct {
 	WallMs float64 `json:"wall_ms,omitempty"`
 	// Hops is the serving path in traversal order.
 	Hops []Hop `json:"hops,omitempty"`
+
+	// Distributed-trace identity (all omitempty, so span files written by
+	// pre-v2 builds parse unchanged). TraceID is 32 hex chars (128 bits),
+	// SpanID/Parent are 16 hex chars (64 bits). A span with a TraceID and no
+	// Parent is a trace root (the client-side request span); every other
+	// span attaches beneath the span named by Parent — possibly one emitted
+	// by a different process into a different JSONL file.
+	TraceID string `json:"trace,omitempty"`
+	SpanID  string `json:"span,omitempty"`
+	Parent  string `json:"parent,omitempty"`
+	// Proc names the emitting process role ("client", "sim", "sat-<id>").
+	Proc string `json:"proc,omitempty"`
+	// Kind labels non-root spans with the operation they cover (a wire op
+	// like "get"/"contains"/"admit" for server spans, "retry" for client
+	// retry/backoff spans). Roots leave it empty; their Source says enough.
+	Kind string `json:"kind,omitempty"`
 }
 
 // AddHop appends one hop to the span. It is nil-safe so instrumentation can
@@ -54,6 +76,52 @@ func (s *Span) AddHop(h Hop) {
 		return
 	}
 	s.Hops = append(s.Hops, h)
+}
+
+// SpanContext is the trace identity carried across process boundaries (the
+// replayer encodes it into a wire extension frame). The zero value means "no
+// context"; Sampled gates whether downstream processes should emit spans.
+type SpanContext struct {
+	TraceHi, TraceLo uint64 // 128-bit trace ID
+	Parent           uint64 // span the next remote operation nests under
+	Sampled          bool
+}
+
+// TraceString renders the 128-bit trace ID as 32 hex characters, the form
+// stored in Span.TraceID.
+func (sc SpanContext) TraceString() string {
+	return fmt.Sprintf("%016x%016x", sc.TraceHi, sc.TraceLo)
+}
+
+// SpanIDString renders a 64-bit span ID as 16 hex characters.
+func SpanIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// DeriveTraceID derives the deterministic 128-bit trace ID of request index
+// req under the given sampling seed. Like the sampling decision itself it is
+// a pure splitmix64 mix of (seed, request index): the same seeded run always
+// names its traces identically — which is how the in-process simulator and
+// the multi-process TCP replayer produce cross-referenceable trace files —
+// and no simulation RNG stream is ever consulted.
+func DeriveTraceID(seed, req int64) (hi, lo uint64) {
+	base := uint64(seed)*0x9e3779b97f4a7c15 + uint64(req)
+	hi = splitmix64(base ^ 0x5ca1ab1e0ddba11)
+	lo = splitmix64(base + 0x9e3779b97f4a7c15)
+	if hi == 0 && lo == 0 { // the all-zero trace ID is reserved for "unset"
+		lo = 1
+	}
+	return hi, lo
+}
+
+// DeriveSpanID names the n-th deterministic span of a trace (n=0 is the
+// root; client-side hops use their 1-based hop ordinal). Remote processes,
+// whose span multiplicity is not known up front, draw from Tracer.NewSpanID
+// instead.
+func DeriveSpanID(hi, lo uint64, n uint64) uint64 {
+	id := splitmix64(hi ^ splitmix64(lo+n*0xbf58476d1ce4e5b9))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Tracer samples request-path spans and streams them as JSONL. Sampling is a
@@ -68,6 +136,8 @@ func (s *Span) AddHop(h Hop) {
 type Tracer struct {
 	rate float64
 	seed int64
+
+	spanSeq atomic.Uint64 // NewSpanID allocation counter
 
 	mu      sync.Mutex
 	w       *bufio.Writer
@@ -103,6 +173,32 @@ func (t *Tracer) Sampled(req int64) bool {
 	}
 	h := splitmix64(uint64(t.seed)*0x9e3779b97f4a7c15 + uint64(req))
 	return float64(h>>11)/float64(1<<53) < t.rate
+}
+
+// TraceID returns the deterministic trace ID of request index req under this
+// tracer's sampling seed (see DeriveTraceID). Nil tracers return zeros.
+func (t *Tracer) TraceID(req int64) (hi, lo uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return DeriveTraceID(t.seed, req)
+}
+
+// NewSpanID allocates a process-locally unique span ID for spans whose
+// multiplicity is not a pure function of the request index (server-side
+// operation spans, client retry spans). IDs mix the tracer seed with an
+// atomic sequence number: unique within one emitting process, reproducible
+// across runs whenever the emission order is (e.g. a sequential replay).
+func (t *Tracer) NewSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.spanSeq.Add(1)
+	id := splitmix64(uint64(t.seed)*0x94d049bb133111eb + n)
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Emit writes one span as a JSONL line. The first write error is retained

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -42,6 +43,16 @@ type ClientOptions struct {
 	// failure counters and backoff/frame-latency histograms under the
 	// starcdn_client_* names.
 	Obs *obs.Registry
+	// Tracer, when non-nil together with Propagate, receives client-side
+	// child spans for retries (one span per backoff, parented under the
+	// propagated hop span).
+	Tracer *obs.Tracer
+	// Propagate enables cross-process trace propagation: the client sends an
+	// OpHello once per connection and, when the server grants CapTrace,
+	// prefixes sampled request frames with OpTraceContext extension frames.
+	// Servers that answer the hello with an error (protocol v1) downgrade
+	// the connection to plain frames — old servers interoperate unchanged.
+	Propagate bool
 }
 
 // clientObs holds the client's pre-resolved instruments. A nil *clientObs is
@@ -85,6 +96,8 @@ type Client struct {
 	retry       RetryPolicy
 	dial        Dialer
 	obs         *clientObs
+	tracer      *obs.Tracer
+	propagate   bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
@@ -94,6 +107,10 @@ type Client struct {
 type poolEntry struct {
 	mu   sync.Mutex
 	conn net.Conn
+	// traceOK records the outcome of the per-connection hello negotiation:
+	// true once the server granted CapTrace. Reset when the connection drops
+	// (the revived server behind the address may speak a different version).
+	traceOK bool
 }
 
 // NewClient returns a fail-fast client: no deadlines, no retries — the
@@ -116,6 +133,8 @@ func NewClientOpts(o ClientOptions) *Client {
 		retry:       o.Retry,
 		dial:        d,
 		obs:         newClientObs(o.Obs),
+		tracer:      o.Tracer,
+		propagate:   o.Propagate,
 		rng:         rand.New(rand.NewSource(o.Seed)),
 	}
 }
@@ -148,6 +167,7 @@ func (e *poolEntry) dropLocked() {
 		_ = e.conn.Close()
 		e.conn = nil
 	}
+	e.traceOK = false
 }
 
 // Close closes all pooled connections, returning the first close error.
@@ -187,7 +207,12 @@ func (c *Client) backoff(attempt int) time.Duration {
 // reconnects from scratch — which also transparently follows a satellite
 // server that was killed and revived on a new address... as long as the
 // caller re-resolves the address, which Replay does per request.
-func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (Status, uint64, uint64, error) {
+//
+// A non-nil sampled sc rides ahead of the request frame as a trace-context
+// extension (when the connection negotiated CapTrace) and each backoff
+// emits a "retry" child span under sc.Parent, so a trace records not just
+// where a request was served but every stall it survived on the way.
+func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64, sc *obs.SpanContext) (Status, uint64, uint64, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
@@ -196,12 +221,13 @@ func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (
 				c.obs.retries.Inc()
 				c.obs.backoffMs.Observe(float64(d) / float64(time.Millisecond))
 			}
+			c.emitRetrySpan(sc, attempt, d, lastErr)
 			time.Sleep(d)
 		}
 		if c.obs != nil {
 			c.obs.attempts.Inc()
 		}
-		st, a, b, err := c.tryOnce(addr, op, obj, size)
+		st, a, b, err := c.tryOnce(addr, op, obj, size, sc)
 		if err == nil {
 			return st, a, b, nil
 		}
@@ -213,8 +239,27 @@ func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64) (
 	return StatusError, 0, 0, lastErr
 }
 
+// emitRetrySpan records one backoff as a child span of the propagated hop.
+func (c *Client) emitRetrySpan(sc *obs.SpanContext, attempt int, backoff time.Duration, cause error) {
+	if c.tracer == nil || sc == nil || !sc.Sampled {
+		return
+	}
+	span := &obs.Span{
+		TraceID: sc.TraceString(),
+		SpanID:  obs.SpanIDString(c.tracer.NewSpanID()),
+		Parent:  obs.SpanIDString(sc.Parent),
+		Proc:    "client",
+		Kind:    "retry",
+		WallMs:  float64(backoff) / float64(time.Millisecond),
+	}
+	if cause != nil {
+		span.Source = "attempt-" + strconv.Itoa(attempt)
+	}
+	c.tracer.Emit(span)
+}
+
 // tryOnce performs a single attempt under the per-address lock.
-func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (Status, uint64, uint64, error) {
+func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc *obs.SpanContext) (Status, uint64, uint64, error) {
 	e := c.entry(addr)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -224,6 +269,12 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (St
 			return StatusError, 0, 0, fmt.Errorf("replayer: dial %s: %w", addr, err)
 		}
 		e.conn = conn
+		if c.propagate {
+			if err := c.helloLocked(e); err != nil {
+				e.dropLocked()
+				return StatusError, 0, 0, err
+			}
+		}
 	}
 	if c.ioTimeout > 0 {
 		if err := e.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
@@ -234,6 +285,12 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (St
 	var frameStart time.Time
 	if c.obs != nil {
 		frameStart = time.Now()
+	}
+	if e.traceOK && sc != nil && sc.Sampled {
+		if err := writeTraceContext(e.conn, *sc); err != nil {
+			e.dropLocked()
+			return StatusError, 0, 0, err
+		}
 	}
 	if err := writeRequest(e.conn, op, obj, size); err != nil {
 		e.dropLocked()
@@ -250,9 +307,36 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64) (St
 	return st, a, b, nil
 }
 
+// helloLocked negotiates protocol extensions on a freshly dialed connection;
+// callers hold e.mu. A v2 server answers StatusOK with the granted capability
+// bits; a v1 server answers its unknown-op StatusError, which downgrades the
+// connection to plain version-1 frames (traceOK stays false). Only transport
+// errors are fatal — version disagreement never is.
+func (c *Client) helloLocked(e *poolEntry) error {
+	if c.ioTimeout > 0 {
+		if err := e.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return err
+		}
+	}
+	if err := writeFrame(e.conn, uint8(OpHello), ProtocolVersion, CapTrace); err != nil {
+		return fmt.Errorf("replayer: hello: %w", err)
+	}
+	st, _, caps, err := readResponse(e.conn)
+	if err != nil {
+		return fmt.Errorf("replayer: hello: %w", err)
+	}
+	e.traceOK = st == StatusOK && caps&CapTrace != 0
+	return nil
+}
+
 // Get performs a lookup (with recency update) and reports a hit.
 func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) {
-	st, _, _, err := c.roundTrip(addr, OpGet, obj, size)
+	return c.GetCtx(addr, obj, size, nil)
+}
+
+// GetCtx is Get with an optional propagated trace context.
+func (c *Client) GetCtx(addr string, obj cache.ObjectID, size int64, sc *obs.SpanContext) (bool, error) {
+	st, _, _, err := c.roundTrip(addr, OpGet, obj, size, sc)
 	if err != nil {
 		return false, err
 	}
@@ -261,7 +345,12 @@ func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) 
 
 // Contains peeks without updating recency.
 func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
-	st, _, _, err := c.roundTrip(addr, OpContains, obj, 0)
+	return c.ContainsCtx(addr, obj, nil)
+}
+
+// ContainsCtx is Contains with an optional propagated trace context.
+func (c *Client) ContainsCtx(addr string, obj cache.ObjectID, sc *obs.SpanContext) (bool, error) {
+	st, _, _, err := c.roundTrip(addr, OpContains, obj, 0, sc)
 	if err != nil {
 		return false, err
 	}
@@ -270,7 +359,12 @@ func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
 
 // Admit inserts an object into the remote cache.
 func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
-	st, _, _, err := c.roundTrip(addr, OpAdmit, obj, size)
+	return c.AdmitCtx(addr, obj, size, nil)
+}
+
+// AdmitCtx is Admit with an optional propagated trace context.
+func (c *Client) AdmitCtx(addr string, obj cache.ObjectID, size int64, sc *obs.SpanContext) error {
+	st, _, _, err := c.roundTrip(addr, OpAdmit, obj, size, sc)
 	if err != nil {
 		return err
 	}
@@ -282,7 +376,7 @@ func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
 
 // Stats fetches the remote server's (requests, hits) counters.
 func (c *Client) Stats(addr string) (requests, hits uint64, err error) {
-	st, a, b, err := c.roundTrip(addr, OpStats, 0, 0)
+	st, a, b, err := c.roundTrip(addr, OpStats, 0, 0, nil)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"starcdn/internal/cache"
 	"starcdn/internal/core"
 	"starcdn/internal/geo"
+	"starcdn/internal/obs"
 	"starcdn/internal/sched"
 	"starcdn/internal/trace"
 )
@@ -65,6 +66,10 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 		}
 	}()
 	meters := make([]cache.Meter, len(users))
+	if opts.Recorder != nil {
+		stop := opts.Recorder.StartWall()
+		defer stop()
+	}
 
 	var (
 		mu     sync.Mutex
@@ -124,22 +129,23 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 				client := clients[loc]
 				m := &meters[loc]
 				for _, j := range perLoc[loc] {
-					span := newReplaySpan(opts.Tracer, j.index, j.req, j.first)
+					rt := newReqTrace(opts, j.index, j.req, j.first)
 					if j.home < 0 {
 						src := degradedSource(j.first)
-						finishReplaySpan(opts.Tracer, span, src, time.Time{})
+						rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
+						finishReqTrace(opts.Tracer, rt, src, time.Time{})
 						ro.record(src, j.req.Size)
 						m.Record(j.req.Size, false)
 						continue
 					}
 					reqStart := time.Now()
 					src, err := serveRequest(h, cluster, client, j.home, j.first,
-						j.addr, j.req, opts, span)
+						j.addr, j.req, opts, rt)
 					if err != nil {
 						setErr(&mu, &runErr, err)
 						return
 					}
-					finishReplaySpan(opts.Tracer, span, src, reqStart)
+					finishReqTrace(opts.Tracer, rt, src, reqStart)
 					ro.record(src, j.req.Size)
 					m.Record(j.req.Size, src.Hit())
 				}

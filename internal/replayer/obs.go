@@ -14,6 +14,10 @@ import (
 type replayObs struct {
 	bySource []*obs.Counter // indexed by sim.Source
 	bytes    []*obs.Counter
+	// served/hits aggregate across sources, the numerator/denominator pair
+	// a hit-rate SLO evaluates (ratio objectives need single series).
+	served *obs.Counter
+	hits   *obs.Counter
 }
 
 func newReplayObs(reg *obs.Registry) *replayObs {
@@ -24,6 +28,8 @@ func newReplayObs(reg *obs.Registry) *replayObs {
 	ro := &replayObs{
 		bySource: make([]*obs.Counter, len(srcs)),
 		bytes:    make([]*obs.Counter, len(srcs)),
+		served:   reg.Counter("starcdn_replay_served_total"),
+		hits:     reg.Counter("starcdn_replay_hits_total"),
 	}
 	for _, s := range srcs {
 		l := obs.L("source", s.String())
@@ -40,4 +46,8 @@ func (ro *replayObs) record(src sim.Source, size int64) {
 	}
 	ro.bySource[src].Inc()
 	ro.bytes[src].Add(size)
+	ro.served.Inc()
+	if src.Hit() {
+		ro.hits.Inc()
+	}
 }

@@ -12,6 +12,23 @@
 // Ops: OpGet (lookup + touch), OpContains (peek), OpAdmit (insert),
 // OpStats (returns request count in the first reserved field and hit count
 // in the second).
+//
+// Protocol version 2 adds two negotiated extensions on top of the version-1
+// frames, both backward compatible in either direction:
+//
+//	OpHello        — capability negotiation. A v2 client sends it once per
+//	                 connection (a=protocol version, b=requested capability
+//	                 bits); a v2 server answers StatusOK with the granted
+//	                 capabilities. A v1 server answers its unknown-op
+//	                 StatusError, which the client reads as "no extensions"
+//	                 and the connection proceeds as plain v1. V1 clients
+//	                 never send OpHello, so v2 servers serve them unchanged.
+//	OpTraceContext — distributed-trace context (only after CapTrace was
+//	                 granted). The frame carries the 128-bit trace ID in its
+//	                 two operand fields and is followed by a fixed 9-byte
+//	                 tail: parent span ID (8, big endian) | flags (1, bit 0 =
+//	                 sampled). It elicits no response; the server attaches
+//	                 the context to the next request frame on the connection.
 package replayer
 
 import (
@@ -20,6 +37,7 @@ import (
 	"io"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/obs"
 )
 
 // Op identifies a cache operation on the wire.
@@ -31,6 +49,20 @@ const (
 	OpContains
 	OpAdmit
 	OpStats
+	OpHello        // v2: capability negotiation (a=version, b=capability bits)
+	OpTraceContext // v2: trace-context extension frame (requires CapTrace)
+)
+
+// ProtocolVersion is the wire revision this build speaks. Version 1 is the
+// original fixed-frame protocol; version 2 adds hello negotiation and the
+// trace-context extension frame.
+const ProtocolVersion = 2
+
+// Capability bits negotiated via OpHello.
+const (
+	// CapTrace lets the client prefix request frames with OpTraceContext so
+	// server-side spans join the client's distributed trace.
+	CapTrace uint64 = 1 << 0
 )
 
 // Status is a response code.
@@ -95,4 +127,43 @@ func readResponse(r io.Reader) (Status, uint64, uint64, error) {
 		return StatusError, 0, 0, fmt.Errorf("replayer: bad status byte %d", m.op)
 	}
 	return st, m.a, m.b, nil
+}
+
+// traceTailSize is the fixed extension tail following an OpTraceContext
+// frame: parent span ID (8) plus a flags byte.
+const traceTailSize = 9
+
+// traceSampledFlag marks a propagated context as sampled.
+const traceSampledFlag = 0x01
+
+// writeTraceContext sends the trace-context extension: one standard frame
+// carrying the 128-bit trace ID, then the 9-byte parent/flags tail. Callers
+// must have negotiated CapTrace first — a v1 server would misparse the tail
+// as the start of the next frame.
+func writeTraceContext(w io.Writer, sc obs.SpanContext) error {
+	var buf [frameSize + traceTailSize]byte
+	buf[0] = uint8(OpTraceContext)
+	binary.BigEndian.PutUint64(buf[1:9], sc.TraceHi)
+	binary.BigEndian.PutUint64(buf[9:17], sc.TraceLo)
+	binary.BigEndian.PutUint64(buf[17:25], sc.Parent)
+	if sc.Sampled {
+		buf[25] = traceSampledFlag
+	}
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readTraceTail completes an OpTraceContext frame (whose leading 17 bytes the
+// caller already decoded into the trace ID) by reading the parent/flags tail.
+func readTraceTail(r io.Reader, traceHi, traceLo uint64) (obs.SpanContext, error) {
+	var tail [traceTailSize]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return obs.SpanContext{}, err
+	}
+	return obs.SpanContext{
+		TraceHi: traceHi,
+		TraceLo: traceLo,
+		Parent:  binary.BigEndian.Uint64(tail[0:8]),
+		Sampled: tail[8]&traceSampledFlag != 0,
+	}, nil
 }

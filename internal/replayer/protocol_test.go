@@ -128,7 +128,7 @@ func TestServerSurvivesGarbageAndTruncatedInput(t *testing.T) {
 	// the connection usable.
 	cl := NewClientOpts(ClientOptions{IOTimeout: 2 * time.Second})
 	defer func() { _ = cl.Close() }()
-	st, _, _, err := cl.roundTrip(s.Addr(), Op(0xEE), 0xDEADBEEF, 1<<60)
+	st, _, _, err := cl.roundTrip(s.Addr(), Op(0xEE), 0xDEADBEEF, 1<<60, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

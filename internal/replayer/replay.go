@@ -95,12 +95,27 @@ type Options struct {
 	// Tracer, when non-nil, emits one JSONL span per sampled request with
 	// wall-clock per-hop latencies measured around the real TCP exchanges.
 	Tracer *obs.Tracer
+	// Propagate enables protocol-v2 trace propagation: sampled requests
+	// carry their trace context (trace ID, hop span ID, sampled bit) to the
+	// satellite servers, whose per-operation spans then join the client's
+	// distributed trace (stitched back together by starcdn-trace -assemble).
+	// Requires Tracer; v1 servers negotiate the capability away and the
+	// replay proceeds as plain v1. Propagation never touches the seeded
+	// simulation streams — trace identity is a pure function of (tracer
+	// seed, request index).
+	Propagate bool
+	// Recorder, when non-nil, is ticked on wall-clock epochs for the
+	// duration of the replay, turning the Obs registry into a queryable
+	// flight-recorder time series (see obs.Recorder).
+	Recorder *obs.Recorder
 }
 
 // newReplayClient builds the client matching the options.
 func newReplayClient(opts Options) *Client {
 	co := opts.Fault.clientOptions(opts.Seed)
 	co.Obs = opts.Obs
+	co.Tracer = opts.Tracer
+	co.Propagate = opts.Propagate
 	return NewClientOpts(co)
 }
 
@@ -175,11 +190,13 @@ func wallMs(start time.Time) float64 {
 // measured wall-clock latency.
 func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
 	home, first orbitSat, addr string, r *trace.Request, opts Options,
-	span *obs.Span) (sim.Source, error) {
+	rt *reqTrace) (sim.Source, error) {
 	faulty := opts.Fault != nil
 	ownerStart := time.Now()
-	hit, err := client.Get(addr, r.Object, r.Size)
-	span.AddHop(obs.Hop{Kind: "owner", Sat: int(home), WallMs: wallMs(ownerStart)})
+	sc, hopID := rt.nextHop()
+	hit, err := client.GetCtx(addr, r.Object, r.Size, sc)
+	rt.addHop(obs.Hop{Kind: "owner", Sat: int(home), WallMs: wallMs(ownerStart),
+		SpanID: hopID})
 	if err != nil {
 		if !faulty {
 			return sim.SourceGround, err
@@ -193,13 +210,15 @@ func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
 		return sim.SourceBucket, nil
 	}
 	if opts.Relay {
-		src, served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty, span)
+		src, served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty, rt)
 		if err != nil {
 			return sim.SourceGround, err
 		}
 		if served {
-			// Store a copy at the owner for future local hits.
-			if err := client.Admit(addr, r.Object, r.Size); err != nil && !faulty {
+			// Store a copy at the owner for future local hits. The write-back
+			// admit rides under the serving relay hop's span (rt.cur), the
+			// step that produced the copy.
+			if err := client.AdmitCtx(addr, r.Object, r.Size, rt.cur()); err != nil && !faulty {
 				return src, err
 			}
 			return src, nil
@@ -207,8 +226,10 @@ func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
 	}
 	// Ground fetch; the owner caches the object on the way through.
 	groundStart := time.Now()
-	err = client.Admit(addr, r.Object, r.Size)
-	span.AddHop(obs.Hop{Kind: "ground", Sat: int(home), WallMs: wallMs(groundStart)})
+	sc, hopID = rt.nextHop()
+	err = client.AdmitCtx(addr, r.Object, r.Size, sc)
+	rt.addHop(obs.Hop{Kind: "ground", Sat: int(home), WallMs: wallMs(groundStart),
+		SpanID: hopID})
 	if err != nil && !faulty {
 		return sim.SourceGround, err
 	}
@@ -253,6 +274,10 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 	// cannot invalidate the measured meter.
 	defer func() { _ = client.Close() }()
 	ro := newReplayObs(opts.Obs)
+	if opts.Recorder != nil {
+		stop := opts.Recorder.StartWall()
+		defer stop()
+	}
 
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
@@ -260,10 +285,13 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			return meter, err
 		}
 		home, first, serveSat := homeFor(h, scheduler, fs, r, opts.Hashing)
-		span := newReplaySpan(opts.Tracer, int64(i), r, first)
+		rt := newReqTrace(opts, int64(i), r, first)
 		if !serveSat {
 			src := degradedSource(first)
-			finishReplaySpan(opts.Tracer, span, src, time.Time{})
+			// The sim's degraded paths record a ground hop (Sat=-1); mirror
+			// it so the two pipelines' hop chains stay comparable.
+			rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
+			finishReqTrace(opts.Tracer, rt, src, time.Time{})
 			ro.record(src, r.Size)
 			meter.Record(r.Size, false)
 			continue
@@ -273,11 +301,11 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			return meter, err
 		}
 		reqStart := time.Now()
-		src, err := serveRequest(h, cluster, client, home, first, addr, r, opts, span)
+		src, err := serveRequest(h, cluster, client, home, first, addr, r, opts, rt)
 		if err != nil {
 			return meter, err
 		}
-		finishReplaySpan(opts.Tracer, span, src, reqStart)
+		finishReqTrace(opts.Tracer, rt, src, reqStart)
 		ro.record(src, r.Size)
 		meter.Record(r.Size, src.Hit())
 	}
@@ -285,32 +313,91 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 	return meter, nil
 }
 
-// newReplaySpan starts the trace span for request index i, or returns nil
-// when the request is not sampled.
-func newReplaySpan(tr *obs.Tracer, i int64, r *trace.Request, first orbitSat) *obs.Span {
-	if !tr.Sampled(i) {
-		return nil
-	}
-	span := &obs.Span{Req: i, TimeSec: r.TimeSec, Loc: r.Location,
-		Object: uint64(r.Object), Size: r.Size}
-	if first >= 0 {
-		span.AddHop(obs.Hop{Kind: "first-contact", Sat: int(first)})
-	}
-	return span
+// reqTrace bundles one sampled request's span with its distributed-trace
+// identity. A nil *reqTrace (the common, unsampled case) ignores every call,
+// so the serving path needs no guards. Hop span IDs are deterministic: the
+// n-th allocated hop of a trace is DeriveSpanID(hi, lo, n) with n=0 the root,
+// so a sequential replay of a fixed seed names its spans identically across
+// runs — and identically to the sim pipeline's trace IDs for the same seed.
+type reqTrace struct {
+	span      *obs.Span
+	hi, lo    uint64
+	propagate bool
+	hop       uint64 // ordinal of the last allocated hop span ID
 }
 
-// finishReplaySpan stamps the outcome on a span and emits it. A zero start
-// means the request never contacted a satellite (no wall time to measure).
-func finishReplaySpan(tr *obs.Tracer, span *obs.Span, src sim.Source, start time.Time) {
-	if span == nil {
+// newReqTrace starts the trace record for request index i, or returns nil
+// when the request is not sampled. The root span carries the derived trace
+// identity whether or not wire propagation is on (the IDs are free and make
+// sim/replay span files cross-referenceable).
+func newReqTrace(opts Options, i int64, r *trace.Request, first orbitSat) *reqTrace {
+	if !opts.Tracer.Sampled(i) {
+		return nil
+	}
+	rt := &reqTrace{propagate: opts.Propagate}
+	rt.hi, rt.lo = opts.Tracer.TraceID(i)
+	rt.span = &obs.Span{Req: i, TimeSec: r.TimeSec, Loc: r.Location,
+		Object: uint64(r.Object), Size: r.Size,
+		TraceID: obs.SpanContext{TraceHi: rt.hi, TraceLo: rt.lo}.TraceString(),
+		SpanID:  obs.SpanIDString(obs.DeriveSpanID(rt.hi, rt.lo, 0)),
+		Proc:    "client",
+	}
+	if first >= 0 {
+		rt.span.AddHop(obs.Hop{Kind: "first-contact", Sat: int(first)})
+	}
+	return rt
+}
+
+// nextHop allocates the next hop's deterministic span ID, returning the wire
+// context to propagate (nil unless propagation is on and the request is
+// sampled) and the hop's span ID string for the Hop record. Server-side
+// operation spans emitted under the returned context carry the hop span as
+// their Parent, which is how -assemble nests them beneath the right hop.
+func (t *reqTrace) nextHop() (sc *obs.SpanContext, spanID string) {
+	if t == nil {
+		return nil, ""
+	}
+	t.hop++
+	id := obs.DeriveSpanID(t.hi, t.lo, t.hop)
+	if t.propagate {
+		sc = &obs.SpanContext{TraceHi: t.hi, TraceLo: t.lo, Parent: id, Sampled: true}
+	}
+	return sc, obs.SpanIDString(id)
+}
+
+// cur returns the wire context of the most recently allocated hop span, for
+// exchanges that belong to an already-open hop (the relay write-back admit).
+// Nil before the first hop, when unsampled, or with propagation off.
+func (t *reqTrace) cur() *obs.SpanContext {
+	if t == nil || !t.propagate || t.hop == 0 {
+		return nil
+	}
+	id := obs.DeriveSpanID(t.hi, t.lo, t.hop)
+	return &obs.SpanContext{TraceHi: t.hi, TraceLo: t.lo, Parent: id, Sampled: true}
+}
+
+// addHop appends one hop to the underlying span (nil-safe).
+func (t *reqTrace) addHop(h obs.Hop) {
+	if t == nil {
 		return
 	}
-	span.Source = src.String()
-	span.Hit = src.Hit()
-	if !start.IsZero() {
-		span.WallMs = wallMs(start)
+	t.span.AddHop(h)
+}
+
+// finishReqTrace stamps the outcome on a request trace and emits its root
+// span. A zero start means the request never contacted a satellite (no wall
+// time to measure); such degraded requests still record the ground hop the
+// sim pipeline records, keeping the two hop chains comparable.
+func finishReqTrace(tr *obs.Tracer, rt *reqTrace, src sim.Source, start time.Time) {
+	if rt == nil {
+		return
 	}
-	tr.Emit(span)
+	rt.span.Source = src.String()
+	rt.span.Hit = src.Hit()
+	if !start.IsZero() {
+		rt.span.WallMs = wallMs(start)
+	}
+	tr.Emit(rt.span)
 }
 
 // relayFetch checks the west then east same-bucket neighbours over TCP,
@@ -319,7 +406,7 @@ func finishReplaySpan(tr *obs.Tracer, span *obs.Span, src sim.Source, start time
 // (§3.4): skip it and try the other direction. On success the returned
 // source identifies the serving direction (relay-west/relay-east).
 func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbitSat,
-	r *trace.Request, hashing, faulty bool, span *obs.Span) (sim.Source, bool, error) {
+	r *trace.Request, hashing, faulty bool, rt *reqTrace) (sim.Source, bool, error) {
 	for _, d := range []topo.Direction{topo.West, topo.East} {
 		src := sim.SourceRelayWest
 		if d == topo.East {
@@ -341,7 +428,11 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 			return src, false, err
 		}
 		relayStart := time.Now()
-		has, err := client.Contains(addr, r.Object)
+		// One hop span per direction probe; a probe that finds no copy leaves
+		// its server-side contains span parentless among the client hops, and
+		// -assemble adopts it under the trace root (a probed-but-unused path).
+		sc, hopID := rt.nextHop()
+		has, err := client.ContainsCtx(addr, r.Object, sc)
 		if err != nil {
 			if faulty {
 				continue // neighbour unreachable ≈ no relay copy available
@@ -350,14 +441,14 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 		}
 		if has {
 			// Touch the serving neighbour (recency) as sim does.
-			if _, err := client.Get(addr, r.Object, r.Size); err != nil {
+			if _, err := client.GetCtx(addr, r.Object, r.Size, sc); err != nil {
 				if faulty {
 					continue
 				}
 				return src, false, err
 			}
-			span.AddHop(obs.Hop{Kind: src.String(), Sat: int(nb),
-				WallMs: wallMs(relayStart)})
+			rt.addHop(obs.Hop{Kind: src.String(), Sat: int(nb),
+				WallMs: wallMs(relayStart), SpanID: hopID})
 			return src, true, nil
 		}
 	}

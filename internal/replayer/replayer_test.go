@@ -243,7 +243,7 @@ func TestBadFrameStatus(t *testing.T) {
 	cl := NewClient()
 	defer cl.Close()
 	// An unknown op yields StatusError.
-	st, _, _, err := cl.roundTrip(s.Addr(), Op(200), 1, 1)
+	st, _, _, err := cl.roundTrip(s.Addr(), Op(200), 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"starcdn/internal/cache"
 	"starcdn/internal/obs"
@@ -35,16 +36,25 @@ type ServerOptions struct {
 	Cache cache.Policy
 	// Meter seeds the server-side accounting (revive continuity).
 	Meter cache.Meter
+	// Tracer, when non-nil, emits one child span per cache operation that
+	// arrives with a sampled trace context (protocol v2, CapTrace): the
+	// server-side half of the distributed trace, written to this process's
+	// own JSONL stream and stitched back together by starcdn-trace
+	// -assemble. Servers without a tracer still negotiate CapTrace and
+	// parse context frames — propagation costs nothing to accept.
+	Tracer *obs.Tracer
 }
 
 // Server runs one satellite's cache behind a TCP listener.
 type Server struct {
-	id    orbit.SatID
-	ln    net.Listener
-	log   *slog.Logger
-	mu    sync.Mutex // serialises cache access across connections
-	cache cache.Policy
-	meter cache.Meter
+	id     orbit.SatID
+	ln     net.Listener
+	log    *slog.Logger
+	tracer *obs.Tracer
+	proc   string     // span Proc label, "sat-<id>"
+	mu     sync.Mutex // serialises cache access across connections
+	cache  cache.Policy
+	meter  cache.Meter
 
 	// obs handles (nil when observability is off; updates are no-ops).
 	reqs    *obs.Counter
@@ -84,6 +94,8 @@ func NewServerOpts(id orbit.SatID, kind cache.Kind, capacity int64, opts ServerO
 		id:     id,
 		ln:     ln,
 		log:    obs.NewLogger(nil).With("sat", int(id)),
+		tracer: opts.Tracer,
+		proc:   "sat-" + strconv.Itoa(int(id)),
 		cache:  c,
 		meter:  opts.Meter,
 		closed: make(chan struct{}),
@@ -165,19 +177,47 @@ func (s *Server) handle(conn net.Conn) {
 		s.connMu.Unlock()
 		_ = conn.Close()
 	}()
+	// pending holds the trace context delivered by the last OpTraceContext
+	// extension frame; it applies to exactly the next request frame.
+	var pending *obs.SpanContext
 	for {
 		//lint:ignore deadline server handlers block on the next request by design: clients arm per-frame deadlines on their side, and Server.Close severs every open conn so a stalled client cannot pin the wait group
 		m, err := readFrame(conn)
 		if err != nil {
 			return // client closed, malformed/truncated frame, or broken pipe
 		}
-		if err := s.serveOne(conn, m); err != nil {
-			return
+		switch m.op {
+		case OpHello:
+			// Negotiation: grant the trace capability unconditionally —
+			// parsing context frames is cheap whether or not this server
+			// carries a tracer — and echo the protocol version.
+			//lint:ignore deadline response writes go to the kernel socket buffer of a loopback conn; a stalled client is severed by Server.Close
+			if err := writeResponse(conn, StatusOK, ProtocolVersion, CapTrace); err != nil {
+				return
+			}
+		case OpTraceContext:
+			// The context frame has a fixed 9-byte tail; it elicits no
+			// response and arms the context for the next request frame.
+			//lint:ignore deadline the extension tail arrives back-to-back with its frame from a client that already armed its own per-frame deadline; Server.Close severs stalled conns
+			sc, err := readTraceTail(conn, m.a, m.b)
+			if err != nil {
+				return
+			}
+			pending = &sc
+		default:
+			if err := s.serveOne(conn, m, pending); err != nil {
+				return
+			}
+			pending = nil
 		}
 	}
 }
 
-func (s *Server) serveOne(conn net.Conn, m message) error {
+func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext) error {
+	var opStart time.Time
+	if s.tracer != nil && sc != nil && sc.Sampled {
+		opStart = time.Now()
+	}
 	s.mu.Lock()
 	var st Status
 	var a, b uint64
@@ -215,8 +255,45 @@ func (s *Server) serveOne(conn net.Conn, m message) error {
 		s.hitRate.Set(float64(s.meter.Hits) / float64(s.meter.Requests))
 	}
 	s.mu.Unlock()
+	if !opStart.IsZero() {
+		s.emitOpSpan(m, st, sc, opStart)
+	}
 	//lint:ignore deadline response writes go to the kernel socket buffer of a loopback conn; a client that never drains is severed by Server.Close, and blocking here models a congested ISL rather than failing the frame
 	return writeResponse(conn, st, a, b)
+}
+
+// opName labels server-side operation spans.
+func opName(op Op) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpContains:
+		return "contains"
+	case OpAdmit:
+		return "admit"
+	case OpStats:
+		return "stats"
+	default:
+		return "op-" + strconv.Itoa(int(op))
+	}
+}
+
+// emitOpSpan records one served cache operation as a child of the propagated
+// client hop span. The measured wall time covers the cache operation under
+// the server mutex — the server-side residency of the request, which
+// -assemble subtracts from the client hop's wall time to attribute network
+// versus serving cost.
+func (s *Server) emitOpSpan(m message, st Status, sc *obs.SpanContext, start time.Time) {
+	s.tracer.Emit(&obs.Span{
+		TraceID: sc.TraceString(),
+		SpanID:  obs.SpanIDString(s.tracer.NewSpanID()),
+		Parent:  obs.SpanIDString(sc.Parent),
+		Proc:    s.proc,
+		Kind:    opName(m.op),
+		Hit:     st == StatusHit,
+		Object:  m.a,
+		WallMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	})
 }
 
 // Cluster is a set of satellite cache servers with a §3.4 availability

@@ -23,8 +23,12 @@ type runObs struct {
 	latency     *obs.Histogram
 	kills       *obs.Counter
 	revives     *obs.Counter
-	reg         *obs.Registry
-	perSat      map[orbit.SatID]*satObs
+	// served/hits aggregate across sources: the denominator/numerator pair a
+	// hit-rate SLO evaluates (ratio objectives need single series).
+	served *obs.Counter
+	hits   *obs.Counter
+	reg    *obs.Registry
+	perSat map[orbit.SatID]*satObs
 }
 
 // satObs tracks one serving satellite's live hit rate.
@@ -45,6 +49,8 @@ func newRunObs(reg *obs.Registry) *runObs {
 		latency:     reg.Histogram("starcdn_sim_request_latency_ms", nil),
 		kills:       reg.Counter("starcdn_sim_failures_total", obs.L("kind", "kill")),
 		revives:     reg.Counter("starcdn_sim_failures_total", obs.L("kind", "revive")),
+		served:      reg.Counter("starcdn_sim_served_total"),
+		hits:        reg.Counter("starcdn_sim_hits_total"),
 		perSat:      make(map[orbit.SatID]*satObs),
 	}
 	for _, s := range Sources() {
@@ -67,6 +73,10 @@ func (ro *runObs) record(out *Outcome, size int64, totalMs float64) {
 	hit := src.Hit()
 	ro.bySource[src].Inc()
 	ro.bytesSource[src].Add(size)
+	ro.served.Inc()
+	if hit {
+		ro.hits.Inc()
+	}
 	if !hit || src == SourceGroundEdge {
 		ro.uplinkBytes.Add(size)
 	}

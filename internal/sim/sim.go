@@ -63,6 +63,12 @@ type Config struct {
 	// Sampling is a pure hash of (tracer seed, request index), so it is
 	// deterministic and independent of the run's RNGs.
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, is ticked on simulated time as the trace
+	// replays (one epoch per Recorder.EpochSec of trace time) and sealed at
+	// the last request, turning the Metrics registry into a flight-recorder
+	// time series. Like Metrics and Tracer it only reads run state — results
+	// are byte-identical with the recorder on or off.
+	Recorder *obs.Recorder
 }
 
 // Run replays the trace through the policy over the constellation. users[i]
@@ -140,14 +146,23 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		// Advance cannot fail here: the only hook ever registered (the obs
 		// failure counters) never returns an error.
 		_ = failures.Advance(r.TimeSec)
+		cfg.Recorder.TickAt(r.TimeSec)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {
 			first = -1
 		}
 		var span *obs.Span
 		if cfg.Tracer.Sampled(int64(i)) {
+			// The trace identity is the same pure (seed, index) derivation the
+			// TCP replayer uses, so a sim run and a replay of the same seed
+			// name their traces identically and can be cross-referenced.
+			hi, lo := cfg.Tracer.TraceID(int64(i))
 			span = &obs.Span{Req: int64(i), TimeSec: r.TimeSec, Loc: r.Location,
-				Object: uint64(r.Object), Size: r.Size}
+				Object: uint64(r.Object), Size: r.Size,
+				TraceID: obs.SpanContext{TraceHi: hi, TraceLo: lo}.TraceString(),
+				SpanID:  obs.SpanIDString(obs.DeriveSpanID(hi, lo, 0)),
+				Proc:    "sim",
+			}
 			if first >= 0 {
 				span.AddHop(obs.Hop{Kind: "first-contact", Sat: int(first)})
 			}
@@ -213,6 +228,9 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 			}
 			metrics.UplinkWindows[w] += r.Size
 		}
+	}
+	if cfg.Recorder != nil && len(tr.Requests) > 0 {
+		cfg.Recorder.Seal(tr.Requests[len(tr.Requests)-1].TimeSec)
 	}
 	return metrics, nil
 }

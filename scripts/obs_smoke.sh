@@ -10,7 +10,13 @@
 #      gauges, and client retry counters in Prometheus text format
 #   3. /metrics.json parses (via the starcdn-trace build's json handling)
 #   4. /debug/pprof/profile returns a non-empty CPU profile
-#   5. starcdn-trace summarises the emitted spans (per-source latency table)
+#   5. /timeseries.json and /dashboard answer 200 while the flight recorder
+#      is live (1s wall epochs)
+#   6. starcdn-trace summarises the emitted spans (per-source latency table)
+#   7. cross-process trace round trip: with -trace-propagate the server's
+#      spans join the client's traces; starcdn-trace -assemble stitches the
+#      two span files into exactly one rooted tree per sampled request with
+#      zero orphan spans
 #
 # Usage: scripts/obs_smoke.sh   (or `make obs`)
 set -eu
@@ -41,10 +47,12 @@ step "generate trace (4000 web requests)"
 "$WORK/spacegen" -synthesize-production -class web -requests 4000 \
 	-duration 600 -seed 7 -out "$WORK/web.sctr" >/dev/null
 
-step "replay with metrics + tracing"
+step "replay with metrics + recorder + propagated tracing"
 "$WORK/starcdn-replay" -in "$WORK/web.sctr" -cache-mb 64 -buckets 4 -fault \
 	-metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+	-record-epoch 1s -slo-hit-rate 0.1 -slo-window 10s \
 	-trace-out "$WORK/spans.jsonl" -trace-sample 1 \
+	-trace-propagate -server-trace-out "$WORK/server-spans.jsonl" \
 	>"$WORK/replay.out" 2>&1 &
 REPLAY_PID=$!
 
@@ -112,6 +120,29 @@ curl -fsS "http://$ADDR/metrics.json" | grep -q 'starcdn_replay_requests_total' 
 	exit 1
 }
 
+step "scrape /timeseries.json (flight recorder)"
+curl -fsS "http://$ADDR/timeseries.json" | grep -q '"epoch_sec"' || {
+	echo "timeseries response missing epoch_sec" >&2
+	exit 1
+}
+curl -fsS "http://$ADDR/timeseries.json?match=starcdn_replay_served_total&form=delta" \
+	| grep -q 'starcdn_replay_served_total' || {
+	echo "timeseries missing the recorded served counter" >&2
+	exit 1
+}
+
+step "scrape /dashboard"
+curl -fsS "http://$ADDR/dashboard" >"$WORK/dashboard.html"
+grep -q '<svg' "$WORK/dashboard.html" || {
+	echo "dashboard has no sparklines" >&2
+	head -30 "$WORK/dashboard.html" >&2
+	exit 1
+}
+grep -q 'hit-rate' "$WORK/dashboard.html" || {
+	echo "dashboard missing the armed SLO" >&2
+	exit 1
+}
+
 kill "$REPLAY_PID" 2>/dev/null || true
 wait "$REPLAY_PID" 2>/dev/null || true
 REPLAY_PID=""
@@ -125,5 +156,32 @@ grep -q 'per-source latency' "$WORK/trace.out" || {
 	exit 1
 }
 sed 's/^/   /' "$WORK/trace.out" | head -20
+
+step "assemble cross-process trace trees"
+[ -s "$WORK/server-spans.jsonl" ] || { echo "no server spans were written" >&2; exit 1; }
+"$WORK/starcdn-trace" -assemble -top 3 \
+	-in "$WORK/spans.jsonl,$WORK/server-spans.jsonl" >"$WORK/assemble.out"
+# Every request was sampled (rate 1), so each request must assemble into
+# exactly one rooted tree, and every server span must find its parent
+# (adopted relay probes included): zero orphans, zero untraced.
+REQS=$(sed -n 's/^requests:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$WORK/replay.out" | head -n1)
+[ -n "$REQS" ] || { echo "request count not found in replay output" >&2; exit 1; }
+for want in \
+	"rooted trees:  $REQS" \
+	'orphan spans:  0'; do
+	grep -q "$want" "$WORK/assemble.out" || {
+		echo "assembly summary missing \"$want\":" >&2
+		head -20 "$WORK/assemble.out" >&2
+		exit 1
+	}
+done
+# The untraced line only prints when spans lacked a trace ID; with
+# propagation on, its presence is a failure.
+if grep -q '^untraced:' "$WORK/assemble.out"; then
+	echo "assembly found untraced spans despite propagation:" >&2
+	head -20 "$WORK/assemble.out" >&2
+	exit 1
+fi
+sed 's/^/   /' "$WORK/assemble.out" | head -15
 
 step "obs smoke passed"

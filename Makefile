@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint waivers fmt bench debug-test race chaos obs clean
+.PHONY: all build test check lint waivers shardaudit fmt bench debug-test race chaos obs clean
 
 all: build
 
@@ -29,6 +29,12 @@ lint:
 ## and fail on stale waivers (lines that no longer trigger the rule).
 waivers:
 	$(GO) run ./cmd/starcdn-lint -waivers ./...
+
+## shardaudit: regenerate SHARD_AUDIT.md, the inventory of mutable shared
+## state reachable from sim.Run that the sharded parallel engine (ROADMAP
+## item 1) must partition. `make check` fails if the committed file drifts.
+shardaudit:
+	$(GO) run ./cmd/starcdn-lint -shardaudit > SHARD_AUDIT.md
 
 fmt:
 	gofmt -w $(shell gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/')

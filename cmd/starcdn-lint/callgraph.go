@@ -152,14 +152,24 @@ func buildCallGraph(t *Tree) *callGraph {
 // BFS predecessor (entries have no predecessor). Traversal order is the
 // deterministic graph order, so reported chains are stable across runs.
 func (g *callGraph) reachableFrom(entries func(relPath string) bool) (map[*types.Func]bool, map[*types.Func]*types.Func) {
+	var roots []*funcNode
+	for _, n := range g.order {
+		if entries(n.pkg.RelPath) {
+			roots = append(roots, n)
+		}
+	}
+	return g.reachableFromNodes(roots)
+}
+
+// reachableFromNodes is reachableFrom seeded with explicit entry functions
+// (the sharedwrite rule and the shard audit start from sim.Run alone).
+func (g *callGraph) reachableFromNodes(roots []*funcNode) (map[*types.Func]bool, map[*types.Func]*types.Func) {
 	reach := make(map[*types.Func]bool)
 	parent := make(map[*types.Func]*types.Func)
 	var queue []*funcNode
-	for _, n := range g.order {
-		if entries(n.pkg.RelPath) {
-			reach[n.obj] = true
-			queue = append(queue, n)
-		}
+	for _, n := range roots {
+		reach[n.obj] = true
+		queue = append(queue, n)
 	}
 	for len(queue) > 0 {
 		n := queue[0]

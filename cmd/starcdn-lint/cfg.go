@@ -1,0 +1,344 @@
+package main
+
+// This file builds per-function control-flow graphs, the substrate of the
+// dataflow layer (dataflow.go). A CFG is deliberately statement-grained:
+// basic blocks hold the straight-line nodes of a body (plain statements and
+// the head expressions of compound statements) and edges follow Go's
+// structured control flow — if/else, for/range (with break and continue,
+// labeled or not), switch/type-switch (with fallthrough), select, goto, and
+// return. Terminating calls (panic, os.Exit, runtime.Goexit, log.Fatal*)
+// end their block at the exit node so code after a guarded panic does not
+// pollute the must-hold analysis with impossible paths.
+//
+// Function literals are NOT inlined: each literal body is its own analysis
+// unit (it runs at another time, possibly on another goroutine), so the
+// builder never descends into *ast.FuncLit bodies. dataflow.go analyzes
+// them separately.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cfgBlock is one basic block: straight-line nodes plus successor edges.
+// nodes are either plain statements or bare expressions (the condition of
+// an if/for, the tag of a switch, the operand of a range).
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	index int // creation order; deterministic across runs
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock // every block, in creation order; blocks[0] == entry
+}
+
+// cfgBuilder carries the builder state: label targets for goto and labeled
+// break/continue, and unresolved forward gotos.
+type cfgBuilder struct {
+	cfg    *funcCFG
+	info   *types.Info
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel names the label attached to the next loop/switch built,
+	// so `break L` / `continue L` resolve to that statement's targets.
+	pendingLabel string
+}
+
+type labelTarget struct {
+	entry *cfgBlock // goto target: where the labeled statement starts
+	brk   *cfgBlock // break L target (loops, switch, select)
+	cont  *cfgBlock // continue L target (loops only)
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG constructs the CFG of one function or literal body.
+func buildCFG(info *types.Info, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		cfg:    &funcCFG{},
+		info:   info,
+		labels: make(map[string]*labelTarget),
+	}
+	b.cfg.exit = &cfgBlock{index: -1}
+	entry := b.newBlock()
+	b.cfg.entry = entry
+	last := b.stmtList(body.List, entry, nil, nil)
+	b.edge(last, b.cfg.exit)
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t.entry)
+		}
+	}
+	b.cfg.blocks = append(b.cfg.blocks, b.cfg.exit)
+	b.cfg.exit.index = len(b.cfg.blocks) - 1
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmtList builds a statement sequence, threading the current block.
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur, brk, cont *cfgBlock) *cfgBlock {
+	for _, s := range list {
+		cur = b.stmt(s, cur, brk, cont)
+	}
+	return cur
+}
+
+// stmt builds one statement into the graph and returns the block where
+// control continues afterwards. brk and cont are the innermost unlabeled
+// break/continue targets.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur, brk, cont *cfgBlock) *cfgBlock {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur, brk, cont)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(cur, lb)
+		t := &labelTarget{entry: lb}
+		b.labels[s.Label.Name] = t
+		b.pendingLabel = s.Label.Name
+		return b.stmt(s.Stmt, lb, brk, cont)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		b.edge(b.stmtList(s.Body.List, then, brk, cont), join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			b.edge(b.stmt(s.Else, els, brk, cont), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+		}
+		if label != "" {
+			b.labels[label].brk = after
+			b.labels[label].cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.edge(b.stmtList(s.Body.List, body, after, post), post)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		// The range head evaluates the operand and assigns the iteration
+		// variables; dataflow sees X plus the Key/Value targets.
+		head.nodes = append(head.nodes, s)
+		after := b.newBlock()
+		if label != "" {
+			b.labels[label].brk = after
+			b.labels[label].cont = head
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.edge(b.stmtList(s.Body.List, body, after, head), head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var head []ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init = sw.Init
+			if sw.Tag != nil {
+				head = append(head, sw.Tag)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init = sw.Init
+			head = append(head, sw.Assign)
+			clauses = sw.Body.List
+		}
+		if init != nil {
+			cur = b.stmt(init, cur, brk, cont)
+		}
+		cur.nodes = append(cur.nodes, head...)
+		after := b.newBlock()
+		if label != "" {
+			b.labels[label].brk = after
+		}
+		// Pre-create clause blocks so fallthrough can link to the next one.
+		caseBlocks := make([]*cfgBlock, len(clauses))
+		hasDefault := false
+		for i := range clauses {
+			caseBlocks[i] = b.newBlock()
+			b.edge(cur, caseBlocks[i])
+		}
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := caseBlocks[i]
+			for _, e := range cc.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			var ft *cfgBlock
+			if i+1 < len(caseBlocks) {
+				ft = caseBlocks[i+1]
+			}
+			end := b.clauseBody(cc.Body, blk, after, cont, ft)
+			b.edge(end, after)
+		}
+		if !hasDefault {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		if label != "" {
+			b.labels[label].brk = after
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk.nodes = append(blk.nodes, cc.Comm)
+			}
+			b.edge(b.stmtList(cc.Body, blk, after, cont), after)
+		}
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever; no edge to after.
+			_ = after
+		}
+		return after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					b.edge(cur, t.brk)
+				}
+			} else {
+				b.edge(cur, brk)
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					b.edge(cur, t.cont)
+				}
+			} else {
+				b.edge(cur, cont)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Linked by clauseBody via the ft block.
+		}
+		return b.newBlock() // unreachable continuation
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.cfg.exit)
+		return b.newBlock()
+
+	default:
+		cur.nodes = append(cur.nodes, s)
+		if terminatingStmt(b.info, s) {
+			b.edge(cur, b.cfg.exit)
+			return b.newBlock()
+		}
+		return cur
+	}
+}
+
+// clauseBody builds a case clause body whose trailing fallthrough (if any)
+// links to ft, the next clause's block.
+func (b *cfgBuilder) clauseBody(list []ast.Stmt, cur, brk, cont, ft *cfgBlock) *cfgBlock {
+	for i, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(list)-1 {
+			b.edge(cur, ft)
+			return b.newBlock()
+		}
+		cur = b.stmt(s, cur, brk, cont)
+	}
+	return cur
+}
+
+// terminatingStmt reports whether s is a statement that never returns:
+// a call to panic, os.Exit, runtime.Goexit, or log.Fatal*.
+func terminatingStmt(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+		}
+	}
+	return false
+}

@@ -1,0 +1,728 @@
+package main
+
+// This file is the reaching/guard-state dataflow layer on top of cfg.go: a
+// forward must-hold lockset analysis over every function body (and every
+// function literal, analyzed as its own unit — a literal runs at another
+// time, possibly on another goroutine, so it inherits nothing).
+//
+// The analysis computes, at every struct-field access and every static call
+// site, the set of mutexes that are *definitely* held: gen on Lock/RLock,
+// kill on Unlock/RUnlock, intersection at control-flow joins (a lock held on
+// only one path into a join is not held after it). `defer mu.Unlock()` keeps
+// the mutex held through the rest of the body, which is exactly the
+// lock-at-top idiom the repository uses.
+//
+// A mutex is identified by its declaration: a struct field (`(T).mu`, one
+// identity for every instance — the analysis is instance-insensitive, like
+// RacerD's ownership-free mode), a package-level var, or a local/parameter
+// var. Field and package-level mutexes additionally carry a normalized
+// cross-function key, which powers the interprocedural layer: the entry
+// lock context of a function is the intersection, over every static call
+// site, of the locks held at that site (plus the caller's own context). A
+// helper only ever invoked under `c.mu` therefore analyzes as if `(Cluster).mu`
+// were held on entry — guarded-in-caller does not flag in the callee — while
+// a helper reachable from even one lock-free call site gets the empty
+// context and its raw accesses count as unguarded.
+//
+// rule_lockguard.go consumes the per-access guard states for RacerD-style
+// guard inference; rule_goroleak.go and rule_sharedwrite.go use the call
+// graph directly.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// fieldAccess is one read or write of a struct field, with the guard state
+// the dataflow computed at that point.
+type fieldAccess struct {
+	field *types.Var // the accessed struct field
+	owner string     // display name of the struct type, e.g. "replayer.Server"
+	sel   *ast.SelectorExpr
+	expr  string // rendered access chain, e.g. "s.cache"
+	write bool
+	pkg   *Package
+	// fnName labels the enclosing function in messages.
+	fnName string
+	// ctxFn receives the interprocedural entry context; nil for function
+	// literals (they inherit no caller lock context).
+	ctxFn *types.Func
+	// local is the set of mutexes definitely held at this access by this
+	// unit's own Lock/Unlock flow.
+	local map[*types.Var]bool
+}
+
+// lockEdge is one static call site with the locks locally held there.
+// caller == nil marks a call from a function literal (empty context).
+type lockEdge struct {
+	caller *types.Func
+	callee *types.Func
+	norms  map[string]bool
+}
+
+// lockCtx is a function's inferred entry lock context. top means "never
+// seen a call site yet" during the fixpoint; a function left at top is only
+// reachable through cycles of such functions and is treated as fully
+// guarded (no false positives from dead call paths).
+type lockCtx struct {
+	top bool
+	set map[string]bool
+}
+
+// lockAnalysis is the whole-tree result of the guard-state dataflow.
+type lockAnalysis struct {
+	accesses []*fieldAccess
+	ctxOf    map[*types.Func]*lockCtx
+	// atomicFields holds every field that appears as an &x.f argument to a
+	// sync/atomic function anywhere in the module; lockguard skips them
+	// (atomicmix owns mixed-discipline findings).
+	atomicFields map[*types.Var]bool
+	normOf       map[*types.Var]string // mutex var -> normalized key ("" if local)
+	varByNorm    map[string]*types.Var
+}
+
+// lockAnalysis returns the tree's guard-state dataflow, built on first use.
+func (t *Tree) lockAnalysis() *lockAnalysis {
+	if t.locks == nil {
+		t.locks = buildLockAnalysis(t)
+	}
+	return t.locks
+}
+
+// mutexLockOp classifies a callee as a mutex acquire/release. TryLock
+// variants are ignored: they do not definitely hold.
+func mutexLockOp(fn *types.Func) (acquire, ok bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false, false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false, false
+	}
+	t := recv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return true, true
+	case "Unlock", "RUnlock":
+		return false, true
+	}
+	return false, false
+}
+
+// namedTypeName renders the named type behind t (through one pointer) as
+// "pkgpath.Name", or "" when t is unnamed.
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// shortTypeName trims "pkgpath.Name" to "pkg.Name" for messages.
+func shortTypeName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// mutexVarOf resolves the receiver expression of a Lock/Unlock call to the
+// mutex's declared identity and normalized key.
+func mutexVarOf(info *types.Info, recv ast.Expr) (v *types.Var, norm string) {
+	recv = unwrapExpr(recv)
+	switch e := recv.(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[e].(*types.Var)
+		if obj == nil {
+			return nil, ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj, obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj, "" // local or parameter mutex: unit-local identity only
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			f := sel.Obj().(*types.Var)
+			owner := namedTypeName(info.Types[e.X].Type)
+			if owner == "" {
+				return f, ""
+			}
+			return f, owner + "." + f.Name()
+		}
+		// Package-qualified var: pkg.mu.Lock().
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj, obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return nil, ""
+}
+
+// unwrapExpr strips parens, derefs, and address-of operators.
+func unwrapExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// rootIdentObj unwraps a selector/index chain to its base identifier's
+// object (nil when the base is not a plain identifier).
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unwrapExpr(e).(type) {
+		case *ast.SelectorExpr:
+			// A package-qualified identifier terminates the chain at the var.
+			if _, isField := info.Selections[x]; !isField {
+				return info.Uses[x.Sel]
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// syncLikeField reports whether a field's type lives in sync or
+// sync/atomic (mutexes, wait groups, typed atomics): lockguard does not
+// treat those as guarded data.
+func syncLikeField(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// event is one dataflow-relevant point inside a basic block, in source
+// order: a lock operation, a field access, or a static call site.
+type lockEvent struct {
+	acquire bool
+	release bool
+	mu      *types.Var
+	access  *fieldAccess
+	callee  *types.Func
+}
+
+// lockUnit is one analysis unit: a declared function body or one function
+// literal body.
+type lockUnit struct {
+	node   *funcNode
+	body   *ast.BlockStmt
+	isLit  bool
+	ctxFn  *types.Func // non-nil only for declared bodies
+	fnName string
+}
+
+// buildLockAnalysis runs the guard-state dataflow over every unit of the
+// module and resolves the interprocedural entry contexts to fixpoint.
+func buildLockAnalysis(t *Tree) *lockAnalysis {
+	g := t.callGraph()
+	la := &lockAnalysis{
+		ctxOf:        make(map[*types.Func]*lockCtx),
+		atomicFields: make(map[*types.Var]bool),
+		normOf:       make(map[*types.Var]string),
+		varByNorm:    make(map[string]*types.Var),
+	}
+
+	// Atomic-discipline fields are collected tree-wide first, so lockguard
+	// can skip them no matter which package the atomic site lives in.
+	for _, pkg := range t.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+					fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+						if f := fieldOf(pkg.Info, sel); f != nil {
+							la.atomicFields[f] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var edges []lockEdge
+	for _, n := range g.order {
+		units := []lockUnit{{node: n, body: n.decl.Body, ctxFn: n.obj, fnName: shortFuncName(n.obj)}}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok {
+				units = append(units, lockUnit{
+					node: n, body: lit.Body, isLit: true,
+					fnName: shortFuncName(n.obj) + " (func literal)",
+				})
+			}
+			return true
+		})
+		for _, u := range units {
+			edges = append(edges, analyzeLockUnit(t, la, u)...)
+		}
+	}
+
+	// Interprocedural fixpoint: ctx(g) = ∩ over call sites of
+	// (locally held norms ∪ ctx(caller)). Contexts start at top and only
+	// shrink, so the iteration terminates.
+	for _, e := range edges {
+		if la.ctxOf[e.callee] == nil {
+			la.ctxOf[e.callee] = &lockCtx{top: true}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			contrib := contribution(e, la.ctxOf)
+			if contrib == nil {
+				continue // caller still at top: contributes everything
+			}
+			cur := la.ctxOf[e.callee]
+			if cur.top {
+				cur.top = false
+				cur.set = contrib
+				changed = true
+				continue
+			}
+			for k := range cur.set {
+				if !contrib[k] {
+					delete(cur.set, k)
+					changed = true
+				}
+			}
+		}
+	}
+	return la
+}
+
+// contribution computes one call site's lock set: locally held norms plus
+// the caller's entry context. nil means "top" (the caller's context is
+// still unresolved).
+func contribution(e lockEdge, ctxOf map[*types.Func]*lockCtx) map[string]bool {
+	out := make(map[string]bool, len(e.norms))
+	for k := range e.norms {
+		out[k] = true
+	}
+	if e.caller == nil {
+		return out
+	}
+	ctx := ctxOf[e.caller]
+	if ctx == nil {
+		return out
+	}
+	if ctx.top {
+		return nil
+	}
+	for k := range ctx.set {
+		out[k] = true
+	}
+	return out
+}
+
+// analyzeLockUnit runs the must-hold dataflow over one unit, appending its
+// field accesses to la and returning its context-propagating call edges.
+func analyzeLockUnit(t *Tree, la *lockAnalysis, u lockUnit) []lockEdge {
+	pkg := u.node.pkg
+	cfg := buildCFG(pkg.Info, u.body)
+
+	// Objects initialized from a composite literal or new() in this unit:
+	// accesses through them happen before the value can be shared, so they
+	// are excluded from guard statistics (the constructor exemption).
+	created := make(map[types.Object]bool)
+	forEachShallow(u.body, func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !freshValue(pkg.Info, rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						created[obj] = true
+					} else if obj := pkg.Info.Uses[id]; obj != nil {
+						created[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	})
+
+	events := make([][]lockEvent, len(cfg.blocks))
+	for _, blk := range cfg.blocks {
+		for _, n := range blk.nodes {
+			events[blk.index] = append(events[blk.index], extractEvents(t, la, u, n, created)...)
+		}
+	}
+
+	// Forward must-hold fixpoint: in-state per block, intersection meet.
+	in := make([]map[*types.Var]bool, len(cfg.blocks))
+	in[cfg.entry.index] = map[*types.Var]bool{}
+	work := []*cfgBlock{cfg.entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := applyEvents(in[blk.index], events[blk.index], nil, nil)
+		for _, succ := range blk.succs {
+			if in[succ.index] == nil {
+				in[succ.index] = cloneSet(out)
+				work = append(work, succ)
+				continue
+			}
+			changed := false
+			for k := range in[succ.index] {
+				if !out[k] {
+					delete(in[succ.index], k)
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Final pass: record guard states at accesses and call sites.
+	var unitEdges []lockEdge
+	for _, blk := range cfg.blocks {
+		if in[blk.index] == nil {
+			continue // unreachable
+		}
+		applyEvents(in[blk.index], events[blk.index],
+			func(a *fieldAccess, held map[*types.Var]bool) {
+				a.local = cloneSet(held)
+				la.accesses = append(la.accesses, a)
+			},
+			func(callee *types.Func, held map[*types.Var]bool) {
+				norms := make(map[string]bool)
+				for mu := range held {
+					if norm := la.normOf[mu]; norm != "" {
+						norms[norm] = true
+					}
+				}
+				var caller *types.Func
+				if !u.isLit {
+					caller = u.ctxFn
+				}
+				unitEdges = append(unitEdges, lockEdge{caller: caller, callee: callee, norms: norms})
+			})
+	}
+	return unitEdges
+}
+
+// applyEvents folds a block's events over a held-set, invoking the callbacks
+// (when non-nil) with the state at each access/call. Returns the out-state.
+func applyEvents(in map[*types.Var]bool, evs []lockEvent,
+	onAccess func(*fieldAccess, map[*types.Var]bool),
+	onCall func(*types.Func, map[*types.Var]bool)) map[*types.Var]bool {
+	held := cloneSet(in)
+	for _, ev := range evs {
+		switch {
+		case ev.acquire:
+			held[ev.mu] = true
+		case ev.release:
+			delete(held, ev.mu)
+		case ev.access != nil:
+			if onAccess != nil {
+				onAccess(ev.access, held)
+			}
+		case ev.callee != nil:
+			if onCall != nil {
+				onCall(ev.callee, held)
+			}
+		}
+	}
+	return held
+}
+
+func cloneSet(s map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// forEachShallow visits the top-level statements of a body (used where the
+// walk itself wants to control FuncLit descent).
+func forEachShallow(body *ast.BlockStmt, f func(ast.Node)) {
+	for _, s := range body.List {
+		f(s)
+	}
+}
+
+// freshValue reports whether rhs constructs a brand-new value: a composite
+// literal, &composite, or new(T).
+func freshValue(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}
+
+// extractEvents linearizes one block node into dataflow events in source
+// order. FuncLit subtrees are skipped (separate units); lock operations and
+// call edges under defer/go are skipped (they run at another time, or
+// concurrently, under a different lock state), while their argument
+// expressions still contribute accesses (arguments evaluate now).
+func extractEvents(t *Tree, la *lockAnalysis, u lockUnit, node ast.Node, created map[types.Object]bool) []lockEvent {
+	pkg := u.node.pkg
+	g := t.callGraph()
+	var evs []lockEvent
+
+	writes := make(map[ast.Expr]bool)
+	markWrite := func(e ast.Expr) { writes[ast.Unparen(e)] = true }
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				markWrite(s.Key)
+			}
+			if s.Value != nil {
+				markWrite(s.Value)
+			}
+			return false // only the head lives in this block; body has its own
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, inDeferOrGo bool)
+	walk = func(n ast.Node, inDeferOrGo bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.GoStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.RangeStmt:
+				// Only the range head belongs to this block.
+				walk(x.X, inDeferOrGo)
+				if x.Key != nil {
+					walk(x.Key, inDeferOrGo)
+				}
+				if x.Value != nil {
+					walk(x.Value, inDeferOrGo)
+				}
+				return false
+			case *ast.CallExpr:
+				fn := calleeOf(pkg.Info, x)
+				if acquire, isLockOp := mutexLockOp(fn); isLockOp {
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && !inDeferOrGo {
+						if mu, norm := mutexVarOf(pkg.Info, sel.X); mu != nil {
+							la.normOf[mu] = norm
+							if norm != "" {
+								la.varByNorm[norm] = mu
+							}
+							evs = append(evs, lockEvent{acquire: acquire, release: !acquire, mu: mu})
+						}
+					}
+					// The receiver chain of a lock call is not a data access.
+					for _, arg := range x.Args {
+						walk(arg, inDeferOrGo)
+					}
+					return false
+				}
+				if fn != nil && !inDeferOrGo {
+					if _, inModule := g.nodes[fn]; inModule {
+						evs = append(evs, lockEvent{callee: fn})
+					}
+				}
+				return true
+			case *ast.SelectorExpr:
+				sel, ok := pkg.Info.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				f := sel.Obj().(*types.Var)
+				if syncLikeField(f.Type()) {
+					return true
+				}
+				root := rootIdentObj(pkg.Info, x.X)
+				if root != nil && created[root] {
+					return true // constructor exemption: value not shared yet
+				}
+				if valueCopyRoot(root) {
+					// Accessing a field of a by-value receiver, parameter, or
+					// local struct touches a private copy; copies cannot race
+					// (the racy moment, if any, was the copy itself).
+					return true
+				}
+				ctxFn := u.ctxFn
+				if u.isLit {
+					ctxFn = nil
+				}
+				evs = append(evs, lockEvent{access: &fieldAccess{
+					field:  f,
+					owner:  shortTypeName(namedTypeName(pkg.Info.Types[x.X].Type)),
+					sel:    x,
+					expr:   types.ExprString(x),
+					write:  writes[x],
+					pkg:    pkg,
+					fnName: u.fnName,
+					ctxFn:  ctxFn,
+				}})
+				return true
+			}
+			return true
+		})
+	}
+	walk(node, false)
+	return evs
+}
+
+// valueCopyRoot reports whether obj is a non-pointer struct/basic/array
+// local or parameter (value receivers included): field accesses through it
+// touch a private copy and are excluded from guard statistics. Slice, map,
+// pointer, and interface roots stay in — their elements alias shared memory.
+func valueCopyRoot(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return false // package-level value: shared, not a copy
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Struct, *types.Basic, *types.Array:
+		return true
+	}
+	return false
+}
+
+// guardedBy reports whether access a holds mutex m, locally or through the
+// interprocedural entry context.
+func (la *lockAnalysis) guardedBy(a *fieldAccess, m *types.Var) bool {
+	if a.local[m] {
+		return true
+	}
+	if a.ctxFn == nil {
+		return false
+	}
+	ctx := la.ctxOf[a.ctxFn]
+	if ctx == nil {
+		return false
+	}
+	if ctx.top {
+		return true // only reachable through unresolved cycles: do not flag
+	}
+	norm := la.normOf[m]
+	return norm != "" && ctx.set[norm]
+}
+
+// guardCandidates returns every mutex observed held at any of the accesses,
+// in deterministic (first-seen) order.
+func (la *lockAnalysis) guardCandidates(accs []*fieldAccess) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	add := func(m *types.Var) {
+		if m != nil && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	// Deterministic: accesses in collection order; within one access, local
+	// mutexes by declaration position, context keys sorted.
+	for _, a := range accs {
+		var locals []*types.Var
+		for m := range a.local {
+			locals = append(locals, m)
+		}
+		sortVarsByPos(locals)
+		for _, m := range locals {
+			add(m)
+		}
+		if a.ctxFn != nil {
+			if ctx := la.ctxOf[a.ctxFn]; ctx != nil && !ctx.top {
+				var norms []string
+				for k := range ctx.set {
+					norms = append(norms, k)
+				}
+				sortStrings(norms)
+				for _, k := range norms {
+					add(la.varByNorm[k])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortVarsByPos(vs []*types.Var) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Pos() < vs[j].Pos() })
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }

@@ -35,6 +35,26 @@
 //	             internal/obs); library output must flow through injected
 //	             writers and the obs slog logger so tests can capture it.
 //
+// Since PR 6 a dataflow layer (cfg.go + dataflow.go: per-function CFGs and
+// a must-hold lockset analysis with interprocedural entry contexts) powers
+// three concurrency rules:
+//
+//	lockguard   — RacerD-style guard inference: a struct field accessed
+//	              with a given mutex held at a strict majority of its access
+//	              sites is inferred guarded by it; every lock-free access in
+//	              internal/ is flagged. Constructor writes and atomic-
+//	              discipline fields do not vote.
+//	goroleak    — a goroutine spawned in internal/ or cmd/ whose body (and
+//	              everything it calls) reaches no join primitive (channel
+//	              op, select, WaitGroup.Done/Wait, Cond.Wait, ctx.Done/Err),
+//	              and whose spawner does not wait either, is undrainable
+//	              and flagged.
+//	sharedwrite — any write to package-level state reachable from sim.Run
+//	              is flagged with its call chain; a sharded engine would
+//	              race on it. `-shardaudit` (shardaudit.go) reuses the sweep
+//	              to emit SHARD_AUDIT.md, the full shared-state inventory
+//	              for the ROADMAP item 1 refactor.
+//
 // A finding can be suppressed with a directive comment on the same line or
 // the line above:
 //
@@ -55,9 +75,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding at a source position.
@@ -108,7 +130,7 @@ func allRules() []Rule {
 
 // allTreeRules returns the whole-module analyses.
 func allTreeRules() []TreeRule {
-	return []TreeRule{ruleTaint{}}
+	return []TreeRule{ruleTaint{}, ruleLockGuard{}, ruleGoroLeak{}, ruleSharedWrite{}}
 }
 
 // ignoreDirective is a parsed //lint:ignore comment.
@@ -241,6 +263,14 @@ func (idx *ignoreIndex) suppress(d Diagnostic) bool {
 	return true
 }
 
+// ruleTiming is one rule's wall-clock cost in a run (load included as the
+// pseudo-rule "load"), mirroring check.sh's per-step timings so a dataflow
+// regression shows up in the lint output itself.
+type ruleTiming struct {
+	Name string
+	D    time.Duration
+}
+
 // lintResult is one full analysis run over a tree.
 type lintResult struct {
 	tree *Tree
@@ -248,6 +278,20 @@ type lintResult struct {
 	diags []Diagnostic
 	// directives are every //lint:ignore in the tree, with usage marked.
 	directives []*ignoreDirective
+	// timings are per-rule wall-clock costs, in run order.
+	timings []ruleTiming
+}
+
+// writeTimings renders the per-rule timing table as one line.
+func (res *lintResult) writeTimings(w io.Writer) {
+	parts := make([]string, 0, len(res.timings))
+	var total time.Duration
+	for _, t := range res.timings {
+		parts = append(parts, fmt.Sprintf("%s %s", t.Name, t.D.Round(time.Millisecond)))
+		total += t.D
+	}
+	fmt.Fprintf(w, "starcdn-lint timings: %s | total %s\n",
+		strings.Join(parts, " | "), total.Round(time.Millisecond))
 }
 
 // selectPackages resolves lint patterns to the set of RelPaths rules report
@@ -282,24 +326,30 @@ func selectPackages(tree *Tree, patterns []string) map[string]bool {
 // reported. Directive usage is tracked tree-wide so the waiver audit sees
 // exact liveness.
 func runLint(root string, patterns []string) (*lintResult, error) {
+	loadStart := time.Now()
 	tree, err := loadTree(root)
 	if err != nil {
 		return nil, err
 	}
+	timings := []ruleTiming{{Name: "load", D: time.Since(loadStart)}}
 	selected := selectPackages(tree, patterns)
 	ignores := buildIgnoreIndex(tree)
 
 	var raw []Diagnostic
 	for _, rule := range allRules() {
+		start := time.Now()
 		for _, pkg := range tree.Packages {
 			if !rule.Applies(pkg.RelPath) {
 				continue
 			}
 			raw = append(raw, rule.Check(tree, pkg)...)
 		}
+		timings = append(timings, ruleTiming{Name: rule.Name(), D: time.Since(start)})
 	}
 	for _, rule := range allTreeRules() {
+		start := time.Now()
 		raw = append(raw, rule.CheckTree(tree)...)
+		timings = append(timings, ruleTiming{Name: rule.Name(), D: time.Since(start)})
 	}
 
 	var diags []Diagnostic
@@ -320,7 +370,7 @@ func runLint(root string, patterns []string) (*lintResult, error) {
 		diags[i].Pos.Filename = relativize(root, diags[i].Pos.Filename)
 	}
 	sortDiagnostics(diags)
-	return &lintResult{tree: tree, diags: diags, directives: ignores.directives}, nil
+	return &lintResult{tree: tree, diags: diags, directives: ignores.directives, timings: timings}, nil
 }
 
 // lintTree is the plain-findings entry point used by main and the tests.

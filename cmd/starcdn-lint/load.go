@@ -60,7 +60,8 @@ type Tree struct {
 	Packages []*Package
 	byPath   map[string]*Package // import path -> package
 
-	graph *callGraph // built on first use
+	graph *callGraph    // built on first use
+	locks *lockAnalysis // built on first use (dataflow.go)
 }
 
 // PackageAt returns the loaded package with the given RelPath, or nil.

@@ -11,12 +11,19 @@ func main() {
 	waivers := flag.Bool("waivers", false,
 		"audit //lint:ignore directives: list rule, reason, and file:line for each, "+
 			"and fail on stale waivers (waived lines that no longer trigger the rule)")
+	shardAudit := flag.Bool("shardaudit", false,
+		"emit the shard-readiness audit (SHARD_AUDIT.md contents) to stdout: the "+
+			"inventory of mutable shared state reachable from sim.Run that the sharded "+
+			"parallel engine must partition; deterministic, byte-identical across runs")
+	timings := flag.Bool("timings", false,
+		"print per-rule wall-clock timings to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: starcdn-lint [-waivers] [packages]\n\n"+
+			"usage: starcdn-lint [-waivers] [-shardaudit] [-timings] [packages]\n\n"+
 				"Type-checked lint for StarCDN Go packages: determinism (simtime/\n"+
 				"globalrand taint, maporder), robustness (panicfree, closecheck,\n"+
-				"errdrop, atomicmix, deadline), and output hygiene (printf).\n"+
+				"errdrop, atomicmix, deadline), and concurrency dataflow (lockguard,\n"+
+				"goroleak, sharedwrite), plus output hygiene (printf).\n"+
 				"Patterns: ./... (whole module), ./dir/... (subtree), or a directory.\n"+
 				"Defaults to ./... relative to the enclosing module root.\n")
 		flag.PrintDefaults()
@@ -28,6 +35,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 		os.Exit(2)
 	}
+	if *shardAudit {
+		tree, err := loadTree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
+			os.Exit(2)
+		}
+		if err := writeShardAudit(tree, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -36,6 +55,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 		os.Exit(2)
+	}
+	if *timings {
+		res.writeTimings(os.Stderr)
 	}
 	if *waivers {
 		if problems := auditWaivers(res, os.Stdout); problems > 0 {

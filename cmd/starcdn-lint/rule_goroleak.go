@@ -1,0 +1,188 @@
+package main
+
+// ruleGoroLeak flags goroutines with no join path: a `go` statement in
+// internal/ or cmd/ whose spawned body — followed transitively through the
+// static call graph — never reaches a join or cancellation primitive, and
+// whose spawning function does not wait for it either. Such a goroutine
+// cannot be drained: the sharded parallel sim engine (ROADMAP item 1) must
+// be able to quiesce every worker at an epoch boundary, and a fire-and-
+// forget goroutine is invisible to any such barrier.
+//
+// A goroutine counts as joinable when its body (or anything it calls inside
+// the module) contains any of:
+//   - a channel operation: send, receive, close, select, or a range over a
+//     channel (the goroutine participates in a rendezvous);
+//   - (*sync.WaitGroup).Done or Wait (it signals a barrier);
+//   - (*sync.Cond).Wait (it parks on a condition);
+//   - a context cancellation check: ctx.Done() or ctx.Err().
+//
+// Alternatively the spawn site's own function may own the join: a
+// WaitGroup.Wait, select, or channel receive anywhere in the spawning
+// function also clears the spawn (the caller demonstrably synchronizes
+// with *something*; flagging would double-report the pattern where the
+// joining channel is threaded through a helper).
+//
+// A deliberately process-lifetime goroutine (e.g. wrapping a blocking
+// net/http Serve whose shutdown is the listener's Close) is waived with the
+// lifecycle rationale: //lint:ignore goroleak <who stops it and how>.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type ruleGoroLeak struct{}
+
+func (ruleGoroLeak) Name() string { return "goroleak" }
+
+func (r ruleGoroLeak) CheckTree(tree *Tree) []Diagnostic {
+	g := tree.callGraph()
+	var diags []Diagnostic
+	for _, n := range g.order {
+		rel := n.pkg.RelPath
+		if !inInternal(rel) && !strings.HasPrefix(rel, "cmd/") {
+			continue
+		}
+		spawnerJoins := bodyHasJoin(n.pkg.Info, n.decl.Body, true)
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineJoins(tree, n.pkg, gs) || spawnerJoins {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  n.pkg.Fset.Position(gs.Pos()),
+				Rule: r.Name(),
+				Message: "goroutine spawned in " + shortFuncName(n.obj) + " has no join path " +
+					"(no WaitGroup.Done/Wait, channel op, select, or ctx.Done reachable from the body); " +
+					"a parallel engine cannot drain it — add a join or waive with the lifecycle rationale",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// goroutineJoins reports whether the spawned call's body, followed through
+// the static call graph, reaches a join/cancellation primitive.
+func goroutineJoins(tree *Tree, pkg *Package, gs *ast.GoStmt) bool {
+	g := tree.callGraph()
+	visited := make(map[*types.Func]bool)
+	var queue []*funcNode
+
+	enqueue := func(fn *types.Func) {
+		if fn == nil || visited[fn] {
+			return
+		}
+		visited[fn] = true
+		if node, ok := g.nodes[fn]; ok {
+			queue = append(queue, node)
+		}
+	}
+
+	// Roots: a literal body is inspected directly; a named callee resolves
+	// through the graph. Unresolvable spawns (interface methods, stored
+	// function values) are skipped — the analysis cannot see the body, and
+	// guessing would only produce noise.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if bodyHasJoin(pkg.Info, lit.Body, false) {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				enqueue(calleeOf(pkg.Info, call))
+			}
+			return true
+		})
+	} else {
+		callee := calleeOf(pkg.Info, gs.Call)
+		if callee == nil {
+			return true // cannot see the body; do not guess
+		}
+		if _, ok := g.nodes[callee]; !ok {
+			return true // external body (e.g. stdlib): invisible, skip
+		}
+		enqueue(callee)
+	}
+
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if bodyHasJoin(node.pkg.Info, node.decl.Body, false) {
+			return true
+		}
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				enqueue(calleeOf(node.pkg.Info, call))
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// bodyHasJoin scans one body for join/cancellation primitives. When
+// spawnerSide is true only the waiting half counts (WaitGroup.Wait, select,
+// channel receive): a spawner that merely calls Done somewhere is not
+// thereby joining its goroutines.
+func bodyHasJoin(info *types.Info, body ast.Node, spawnerSide bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if !spawnerSide {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !spawnerSide {
+					found = true
+				}
+			}
+			fn := calleeOf(info, x)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sync":
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return true
+				}
+				owner := namedTypeName(recv.Type())
+				switch {
+				case owner == "sync.WaitGroup" && fn.Name() == "Wait":
+					found = true
+				case owner == "sync.WaitGroup" && fn.Name() == "Done" && !spawnerSide:
+					found = true
+				case owner == "sync.Cond" && fn.Name() == "Wait" && !spawnerSide:
+					found = true
+				}
+			case "context":
+				if fn.Name() == "Done" || fn.Name() == "Err" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package main
+
+// ruleSharedWrite polices the precondition of the sharded parallel sim
+// engine (ROADMAP item 1): any write to package-level state reachable from
+// the hot path — sim.Run and everything it transitively calls, function
+// literals included — is flagged with its call chain. A per-plane shard
+// engine runs many copies of that call tree concurrently; a package-level
+// write inside it is a guaranteed data race (or, at best, a deterministic-
+// merge hazard), so the state must move into per-run/per-shard structures
+// before the refactor can land. Writes include assignments, ++/--, delete,
+// and copy into a package-level variable.
+//
+// The companion `-shardaudit` mode (shardaudit.go) uses the same
+// reachability sweep to inventory the rest of the shared-state surface:
+// loop-carried locals in sim.Run and struct state mutated through pointer
+// receivers/parameters on the hot path. Those are expected (they become the
+// per-shard state), so they are audited, not flagged.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotPathEntry locates the sim engine's entry point: the package-level
+// function Run in internal/sim. Returns nil when the tree has no such
+// function (fixture trees without a sim package).
+func hotPathEntry(tree *Tree) *funcNode {
+	g := tree.callGraph()
+	for _, n := range g.order {
+		if n.pkg.RelPath == "internal/sim" && n.obj.Name() == "Run" &&
+			n.obj.Type().(*types.Signature).Recv() == nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// pkgLevelVar resolves the root of a write target to a module package-level
+// variable, or nil.
+func pkgLevelVar(tree *Tree, info *types.Info, e ast.Expr) *types.Var {
+	obj := rootIdentObj(info, e)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	// Only module state is actionable; stdlib vars do not appear as write
+	// targets in practice, but keep the guard explicit.
+	if _, inModule := tree.byPath[v.Pkg().Path()]; !inModule {
+		return nil
+	}
+	return v
+}
+
+// sharedWrite is one package-level write found on the hot path.
+type sharedWrite struct {
+	target *types.Var
+	pos    token.Pos
+	expr   string
+	fn     *funcNode
+}
+
+// hotPathWrites runs the reachability sweep and collects every
+// package-level write, in deterministic graph/source order.
+func hotPathWrites(tree *Tree) ([]sharedWrite, map[*types.Func]*types.Func) {
+	entry := hotPathEntry(tree)
+	if entry == nil {
+		return nil, nil
+	}
+	g := tree.callGraph()
+	reach, parent := g.reachableFromNodes([]*funcNode{entry})
+	var writes []sharedWrite
+	for _, n := range g.order {
+		if !reach[n.obj] {
+			continue
+		}
+		record := func(e ast.Expr, pos token.Pos) {
+			if v := pkgLevelVar(tree, n.pkg.Info, e); v != nil {
+				writes = append(writes, sharedWrite{
+					target: v, pos: pos, expr: types.ExprString(e), fn: n,
+				})
+			}
+		}
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					record(lhs, lhs.Pos())
+				}
+			case *ast.IncDecStmt:
+				record(x.X, x.X.Pos())
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && len(x.Args) > 0 {
+					if _, isBuiltin := n.pkg.Info.Uses[id].(*types.Builtin); isBuiltin &&
+						(id.Name == "delete" || id.Name == "copy") {
+						record(x.Args[0], x.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return writes, parent
+}
+
+type ruleSharedWrite struct{}
+
+func (ruleSharedWrite) Name() string { return "sharedwrite" }
+
+func (r ruleSharedWrite) CheckTree(tree *Tree) []Diagnostic {
+	writes, parent := hotPathWrites(tree)
+	g := tree.callGraph()
+	var diags []Diagnostic
+	for _, w := range writes {
+		chain := g.chainTo(parent, w.fn.obj)
+		diags = append(diags, Diagnostic{
+			Pos:  w.fn.pkg.Fset.Position(w.pos),
+			Rule: r.Name(),
+			Message: "write to package-level " + w.target.Pkg().Name() + "." + w.target.Name() +
+				" (" + w.expr + ") on the sim hot path (" + chain + "); " +
+				"shards would race on it — move into per-run or per-shard state (see SHARD_AUDIT.md)",
+		})
+	}
+	return diags
+}

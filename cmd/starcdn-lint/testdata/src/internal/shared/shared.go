@@ -1,0 +1,32 @@
+// Package shared is the sharedwrite fixture: package-level state written by
+// functions the fixture sim.Run transitively reaches. Every write site below
+// is flagged with its call chain from the hot path — a sharded engine would
+// race on these — while Tune, which no simulation entry point reaches, stays
+// clean no matter what it writes.
+package shared
+
+// Total accumulates bytes served across the whole run.
+var Total int64
+
+// counts tracks per-object hit counts.
+var counts = map[uint64]int{}
+
+// factor scales the cost model; only written from outside the hot path.
+var factor = 1.0
+
+// Bump records one served object (called from sim.Run's step loop).
+func Bump(id uint64, size int64) {
+	Total += size // want sharedwrite
+	counts[id]++  // want sharedwrite
+}
+
+// Forget drops an object's count (called from sim.Run after the loop).
+func Forget(id uint64) {
+	delete(counts, id) // want sharedwrite
+}
+
+// Tune is dead from the simulation packages: its package-level write draws
+// no finding (the rule polices the hot path, not the whole module).
+func Tune(f float64) {
+	factor = f
+}

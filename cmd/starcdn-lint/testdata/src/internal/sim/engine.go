@@ -6,16 +6,21 @@
 package sim
 
 import (
+	"fixture/internal/shared"
 	"fixture/internal/stats"
 	"fixture/simutil"
 )
 
-// Run drives the per-step cost model in fixture/simutil.
+// Run drives the per-step cost model in fixture/simutil and records served
+// objects in fixture/internal/shared — whose package-level writes the
+// sharedwrite rule flags with this hot path's call chains.
 func Run(steps int) float64 {
 	total := 0.0
 	for i := 0; i < steps; i++ {
 		total += simutil.StepCost(i)
+		shared.Bump(uint64(i), 1)
 	}
+	shared.Forget(0)
 	return total
 }
 

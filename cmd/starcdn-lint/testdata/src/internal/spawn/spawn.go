@@ -1,0 +1,75 @@
+// Package spawn is the goroleak fixture: goroutines in internal/ must have
+// a join path — a channel operation, select, WaitGroup.Done/Wait, Cond.Wait,
+// or ctx.Done/Err reachable from the spawned body through the static call
+// graph — or a spawner that demonstrably waits. Fire-and-forget goroutines
+// (Leak, LeakNamed) are flagged; joined ones (Joined, Pipeline), bodies
+// whose join sits in a transitive callee (StartForwarder), and waived
+// process-lifetime pumps (Daemon) pass.
+package spawn
+
+import "sync"
+
+// Leak spawns a goroutine nothing can drain: flagged.
+func Leak() {
+	go func() { // want goroleak
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// churn spins forever with no synchronization primitive.
+func churn() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// LeakNamed spawns a named joinless function: flagged at the spawn site.
+func LeakNamed() {
+	go churn() // want goroleak
+}
+
+// Joined signals a WaitGroup from every worker and waits: clean.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Pipeline rendezvouses over a channel: clean.
+func Pipeline(xs []int) int {
+	ch := make(chan int)
+	go func() {
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		ch <- total
+	}()
+	return <-ch
+}
+
+// forward sends into the sink; the join lives here, one call away from the
+// spawn site.
+func forward(sink chan<- int) {
+	sink <- 1
+}
+
+// StartForwarder's goroutine joins transitively through forward's send; the
+// spawner itself waits for nothing. Clean.
+func StartForwarder(sink chan<- int) {
+	go forward(sink)
+}
+
+// Daemon demonstrates the escape hatch for deliberate process-lifetime work.
+func Daemon() {
+	//lint:ignore goroleak fixture: process-lifetime pump, stopped only by process exit
+	go churn()
+}

@@ -23,7 +23,7 @@ func badSave(path string, v any) {
 	enc := json.NewEncoder(f)
 	enc.Encode(v)   // want errdrop
 	defer f.Sync()  // want errdrop
-	go remove(path) // want errdrop
+	go remove(path) // want errdrop goroleak
 	f.Close()       // want errdrop
 }
 

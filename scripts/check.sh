@@ -8,7 +8,8 @@
 # Every step reports its wall-clock time so budget regressions show up in
 # the CI output itself.
 #
-#   phase 1 (static):  gofmt, go vet, starcdn-lint, starcdn-lint -waivers
+#   phase 1 (static):  gofmt, go vet, starcdn-lint (with a wall-clock
+#                      budget), starcdn-lint -waivers, shard-audit drift
 #   phase 2 (build):   go build (release), go build (starcdn_debug)
 #   phase 3 (test):    go test -race, go test -tags starcdn_debug
 #   phase 4 (smoke):   chaos pass, obs smoke, bench smoke
@@ -36,11 +37,37 @@ step_gofmt() {
 
 step_vet() { go vet ./...; }
 
-step_lint() { go run ./cmd/starcdn-lint ./...; }
+step_lint() { go run ./cmd/starcdn-lint -timings ./...; }
 
 # The waiver ledger: every //lint:ignore must carry a reason and still
 # suppress something; stale waivers fail the gate (DESIGN.md §7).
 step_waivers() { go run ./cmd/starcdn-lint -waivers ./...; }
+
+# The shard-readiness inventory must match its committed golden: a new
+# write to shared state cannot land without regenerating SHARD_AUDIT.md
+# (`make shardaudit`) and showing up in its diff (DESIGN.md §7).
+step_shardaudit() {
+	go run ./cmd/starcdn-lint -shardaudit >"$TMP/shard_audit.md"
+	diff -u SHARD_AUDIT.md "$TMP/shard_audit.md" || {
+		echo "SHARD_AUDIT.md is stale; regenerate with \`make shardaudit\` and audit the diff"
+		return 1
+	}
+}
+
+# LINT_BUDGET caps the whole-tree lint run's wall-clock seconds. The
+# dataflow rules (CFG + lockset fixpoints) are the costliest analyses in
+# the suite; a pathological regression should fail CI, not creep.
+LINT_BUDGET=${LINT_BUDGET:-90}
+
+# assert_lint_budget: read the lint step's recorded wall-clock time and
+# fail the static phase if it blew the budget.
+assert_lint_budget() {
+	lint_secs=$(cat "$TMP/lint.time" 2>/dev/null || echo 0)
+	if awk -v t="$lint_secs" -v b="$LINT_BUDGET" 'BEGIN { exit !(t > b) }'; then
+		printf '== FAIL %6ss  starcdn-lint exceeded its %ss budget\n' "$lint_secs" "$LINT_BUDGET"
+		FAILED=1
+	fi
+}
 
 step_build_release() { go build ./...; }
 
@@ -115,10 +142,13 @@ spawn fmt step_gofmt
 spawn vet step_vet
 spawn lint step_lint
 spawn waivers step_waivers
+spawn shardaudit step_shardaudit
 reap fmt "gofmt"
 reap vet "go vet ./..."
 reap lint "starcdn-lint ./..."
+assert_lint_budget
 reap waivers "starcdn-lint -waivers ./... (waiver audit)"
+reap shardaudit "shard-audit drift (SHARD_AUDIT.md vs -shardaudit)"
 gate static
 
 spawn brel step_build_release

@@ -16,6 +16,9 @@ import (
 //
 //   - every name matches `starcdn_[a-z0-9_]+` (lowercase, namespaced, no
 //     trailing underscore)
+//   - the component after the prefix names a known subsystem family
+//     (starcdn_shed_*, starcdn_slo_*, ...), so new series land in an
+//     existing dashboard group instead of inventing a private namespace
 //   - counters end in `_total` (the Prometheus cumulative convention)
 //   - gauges do NOT end in `_total` — a gauge named like a counter lies to
 //     rate() queries
@@ -34,6 +37,25 @@ type ruleMetricName struct{}
 func (ruleMetricName) Name() string { return "metricname" }
 
 func (ruleMetricName) Applies(relPath string) bool { return true }
+
+// metricFamilies is the subsystem vocabulary: the first component after the
+// starcdn_ prefix must be one of these, so every series lands in a known
+// dashboard group. A new subsystem earns its entry here in the same PR that
+// introduces its first metric ("shed" arrived with the overload controller).
+var metricFamilies = []string{
+	"cache", "client", "cluster", "fixture", "replay",
+	"server", "shed", "sim", "slo", "test",
+}
+
+// metricFamily extracts the component after the starcdn_ prefix, up to the
+// next underscore. Call only on well-formed names.
+func metricFamily(name string) string {
+	rest := strings.TrimPrefix(name, "starcdn_")
+	if i := strings.IndexByte(rest, '_'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
 
 // metricUnitSuffixes are the suffixes accepted on histogram names.
 var metricUnitSuffixes = []string{"_ms", "_us", "_ns", "_seconds", "_bytes"}
@@ -116,6 +138,19 @@ func (r ruleMetricName) Check(tree *Tree, pkg *Package) []Diagnostic {
 			name := lit
 			if !wellFormedMetricName(name) {
 				flag(call, fmt.Sprintf("metric name %q must match starcdn_[a-z0-9_]+ with no trailing underscore", name))
+				return true
+			}
+			fam := metricFamily(name)
+			known := false
+			for _, f := range metricFamilies {
+				if fam == f {
+					known = true
+					break
+				}
+			}
+			if !known {
+				flag(call, fmt.Sprintf("metric name %q uses unknown family %q; known families are %s (add new subsystems to metricFamilies)",
+					name, fam, strings.Join(metricFamilies, ", ")))
 				return true
 			}
 			for _, s := range metricReservedSuffixes {

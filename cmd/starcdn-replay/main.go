@@ -31,6 +31,7 @@ import (
 	"starcdn/internal/orbit"
 	"starcdn/internal/replayer"
 	"starcdn/internal/sched"
+	"starcdn/internal/shed"
 	"starcdn/internal/sim"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
@@ -77,6 +78,10 @@ func main() {
 		sloHitRate  = flag.Float64("slo-hit-rate", 0, "SLO: request hit rate >= this fraction over -slo-window (0 disables; requires -record-epoch)")
 		sloWindow   = flag.Duration("slo-window", time.Minute, "SLO evaluation window")
 		sloBudget   = flag.Float64("slo-budget", 0.01, "SLO error budget: tolerated fraction of breaching epochs")
+
+		shedOn    = flag.Bool("shed", false, "closed-loop overload control: graded load shedding driven by the §3.4 degraded fraction (wire rejections use StatusShed, protocol v3)")
+		shedEpoch = flag.Float64("shed-epoch-sec", 15, "overload-controller epoch in trace seconds (with -shed)")
+		shedQuota = flag.Int("shed-quota", 64, "admitted-session quota at the admission-control stage (with -shed)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -245,8 +250,25 @@ func main() {
 		log.Fatal("SLO flags require -record-epoch (objectives evaluate per recorder epoch)")
 	}
 
+	// Overload control: one controller closes the loop on both sides — the
+	// client pipeline consults it per request (Options.Shedder) and every
+	// satellite server enforces its stage at the wire (ServerOptions.Shedder),
+	// so a v3 peer sees StatusShed while a v2 peer sees StatusError.
+	var shedCtrl *shed.Controller
+	if *shedOn {
+		cfg := shed.Defaults()
+		cfg.EpochSec = *shedEpoch
+		cfg.SessionQuota = *shedQuota
+		cfg.Metrics = reg // nil keeps the controller silent but functional
+		shedCtrl, err = shed.NewController(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Shedder = shedCtrl
+	}
+
 	cluster, err := replayer.NewClusterOpts(cache.LRU, *cacheMB<<20,
-		replayer.ServerOptions{Obs: reg, Tracer: serverTracer})
+		replayer.ServerOptions{Obs: reg, Tracer: serverTracer, Shedder: shedCtrl})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -257,12 +279,18 @@ func main() {
 	}()
 
 	if *metricsAddr != "" {
-		srv, err := obs.ServeWith(*metricsAddr, obs.ServeOptions{
+		health := sloEngine.Health(cluster.Health)
+		serveOpts := obs.ServeOptions{
 			Registry: reg,
-			Health:   sloEngine.Health(cluster.Health),
+			Health:   health,
 			Recorder: recorder,
 			SLOs:     sloEngine,
-		})
+		}
+		if shedCtrl != nil {
+			serveOpts.Health = shedCtrl.Health(health)
+			serveOpts.Shed = shedCtrl.Status
+		}
+		srv, err := obs.ServeWith(*metricsAddr, serveOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -320,6 +348,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("server spans:     %d written to %s\n", serverTracer.Emitted(), *serverTrace)
+	}
+	if shedCtrl != nil {
+		st := shedCtrl.Status()
+		up, down := shedCtrl.Transitions()
+		fmt.Printf("overload control: final %s, burn %.3g, %d open sessions (%d escalations, %d recoveries)\n",
+			st.StageName, st.Burn, st.SessionsOpen, up, down)
 	}
 	if recorder != nil {
 		fmt.Printf("flight recorder:  %d epochs @ %s\n", recorder.Epochs(), *recordEpoch)

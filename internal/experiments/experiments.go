@@ -17,6 +17,7 @@ import (
 	"starcdn/internal/geo"
 	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
+	"starcdn/internal/shed"
 	"starcdn/internal/sim"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
@@ -87,6 +88,13 @@ type Env struct {
 	// Recorder, when non-nil, ticks on simulated time through every run,
 	// turning Obs into a flight-recorder time series (sim.Config.Recorder).
 	Recorder *obs.Recorder
+	// ShedConfig, when non-nil, wires a fresh overload controller into every
+	// simulation run (sim.Config.Shedder). Fresh per run: the controller's
+	// stage machine and session table are stateful, and sharing one across
+	// runs would leak burn history between experiments. Unlike Obs/Tracer
+	// this CAN alter results (that is its purpose), so shed runs are never
+	// memoised.
+	ShedConfig *shed.Config
 
 	mu     sync.Mutex
 	consts map[string]*orbit.Constellation
@@ -177,7 +185,7 @@ func (e *Env) grid(key string) *topo.Grid {
 // (no latency/per-satellite collection) are memoised per environment so that
 // figures sharing cells don't re-simulate.
 func (e *Env) runScheme(constKey, scheme string, l int, cacheBytes int64, tr *trace.Trace, cfg sim.Config) (*sim.Metrics, error) {
-	memoizable := !cfg.CollectLatency && !cfg.CollectPerSat
+	memoizable := !cfg.CollectLatency && !cfg.CollectPerSat && e.ShedConfig == nil
 	key := fmt.Sprintf("%s|%s|%d|%d|%p|%d", constKey, scheme, l, cacheBytes, tr, cfg.Seed)
 	if memoizable {
 		e.mu.Lock()
@@ -234,6 +242,15 @@ func (e *Env) runSchemeUncached(constKey, scheme string, l int, cacheBytes int64
 	cfg.Metrics = e.Obs
 	cfg.Tracer = e.Tracer
 	cfg.Recorder = e.Recorder
+	if e.ShedConfig != nil {
+		shedCfg := *e.ShedConfig
+		shedCfg.Metrics = e.Obs
+		ctrl, err := shed.NewController(shedCfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Shedder = ctrl
+	}
 	return sim.Run(c, e.Users(), tr, p, cfg)
 }
 

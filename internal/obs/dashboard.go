@@ -32,6 +32,7 @@ type dashboardData struct {
 	Truncated bool
 	Match     string
 	SLOs      []SLOStatus
+	Shed      *ShedStatus
 	Charts    []dashboardChart
 }
 
@@ -62,6 +63,14 @@ svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
 <td>{{printf "%.3g" .BurnRate}}</td><td>{{printf "%.3g" .Budget}}</td>
 <td class="{{if .Breach}}breach{{else}}ok{{end}}">{{if .Breach}}BREACH{{else}}ok{{end}}</td></tr>
 {{end}}</table>{{end}}
+{{with .Shed}}<h2>overload control</h2>
+<table><tr><th>stage</th><th>burn rate</th><th>degraded</th><th>enter ≥</th><th>exit &lt;</th><th>dwell</th><th>sessions</th></tr>
+<tr><td class="{{if .Stage}}breach{{else}}ok{{end}}">{{.StageName}}</td>
+<td>{{printf "%.3g" .Burn}}</td><td>{{printf "%.3g" .Degraded}}</td>
+<td>{{if .Enter}}{{printf "%.3g" .Enter}}{{else}}–{{end}}</td>
+<td>{{if .Exit}}{{printf "%.3g" .Exit}}{{else}}–{{end}}</td>
+<td>{{.Dwell}}/{{.DwellEpochs}}</td><td>{{.SessionsOpen}}</td></tr>
+</table>{{end}}
 <h2>series{{if .Truncated}} (first {{len .Charts}}){{end}}</h2>
 <div class="grid">
 {{range .Charts}}<div class="card"><div class="k">{{.Key}} = {{.Last}}</div>
@@ -71,10 +80,11 @@ svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
 </body></html>
 `))
 
-// handleDashboard renders the live flight-recorder page: SLO table plus one
+// handleDashboard renders the live flight-recorder page: SLO table, the
+// overload-controller panel when a shed status source is wired in, plus one
 // inline-SVG sparkline per recorded series (sorted; ?match= filters by
 // substring). Everything is stdlib — html/template and hand-rolled SVG.
-func (r *Recorder) handleDashboard(slos *SLOEngine) http.HandlerFunc {
+func (r *Recorder) handleDashboard(slos *SLOEngine, shed ShedStatusFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		match := req.URL.Query().Get("match")
 		keys := r.Series()
@@ -83,6 +93,10 @@ func (r *Recorder) handleDashboard(slos *SLOEngine) http.HandlerFunc {
 			Epochs:   r.Epochs(),
 			Match:    match,
 			SLOs:     slos.Snapshot(),
+		}
+		if shed != nil {
+			st := shed()
+			data.Shed = &st
 		}
 		for _, key := range keys {
 			if match != "" && !strings.Contains(key, match) {

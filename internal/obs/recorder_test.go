@@ -343,12 +343,15 @@ func TestDashboardHandler(t *testing.T) {
 	}
 	req := httptest.NewRequest(http.MethodGet, "/dashboard", nil)
 	w := httptest.NewRecorder()
-	rec.handleDashboard(eng)(w, req)
+	shedFn := func() ShedStatus {
+		return ShedStatus{Stage: 2, StageName: "stage-2", Burn: 2.5, Enter: 4, Exit: 1, DwellEpochs: 2, Dwell: 1}
+	}
+	rec.handleDashboard(eng, shedFn)(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("dashboard status = %d", w.Code)
 	}
 	out := w.Body.String()
-	for _, want := range []string{"<svg", "starcdn_test_latency_ms", "lat-p99", "polyline"} {
+	for _, want := range []string{"<svg", "starcdn_test_latency_ms", "lat-p99", "polyline", "overload control", "stage-2"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dashboard output missing %q", want)
 		}

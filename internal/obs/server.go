@@ -20,7 +20,31 @@ type Health struct {
 	Down []string `json:"down,omitempty"`
 	// Note carries free-form state ("replaying", "idle", ...).
 	Note string `json:"note,omitempty"`
+	// Shed is the active overload-control stage ("stage-0" .. "stage-3")
+	// when a shed controller is wired in; empty otherwise. Shedding does
+	// not flip OK — it is the system protecting itself, not an outage.
+	Shed string `json:"shed,omitempty"`
 }
+
+// ShedStatus is a snapshot of the overload controller for dashboards and
+// health bodies. It lives here (not in internal/shed) so the obs layer can
+// render it without importing the controller: shed imports obs for its
+// metrics, so the dependency must point this way.
+type ShedStatus struct {
+	Stage        int     `json:"stage"`
+	StageName    string  `json:"stage_name"`
+	Burn         float64 `json:"burn"`
+	Degraded     float64 `json:"degraded"`
+	Enter        float64 `json:"enter,omitempty"` // threshold to escalate (0 at top stage)
+	Exit         float64 `json:"exit,omitempty"`  // threshold to recover (0 at stage 0)
+	DwellEpochs  int     `json:"dwell_epochs"`
+	Dwell        int     `json:"dwell"`
+	SessionsOpen int     `json:"sessions_open"`
+}
+
+// ShedStatusFunc reports the current overload-controller snapshot; nil
+// means no controller is wired in.
+type ShedStatusFunc func() ShedStatus
 
 // HealthFunc reports the current health snapshot; nil means always-OK.
 type HealthFunc func() Health
@@ -47,6 +71,8 @@ type ServeOptions struct {
 	Recorder *Recorder
 	// SLOs feeds the dashboard's objective table (nil hides it).
 	SLOs *SLOEngine
+	// Shed feeds the dashboard's overload-controller panel (nil hides it).
+	Shed ShedStatusFunc
 }
 
 // Serve starts the observability listener on addr (host:port; port 0 picks a
@@ -88,7 +114,7 @@ func ServeWith(addr string, opts ServeOptions) (*Server, error) {
 	})
 	if opts.Recorder != nil {
 		mux.HandleFunc("/timeseries.json", opts.Recorder.handleTimeseries)
-		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(opts.SLOs))
+		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(opts.SLOs, opts.Shed))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

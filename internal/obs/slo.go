@@ -238,6 +238,26 @@ func (e *SLOEngine) Burning() []string {
 	return out
 }
 
+// MaxBurn returns the highest burn rate across all objectives as of the
+// last evaluated epoch (0 before any evaluation, and for nil engines).
+// This is the scalar signal a shed.Controller consumes via SetBurn when
+// shedding is driven by wall-clock SLOs instead of the deterministic
+// degraded-fraction mode.
+func (e *SLOEngine) MaxBurn() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var max float64
+	for _, st := range e.slos {
+		if b := st.burn.Value(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
 // Health folds the engine into a HealthFunc: it wraps base (nil meaning
 // always-OK) and degrades the answer when any objective is burning, listing
 // the burning SLOs alongside any backends base reported down. Nil engines

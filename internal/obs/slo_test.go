@@ -250,6 +250,161 @@ func TestSLODescribe(t *testing.T) {
 	}
 }
 
+// TestSLOZeroTrafficBurnIsZero pins the zero-traffic contract for both
+// objective forms: registered-but-silent series produce skipped epochs, so
+// the burn rate stays exactly 0 — never NaN from a 0/0 ratio or an empty
+// histogram quantile — and a burst of traffic followed by silence leaves the
+// last computed burn in place rather than poisoning it.
+func TestSLOZeroTrafficBurnIsZero(t *testing.T) {
+	reg := NewRegistry()
+	served := reg.Counter("starcdn_test_served_total")
+	hits := reg.Counter("starcdn_test_hits_total")
+	reg.Histogram("starcdn_test_latency_ms", []float64{1, 10, 100})
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{
+		{Name: "ratio", Good: "starcdn_test_hits_total",
+			Total: "starcdn_test_served_total", MinRatio: 0.5, WindowSec: 4},
+		{Name: "quant", Series: "starcdn_test_latency_ms",
+			Quantile: 0.99, MaxValue: 100, WindowSec: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both series exist in the registry (so the recorder snapshots them at
+	// value 0 each epoch) but carry no traffic: every window's ΔTotal is 0
+	// and every histogram window is empty.
+	for i := 1; i <= 5; i++ {
+		rec.TickAt(float64(i))
+	}
+	for _, s := range eng.Snapshot() {
+		if s.Evals != 0 {
+			t.Errorf("%s evaluated %d zero-traffic epochs", s.Name, s.Evals)
+		}
+		if math.IsNaN(s.BurnRate) || s.BurnRate != 0 {
+			t.Errorf("%s zero-traffic burn = %v, want 0", s.Name, s.BurnRate)
+		}
+		if math.IsNaN(s.Budget) {
+			t.Errorf("%s zero-traffic budget is NaN", s.Name)
+		}
+	}
+	if b := eng.MaxBurn(); b != 0 {
+		t.Errorf("MaxBurn = %v over zero traffic, want 0", b)
+	}
+
+	// One healthy epoch of traffic, then silence again: the burst remains
+	// visible for WindowSec of trailing windows (epochs 6-9 evaluate, epoch
+	// 10's delta is 0 and skips), and the engine holds the last evaluated
+	// state instead of decaying it through 0/0 arithmetic.
+	served.Add(10)
+	hits.Add(10)
+	reg.Histogram("starcdn_test_latency_ms", []float64{1, 10, 100}).Observe(5)
+	rec.TickAt(6)
+	for i := 7; i <= 10; i++ {
+		rec.TickAt(float64(i))
+	}
+	for _, s := range eng.Snapshot() {
+		if s.Evals != 4 {
+			t.Errorf("%s evals = %d after one traffic epoch, want 4", s.Name, s.Evals)
+		}
+		if math.IsNaN(s.BurnRate) || s.BurnRate != 0 {
+			t.Errorf("%s post-idle burn = %v, want 0", s.Name, s.BurnRate)
+		}
+	}
+	if b := eng.MaxBurn(); b != 0 {
+		t.Errorf("MaxBurn = %v after healthy traffic, want 0", b)
+	}
+}
+
+// TestSLOWindowShorterThanEpoch: a WindowSec below the recorder's epoch
+// clamps the breach history to a single epoch, so the burn rate swings the
+// full range each evaluation instead of dividing by a zero-length window.
+func TestSLOWindowShorterThanEpoch(t *testing.T) {
+	reg := NewRegistry()
+	served := reg.Counter("starcdn_test_served_total")
+	hits := reg.Counter("starcdn_test_hits_total")
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 10})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "subepoch", Good: "starcdn_test_hits_total",
+		Total: "starcdn_test_served_total", MinRatio: 0.5,
+		// 3s window under 10s epochs: int(3/10) == 0 history slots before the
+		// clamp to 1.
+		WindowSec:      3,
+		BudgetFraction: 0.5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(t0 float64, nServed, nHits int64) SLOStatus {
+		served.Add(nServed)
+		hits.Add(nHits)
+		rec.TickAt(t0)
+		return eng.Snapshot()[0]
+	}
+
+	if s := step(10, 10, 10); s.BurnRate != 0 || math.IsNaN(s.BurnRate) {
+		t.Errorf("healthy epoch burn = %v, want 0", s.BurnRate)
+	}
+	// A breaching epoch: the one-slot history is 100% breached, burn 1/0.5.
+	if s := step(20, 10, 0); s.BurnRate != 2 {
+		t.Errorf("breaching epoch burn = %v, want 2", s.BurnRate)
+	}
+	if got := eng.Burning(); len(got) != 1 || got[0] != "subepoch" {
+		t.Errorf("Burning = %v, want [subepoch]", got)
+	}
+	// Recovery is immediate: with history clamped to one epoch the prior
+	// breach bit cannot linger (a 2-slot window would leave burn at 1 here).
+	if s := step(30, 10, 10); s.BurnRate != 0 {
+		t.Errorf("post-recovery burn = %v, want 0", s.BurnRate)
+	}
+	if got := eng.Burning(); len(got) != 0 {
+		t.Errorf("still burning after one clean epoch: %v", got)
+	}
+}
+
+// TestSLOQuantileSingleSample: a window holding exactly one histogram sample
+// evaluates to a value inside that sample's bucket — the degenerate rank
+// q*1 < 1 must not skip the only occupied bucket or return NaN.
+func TestSLOQuantileSingleSample(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("starcdn_test_latency_ms", []float64{1, 10, 100, 1000})
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	eng, err := NewSLOEngine(rec, reg, []SLO{{
+		Name: "p99", Series: "starcdn_test_latency_ms",
+		Quantile: 0.99, MaxValue: 100, WindowSec: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One fast sample: p99 of a single observation at 5ms interpolates inside
+	// the (1,10] bucket and stays under the objective.
+	h.Observe(5)
+	rec.TickAt(1)
+	s := eng.Snapshot()[0]
+	if s.Evals != 1 {
+		t.Fatalf("evals = %d after single-sample window, want 1", s.Evals)
+	}
+	if math.IsNaN(s.Value) || s.Value <= 1 || s.Value > 10 {
+		t.Errorf("single-sample p99 = %v, want in (1,10]", s.Value)
+	}
+	if s.Breach || s.BurnRate != 0 {
+		t.Errorf("single fast sample breached: %+v", s)
+	}
+
+	// One slow sample in the next window: the same degenerate rank lands in
+	// the (100,1000] bucket and breaches.
+	h.Observe(900)
+	rec.TickAt(2)
+	s = eng.Snapshot()[0]
+	if math.IsNaN(s.Value) || s.Value <= 100 || s.Value > 1000 {
+		t.Errorf("single slow sample p99 = %v, want in (100,1000]", s.Value)
+	}
+	if !s.Breach {
+		t.Errorf("single slow sample did not breach: %+v", s)
+	}
+}
+
 // TestSLOBudgetMath sanity-checks budget_remaining against hand-computed
 // values: budget 0.25, 4 evals, 1 breach → 1 - (1/4)/0.25 = 0.
 func TestSLOBudgetMath(t *testing.T) {

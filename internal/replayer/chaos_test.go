@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/obs"
 	"starcdn/internal/sim"
 )
 
@@ -240,6 +241,7 @@ func TestChaosWithInjectedNetworkFaults(t *testing.T) {
 		TruncateRate: 0.002,
 		StallFor:     150 * time.Millisecond,
 	})
+	reg := obs.NewRegistry()
 	cluster, err := NewCluster(cache.LRU, capacity)
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +254,7 @@ func TestChaosWithInjectedNetworkFaults(t *testing.T) {
 		Injector:    inj,
 	}
 	opts.Failures = events
+	opts.Obs = reg
 
 	m, err := ReplayConcurrent(h, cluster, users, tr, opts)
 	if err != nil {
@@ -274,5 +277,94 @@ func TestChaosWithInjectedNetworkFaults(t *testing.T) {
 	}
 	if st.Refused+st.Resets+st.Stalls+st.Truncations == 0 {
 		t.Errorf("injector fired no faults: %+v", st)
+	}
+	// Rejection classification stays consistent under chaos: no shedder ran
+	// so nothing may be counted as shed, and the classified rejections
+	// (deadline, refused) never exceed the terminal failures they subset.
+	if got := counterValue(reg, `starcdn_client_rejected_total{reason="shed"}`); got != 0 {
+		t.Errorf("rejected{shed} = %.0f without a shedder", got)
+	}
+	classified := counterValue(reg, `starcdn_client_rejected_total{reason="deadline"}`) +
+		counterValue(reg, `starcdn_client_rejected_total{reason="refused"}`)
+	if failures := counterValue(reg, "starcdn_client_failures_total"); classified > failures {
+		t.Errorf("classified rejections %.0f exceed terminal failures %.0f", classified, failures)
+	}
+}
+
+// TestClientRejectedRefusedCounter: a dead address (every dial refused) is a
+// terminal failure classified under rejected_total{reason="refused"} — both
+// for injected refusals and for a real listener that is gone.
+func TestClientRejectedRefusedCounter(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 2, RefuseRate: 1.0})
+	reg := obs.NewRegistry()
+	cl := NewClientOpts(ClientOptions{
+		DialTimeout: 100 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+		Dial:        inj.Dialer(),
+		Obs:         reg,
+	})
+	defer func() { _ = cl.Close() }()
+	if _, err := cl.Get("127.0.0.1:1", 5, 10); err == nil {
+		t.Fatal("refused dial succeeded")
+	}
+	if got := counterValue(reg, `starcdn_client_rejected_total{reason="refused"}`); got != 1 {
+		t.Errorf("rejected{refused} = %.0f, want 1", got)
+	}
+
+	// Real refusal: a server that was closed keeps its address but refuses.
+	s, err := NewServerOpts(6, cache.LRU, 1<<20, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	cl2 := NewClientOpts(ClientOptions{
+		DialTimeout: 100 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+		Obs:         reg2,
+	})
+	defer func() { _ = cl2.Close() }()
+	if _, err := cl2.Get(addr, 5, 10); err == nil {
+		t.Fatal("dial of closed server succeeded")
+	}
+	if got := counterValue(reg2, `starcdn_client_rejected_total{reason="refused"}`); got != 1 {
+		t.Errorf("real refusal rejected{refused} = %.0f, want 1", got)
+	}
+}
+
+// TestClientRejectedDeadlineCounter: a server stalled past the I/O deadline
+// on every attempt is a terminal failure classified under
+// starcdn_client_rejected_total{reason="deadline"}.
+func TestClientRejectedDeadlineCounter(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{
+		Seed:      1,
+		StallRate: 1.0,
+		StallFor:  time.Second,
+	})
+	s, err := NewServerOpts(1, cache.LRU, 1<<20, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+	reg := obs.NewRegistry()
+	cl := NewClientOpts(ClientOptions{
+		DialTimeout: 100 * time.Millisecond,
+		IOTimeout:   50 * time.Millisecond,
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+		Dial:        inj.Dialer(),
+		Obs:         reg,
+	})
+	defer func() { _ = cl.Close() }()
+	if _, err := cl.Get(s.Addr(), 5, 10); err == nil {
+		t.Fatal("stalled server answered")
+	}
+	if got := counterValue(reg, `starcdn_client_rejected_total{reason="deadline"}`); got != 1 {
+		t.Errorf("rejected{deadline} = %.0f, want 1", got)
+	}
+	if got := counterValue(reg, "starcdn_client_failures_total"); got != 1 {
+		t.Errorf("failures = %.0f, want 1", got)
 	}
 }

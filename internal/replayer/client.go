@@ -1,15 +1,18 @@
 package replayer
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"starcdn/internal/cache"
 	"starcdn/internal/obs"
+	"starcdn/internal/shed"
 )
 
 // Dialer opens a TCP connection to addr. timeout <= 0 means the operating
@@ -53,6 +56,13 @@ type ClientOptions struct {
 	// Servers that answer the hello with an error (protocol v1) downgrade
 	// the connection to plain frames — old servers interoperate unchanged.
 	Propagate bool
+	// Shed requests CapShed in the per-connection hello: the client
+	// declares it understands StatusShed responses, which it maps to
+	// shed.ErrShed without retrying (the rejection is load control — a
+	// retry would add the very load being shed). Against older servers the
+	// hello degrades gracefully and shed rejections arrive as the familiar
+	// StatusError terminal faults.
+	Shed bool
 }
 
 // clientObs holds the client's pre-resolved instruments. A nil *clientObs is
@@ -64,6 +74,13 @@ type clientObs struct {
 	failures  *obs.Counter
 	backoffMs *obs.Histogram
 	frameMs   *obs.Histogram
+	// rejected counts terminal rejections by cause: an overload-control
+	// shed (the server said no on purpose), an exhausted deadline, or a
+	// refused dial (dead server). Retried-then-recovered attempts are
+	// retries, not rejections.
+	rejShed     *obs.Counter
+	rejDeadline *obs.Counter
+	rejRefused  *obs.Counter
 }
 
 func newClientObs(reg *obs.Registry) *clientObs {
@@ -71,11 +88,32 @@ func newClientObs(reg *obs.Registry) *clientObs {
 		return nil
 	}
 	return &clientObs{
-		attempts:  reg.Counter("starcdn_client_attempts_total"),
-		retries:   reg.Counter("starcdn_client_retries_total"),
-		failures:  reg.Counter("starcdn_client_failures_total"),
-		backoffMs: reg.Histogram("starcdn_client_backoff_ms", nil),
-		frameMs:   reg.Histogram("starcdn_client_frame_ms", nil),
+		attempts:    reg.Counter("starcdn_client_attempts_total"),
+		retries:     reg.Counter("starcdn_client_retries_total"),
+		failures:    reg.Counter("starcdn_client_failures_total"),
+		backoffMs:   reg.Histogram("starcdn_client_backoff_ms", nil),
+		frameMs:     reg.Histogram("starcdn_client_frame_ms", nil),
+		rejShed:     reg.Counter("starcdn_client_rejected_total", obs.L("reason", "shed")),
+		rejDeadline: reg.Counter("starcdn_client_rejected_total", obs.L("reason", "deadline")),
+		rejRefused:  reg.Counter("starcdn_client_rejected_total", obs.L("reason", "refused")),
+	}
+}
+
+// recordTerminal classifies a round trip's terminal failure for the
+// rejected_total counters (nil-safe). Stalls surface as deadline timeouts,
+// dead servers as refused dials; other causes (resets, truncation) stay in
+// the catch-all failures counter only.
+func (o *clientObs) recordTerminal(err error) {
+	if o == nil {
+		return
+	}
+	o.failures.Inc()
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		o.rejDeadline.Inc()
+	case errors.Is(err, syscall.ECONNREFUSED):
+		o.rejRefused.Inc()
 	}
 }
 
@@ -98,6 +136,7 @@ type Client struct {
 	obs         *clientObs
 	tracer      *obs.Tracer
 	propagate   bool
+	shed        bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
@@ -111,6 +150,9 @@ type poolEntry struct {
 	// true once the server granted CapTrace. Reset when the connection drops
 	// (the revived server behind the address may speak a different version).
 	traceOK bool
+	// shedOK is the CapShed half of the same negotiation: true once the
+	// server granted shed responses on this connection.
+	shedOK bool
 }
 
 // NewClient returns a fail-fast client: no deadlines, no retries — the
@@ -135,6 +177,7 @@ func NewClientOpts(o ClientOptions) *Client {
 		obs:         newClientObs(o.Obs),
 		tracer:      o.Tracer,
 		propagate:   o.Propagate,
+		shed:        o.Shed,
 		rng:         rand.New(rand.NewSource(o.Seed)),
 	}
 }
@@ -168,6 +211,7 @@ func (e *poolEntry) dropLocked() {
 		e.conn = nil
 	}
 	e.traceOK = false
+	e.shedOK = false
 }
 
 // Close closes all pooled connections, returning the first close error.
@@ -229,13 +273,16 @@ func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64, s
 		}
 		st, a, b, err := c.tryOnce(addr, op, obj, size, sc)
 		if err == nil {
+			// A shed is a deliberate answer, not a transport fault: the
+			// retry loop must never re-offer load the server just refused.
+			if st == StatusShed && c.obs != nil {
+				c.obs.rejShed.Inc()
+			}
 			return st, a, b, nil
 		}
 		lastErr = err
 	}
-	if c.obs != nil {
-		c.obs.failures.Inc()
-	}
+	c.obs.recordTerminal(lastErr)
 	return StatusError, 0, 0, lastErr
 }
 
@@ -269,7 +316,7 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 			return StatusError, 0, 0, fmt.Errorf("replayer: dial %s: %w", addr, err)
 		}
 		e.conn = conn
-		if c.propagate {
+		if c.propagate || c.shed {
 			if err := c.helloLocked(e); err != nil {
 				e.dropLocked()
 				return StatusError, 0, 0, err
@@ -308,9 +355,11 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 }
 
 // helloLocked negotiates protocol extensions on a freshly dialed connection;
-// callers hold e.mu. A v2 server answers StatusOK with the granted capability
-// bits; a v1 server answers its unknown-op StatusError, which downgrades the
-// connection to plain version-1 frames (traceOK stays false). Only transport
+// callers hold e.mu. The requested capability bits follow the client's
+// configuration — CapTrace when propagating, CapShed when shed-aware. A
+// modern server answers StatusOK with the granted capability bits; a v1
+// server answers its unknown-op StatusError, which downgrades the connection
+// to plain version-1 frames (traceOK and shedOK stay false). Only transport
 // errors are fatal — version disagreement never is.
 func (c *Client) helloLocked(e *poolEntry) error {
 	if c.ioTimeout > 0 {
@@ -318,7 +367,14 @@ func (c *Client) helloLocked(e *poolEntry) error {
 			return err
 		}
 	}
-	if err := writeFrame(e.conn, uint8(OpHello), ProtocolVersion, CapTrace); err != nil {
+	var want uint64
+	if c.propagate {
+		want |= CapTrace
+	}
+	if c.shed {
+		want |= CapShed
+	}
+	if err := writeFrame(e.conn, uint8(OpHello), ProtocolVersion, want); err != nil {
 		return fmt.Errorf("replayer: hello: %w", err)
 	}
 	st, _, caps, err := readResponse(e.conn)
@@ -326,6 +382,7 @@ func (c *Client) helloLocked(e *poolEntry) error {
 		return fmt.Errorf("replayer: hello: %w", err)
 	}
 	e.traceOK = st == StatusOK && caps&CapTrace != 0
+	e.shedOK = st == StatusOK && caps&CapShed != 0
 	return nil
 }
 
@@ -334,11 +391,16 @@ func (c *Client) Get(addr string, obj cache.ObjectID, size int64) (bool, error) 
 	return c.GetCtx(addr, obj, size, nil)
 }
 
-// GetCtx is Get with an optional propagated trace context.
+// GetCtx is Get with an optional propagated trace context. A server-side
+// shed surfaces as shed.ErrShed — already terminal (no retry happened) and
+// distinguishable from transport faults with errors.Is.
 func (c *Client) GetCtx(addr string, obj cache.ObjectID, size int64, sc *obs.SpanContext) (bool, error) {
 	st, _, _, err := c.roundTrip(addr, OpGet, obj, size, sc)
 	if err != nil {
 		return false, err
+	}
+	if st == StatusShed {
+		return false, shed.ErrShed
 	}
 	return st == StatusHit, nil
 }
@@ -348,11 +410,15 @@ func (c *Client) Contains(addr string, obj cache.ObjectID) (bool, error) {
 	return c.ContainsCtx(addr, obj, nil)
 }
 
-// ContainsCtx is Contains with an optional propagated trace context.
+// ContainsCtx is Contains with an optional propagated trace context. Sheds
+// surface as shed.ErrShed, as in GetCtx.
 func (c *Client) ContainsCtx(addr string, obj cache.ObjectID, sc *obs.SpanContext) (bool, error) {
 	st, _, _, err := c.roundTrip(addr, OpContains, obj, 0, sc)
 	if err != nil {
 		return false, err
+	}
+	if st == StatusShed {
+		return false, shed.ErrShed
 	}
 	return st == StatusHit, nil
 }
@@ -362,16 +428,34 @@ func (c *Client) Admit(addr string, obj cache.ObjectID, size int64) error {
 	return c.AdmitCtx(addr, obj, size, nil)
 }
 
-// AdmitCtx is Admit with an optional propagated trace context.
+// AdmitCtx is Admit with an optional propagated trace context. Sheds surface
+// as shed.ErrShed, as in GetCtx.
 func (c *Client) AdmitCtx(addr string, obj cache.ObjectID, size int64, sc *obs.SpanContext) error {
 	st, _, _, err := c.roundTrip(addr, OpAdmit, obj, size, sc)
 	if err != nil {
 		return err
 	}
+	if st == StatusShed {
+		return shed.ErrShed
+	}
 	if st != StatusOK {
 		return fmt.Errorf("replayer: admit rejected with status %d", st)
 	}
 	return nil
+}
+
+// ShedStage queries the server's active overload-control stage and burn
+// rate. Requires ClientOptions.Shed and a server that granted CapShed; older
+// servers answer StatusError, which is returned as an error.
+func (c *Client) ShedStage(addr string) (shed.Stage, float64, error) {
+	st, a, b, err := c.roundTrip(addr, OpShed, 0, 0, nil)
+	if err != nil {
+		return shed.StageNormal, 0, err
+	}
+	if st != StatusOK {
+		return shed.StageNormal, 0, fmt.Errorf("replayer: shed query status %d", st)
+	}
+	return shed.Stage(a), float64(b) / 1e6, nil
 }
 
 // Stats fetches the remote server's (requests, hits) counters.

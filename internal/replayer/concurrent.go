@@ -9,6 +9,8 @@ import (
 	"starcdn/internal/geo"
 	"starcdn/internal/obs"
 	"starcdn/internal/sched"
+	"starcdn/internal/shed"
+	"starcdn/internal/sim"
 	"starcdn/internal/trace"
 )
 
@@ -19,6 +21,13 @@ type concurrentJob struct {
 	home  orbitSat
 	first orbitSat
 	addr  string // empty when the request is accounted without contact
+	// Overload-control decisions resolve in the sequential precompute (the
+	// controller's clock and session table must advance in global request
+	// order); workers only act them out.
+	stage        shed.Stage
+	shedReject   bool // stage ≥ 2 turned the session away
+	shedRemote   bool // stage 3 rejects the remote-owner request outright
+	directGround bool // stage ≥ 1 sheds the remote fetch
 }
 
 // ReplayConcurrent drives the trace through the TCP cluster with one worker
@@ -102,10 +111,41 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 		}
 		for i := start; i < end; i++ {
 			r := &tr.Requests[i]
+			// The controller clock and session table advance here, in global
+			// request order, so shed decisions stay deterministic; only the
+			// outcome feedback (Observe) arrives from the workers, which can
+			// smear a signal into the next epoch — the same order looseness
+			// concurrent replay already accepts for cache interleaving.
+			if opts.Shedder != nil {
+				opts.Shedder.Tick(r.TimeSec)
+			}
 			j := concurrentJob{req: r, index: int64(i), home: -1, first: -1}
 			home, first, serve := homeFor(h, scheduler, fs, r, opts.Hashing)
 			j.first = first
+			if opts.Shedder != nil {
+				j.stage = opts.Shedder.Stage()
+				if first >= 0 && !opts.Shedder.AdmitSession(r.Location, r.TimeSec) {
+					j.shedReject = true
+					perLoc[r.Location] = append(perLoc[r.Location], j)
+					continue
+				}
+			}
 			if serve {
+				if j.stage.Sheds(core.ValueRemoteFetch) && home != first {
+					// Decided here so no server is lazily started for a
+					// satellite never contacted. Stage 3 rejects the
+					// remote-owner request outright (it cannot be a hit
+					// without the shed ISL fetch); stages 1-2 serve the
+					// §3.4-shaped ground miss instead.
+					if j.stage.Sheds(core.ValueMissFetch) {
+						j.shedRemote = true
+					} else {
+						j.directGround = true
+					}
+					j.home = home
+					perLoc[r.Location] = append(perLoc[r.Location], j)
+					continue
+				}
 				addr, err := cluster.Addr(home)
 				if err != nil {
 					return total, err
@@ -130,17 +170,44 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 				m := &meters[loc]
 				for _, j := range perLoc[loc] {
 					rt := newReqTrace(opts, j.index, j.req, j.first)
+					if j.shedReject {
+						rt.addHop(obs.Hop{Kind: "shed", Sat: int(j.first)})
+						finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
+						ro.record(sim.SourceShed, j.req.Size)
+						m.Record(j.req.Size, false)
+						opts.Shedder.Observe(shed.Signal{Action: shed.ActionRejectSession})
+						continue
+					}
+					if j.shedRemote {
+						rt.addHop(obs.Hop{Kind: "shed", Sat: int(j.home)})
+						finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
+						ro.record(sim.SourceShed, j.req.Size)
+						m.Record(j.req.Size, false)
+						opts.Shedder.Observe(shed.Signal{Action: shed.ActionHitOnly})
+						continue
+					}
+					if j.directGround {
+						rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
+						finishReqTrace(opts.Tracer, rt, sim.SourceGround, time.Time{})
+						ro.record(sim.SourceGround, j.req.Size)
+						m.Record(j.req.Size, false)
+						opts.Shedder.Observe(shed.Signal{Action: shed.ActionDirectGround})
+						continue
+					}
 					if j.home < 0 {
 						src := degradedSource(j.first)
 						rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
 						finishReqTrace(opts.Tracer, rt, src, time.Time{})
 						ro.record(src, j.req.Size)
 						m.Record(j.req.Size, false)
+						if opts.Shedder != nil {
+							opts.Shedder.Observe(shed.Signal{Degraded: src == sim.SourceGround})
+						}
 						continue
 					}
 					reqStart := time.Now()
-					src, err := serveRequest(h, cluster, client, j.home, j.first,
-						j.addr, j.req, opts, rt)
+					src, sig, err := serveRequest(h, cluster, client, j.home, j.first,
+						j.addr, j.req, opts, j.stage, rt)
 					if err != nil {
 						setErr(&mu, &runErr, err)
 						return
@@ -148,6 +215,9 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 					finishReqTrace(opts.Tracer, rt, src, reqStart)
 					ro.record(src, j.req.Size)
 					m.Record(j.req.Size, src.Hit())
+					if opts.Shedder != nil {
+						opts.Shedder.Observe(sig)
+					}
 				}
 			}(loc)
 		}

@@ -9,16 +9,20 @@ package replayer
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 )
 
 // Injected fault errors. They are distinct sentinel values so tests (and the
 // retry loop's callers) can tell an injected fault from a real network error.
+// The refusal wraps ECONNREFUSED so error classifiers (the client's
+// rejected{refused} counter) treat it exactly like a real refused dial.
 var (
-	ErrInjectedRefuse   = errors.New("replayer: injected dial refusal")
+	ErrInjectedRefuse   = fmt.Errorf("replayer: injected dial refusal: %w", syscall.ECONNREFUSED)
 	ErrInjectedReset    = errors.New("replayer: injected connection reset")
 	ErrInjectedTruncate = errors.New("replayer: injected truncated frame")
 )

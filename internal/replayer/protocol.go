@@ -29,6 +29,23 @@
 //	                 tail: parent span ID (8, big endian) | flags (1, bit 0 =
 //	                 sampled). It elicits no response; the server attaches
 //	                 the context to the next request frame on the connection.
+//
+// Protocol version 3 adds overload control, again negotiated per connection:
+//
+//	CapShed    — requested by clients that understand shed responses. Once
+//	             granted, the server may answer OpGet/OpContains/OpAdmit with
+//	             StatusShed instead of performing the operation, meaning the
+//	             request was deliberately rejected by overload control
+//	             (stage ≥ 2 admission, stage ≥ 3 hits-only). Clients map it
+//	             to shed.ErrShed and MUST NOT retry — the rejection is load
+//	             control, a retry only adds load. On connections without
+//	             CapShed the server answers StatusError instead, which v2
+//	             peers already treat as a terminal fault (fail-fast or the
+//	             §3.4 FaultPolicy degrade), so old clients degrade safely
+//	             without ever seeing an unknown status byte.
+//	OpShed     — stage query (requires CapShed): answered StatusOK with the
+//	             active shed stage in the first operand and the controller
+//	             burn rate ×1e6, truncated, in the second.
 package replayer
 
 import (
@@ -51,18 +68,23 @@ const (
 	OpStats
 	OpHello        // v2: capability negotiation (a=version, b=capability bits)
 	OpTraceContext // v2: trace-context extension frame (requires CapTrace)
+	OpShed         // v3: shed-stage query (requires CapShed)
 )
 
 // ProtocolVersion is the wire revision this build speaks. Version 1 is the
 // original fixed-frame protocol; version 2 adds hello negotiation and the
-// trace-context extension frame.
-const ProtocolVersion = 2
+// trace-context extension frame; version 3 adds overload control (CapShed,
+// StatusShed, OpShed).
+const ProtocolVersion = 3
 
 // Capability bits negotiated via OpHello.
 const (
 	// CapTrace lets the client prefix request frames with OpTraceContext so
 	// server-side spans join the client's distributed trace.
 	CapTrace uint64 = 1 << 0
+	// CapShed lets the server answer cache ops with StatusShed (overload
+	// rejection) and the client query the shed stage via OpShed.
+	CapShed uint64 = 1 << 1
 )
 
 // Status is a response code.
@@ -74,6 +96,11 @@ const (
 	StatusHit
 	StatusOK
 	StatusError
+	// StatusShed (v3, requires CapShed) rejects the operation by overload
+	// control: the server is shedding this value class. Not an error in
+	// the transport sense — the connection stays healthy and retrying is
+	// forbidden.
+	StatusShed
 )
 
 const frameSize = 17
@@ -123,7 +150,7 @@ func readResponse(r io.Reader) (Status, uint64, uint64, error) {
 		return StatusError, 0, 0, err
 	}
 	st := Status(m.op)
-	if st > StatusError {
+	if st > StatusShed {
 		return StatusError, 0, 0, fmt.Errorf("replayer: bad status byte %d", m.op)
 	}
 	return st, m.a, m.b, nil

@@ -59,7 +59,7 @@ func TestReadFrameConsumesExactlyOneFrame(t *testing.T) {
 // TestReadResponseCorruptStatus: a status byte outside the defined range is
 // a protocol violation, not a silently-propagated status.
 func TestReadResponseCorruptStatus(t *testing.T) {
-	for _, bad := range []uint8{uint8(StatusError) + 1, 42, 255} {
+	for _, bad := range []uint8{uint8(StatusShed) + 1, 42, 255} {
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, bad, 1, 2); err != nil {
 			t.Fatal(err)
@@ -69,7 +69,7 @@ func TestReadResponseCorruptStatus(t *testing.T) {
 		}
 	}
 	// All defined statuses round-trip.
-	for _, st := range []Status{StatusMiss, StatusHit, StatusOK, StatusError} {
+	for _, st := range []Status{StatusMiss, StatusHit, StatusOK, StatusError, StatusShed} {
 		var buf bytes.Buffer
 		if err := writeResponse(&buf, st, 3, 4); err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package replayer
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
+	"starcdn/internal/shed"
 	"starcdn/internal/sim"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
@@ -108,6 +110,14 @@ type Options struct {
 	// duration of the replay, turning the Obs registry into a queryable
 	// flight-recorder time series (see obs.Recorder).
 	Recorder *obs.Recorder
+	// Shedder, when non-nil, closes the overload-control loop on the client
+	// side of the wire: ticked on trace time before each request, consulted
+	// for session admission and the active stage, and fed each outcome —
+	// the same contract sim.Config.Shedder follows, so a sequential replay
+	// and a sim run sharing a seed and shed config shed the identical
+	// request set. Pass the same controller in the cluster's
+	// ServerOptions.Shedder to also enforce it at the wire (StatusShed).
+	Shedder *shed.Controller
 }
 
 // newReplayClient builds the client matching the options.
@@ -116,6 +126,7 @@ func newReplayClient(opts Options) *Client {
 	co.Obs = opts.Obs
 	co.Tracer = opts.Tracer
 	co.Propagate = opts.Propagate
+	co.Shed = opts.Shedder != nil
 	return NewClientOpts(co)
 }
 
@@ -188,52 +199,73 @@ func wallMs(start time.Time) float64 {
 // neighbour is skipped, and a failed admit merely leaves the object
 // uncached. When span is non-nil each TCP exchange appends a hop with its
 // measured wall-clock latency.
+//
+// stage applies the client side of overload control — relay probes are
+// skipped at stage ≥ 1 — while the wire answers the rest: an owner miss at
+// stage ≥ 3 comes back as StatusShed (shed.ErrShed here), which is a served
+// refusal, not a fault. The returned shed.Signal is the controller feedback
+// matching sim.Run's: Degraded marks the §3.4 miss-through, Action what
+// shedding did to the request.
 func serveRequest(h *core.HashScheme, cluster *Cluster, client *Client,
 	home, first orbitSat, addr string, r *trace.Request, opts Options,
-	rt *reqTrace) (sim.Source, error) {
+	stage shed.Stage, rt *reqTrace) (sim.Source, shed.Signal, error) {
 	faulty := opts.Fault != nil
 	ownerStart := time.Now()
 	sc, hopID := rt.nextHop()
 	hit, err := client.GetCtx(addr, r.Object, r.Size, sc)
 	rt.addHop(obs.Hop{Kind: "owner", Sat: int(home), WallMs: wallMs(ownerStart),
 		SpanID: hopID})
+	if errors.Is(err, shed.ErrShed) {
+		// Stage ≥ 3 hits-only: the owner ran the Get (recency touched, miss
+		// metered — identical to the simulator's stage-3 path) and refused
+		// the fetch behind it. Nothing is admitted and nothing is retried.
+		rt.addHop(obs.Hop{Kind: "shed", Sat: int(home)})
+		return sim.SourceShed, shed.Signal{Action: shed.ActionHitOnly}, nil
+	}
 	if err != nil {
 		if !faulty {
-			return sim.SourceGround, err
+			return sim.SourceGround, shed.Signal{}, err
 		}
-		return sim.SourceGround, nil // owner unreachable: §3.4 miss-through
+		// Owner unreachable: §3.4 miss-through — the burn signal.
+		return sim.SourceGround, shed.Signal{Degraded: true}, nil
 	}
 	if hit {
 		if home == first {
-			return sim.SourceLocal, nil
+			return sim.SourceLocal, shed.Signal{}, nil
 		}
-		return sim.SourceBucket, nil
+		return sim.SourceBucket, shed.Signal{}, nil
 	}
-	if opts.Relay {
+	if opts.Relay && !stage.Sheds(core.ValueRelayProbe) {
 		src, served, err := relayFetch(h, cluster, client, home, r, opts.Hashing, faulty, rt)
 		if err != nil {
-			return sim.SourceGround, err
+			return sim.SourceGround, shed.Signal{}, err
 		}
 		if served {
 			// Store a copy at the owner for future local hits. The write-back
 			// admit rides under the serving relay hop's span (rt.cur), the
-			// step that produced the copy.
-			if err := client.AdmitCtx(addr, r.Object, r.Size, rt.cur()); err != nil && !faulty {
-				return src, err
+			// step that produced the copy. A shed answer just leaves the
+			// object uncached, like a faulty admit.
+			err := client.AdmitCtx(addr, r.Object, r.Size, rt.cur())
+			if err != nil && !faulty && !errors.Is(err, shed.ErrShed) {
+				return src, shed.Signal{}, err
 			}
-			return src, nil
+			return src, shed.Signal{}, nil
 		}
 	}
 	// Ground fetch; the owner caches the object on the way through.
+	action := shed.ActionNone
+	if opts.Relay && stage.Sheds(core.ValueRelayProbe) {
+		action = shed.ActionRelaySkip
+	}
 	groundStart := time.Now()
 	sc, hopID = rt.nextHop()
 	err = client.AdmitCtx(addr, r.Object, r.Size, sc)
 	rt.addHop(obs.Hop{Kind: "ground", Sat: int(home), WallMs: wallMs(groundStart),
 		SpanID: hopID})
-	if err != nil && !faulty {
-		return sim.SourceGround, err
+	if err != nil && !faulty && !errors.Is(err, shed.ErrShed) {
+		return sim.SourceGround, shed.Signal{}, err
 	}
-	return sim.SourceGround, nil
+	return sim.SourceGround, shed.Signal{Action: action}, nil
 }
 
 // checkMeter asserts exact byte accounting after a completed replay: every
@@ -284,8 +316,28 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 		if err := fs.Advance(r.TimeSec); err != nil {
 			return meter, err
 		}
+		// Ordering contract with sim.Run: failures advance, then the shed
+		// controller closes its epochs, then the request is decided — so
+		// stage changes land on identical request boundaries.
+		if opts.Shedder != nil {
+			opts.Shedder.Tick(r.TimeSec)
+		}
 		home, first, serveSat := homeFor(h, scheduler, fs, r, opts.Hashing)
+		stage := shed.StageNormal
+		if opts.Shedder != nil {
+			stage = opts.Shedder.Stage()
+		}
 		rt := newReqTrace(opts, int64(i), r, first)
+		if opts.Shedder != nil && first >= 0 && !opts.Shedder.AdmitSession(r.Location, r.TimeSec) {
+			// Stage ≥ 2 turned the session away before any satellite was
+			// contacted, exactly where sim.Run rejects it.
+			rt.addHop(obs.Hop{Kind: "shed", Sat: int(first)})
+			finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
+			ro.record(sim.SourceShed, r.Size)
+			meter.Record(r.Size, false)
+			opts.Shedder.Observe(shed.Signal{Action: shed.ActionRejectSession})
+			continue
+		}
 		if !serveSat {
 			src := degradedSource(first)
 			// The sim's degraded paths record a ground hop (Sat=-1); mirror
@@ -294,6 +346,33 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			finishReqTrace(opts.Tracer, rt, src, time.Time{})
 			ro.record(src, r.Size)
 			meter.Record(r.Size, false)
+			if opts.Shedder != nil {
+				// The §3.4 miss-through (not the no-coverage case) is the
+				// burn signal, as in sim.Run.
+				opts.Shedder.Observe(shed.Signal{Degraded: src == sim.SourceGround})
+			}
+			continue
+		}
+		if stage.Sheds(core.ValueRemoteFetch) && home != first {
+			if stage.Sheds(core.ValueMissFetch) {
+				// Stage 3: a remote-owner request cannot be a cache hit
+				// without the ISL fetch stage 1 already shed, so hits-only
+				// mode rejects it outright instead of loading the uplink.
+				rt.addHop(obs.Hop{Kind: "shed", Sat: int(home)})
+				finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
+				ro.record(sim.SourceShed, r.Size)
+				meter.Record(r.Size, false)
+				opts.Shedder.Observe(shed.Signal{Action: shed.ActionHitOnly})
+				continue
+			}
+			// Stage ≥ 1 sheds the remote fetch: serve the §3.4-shaped ground
+			// miss without routing to the owner. No satellite cache is
+			// touched, exactly as in sim.StarCDN's direct-ground path.
+			rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
+			finishReqTrace(opts.Tracer, rt, sim.SourceGround, time.Time{})
+			ro.record(sim.SourceGround, r.Size)
+			meter.Record(r.Size, false)
+			opts.Shedder.Observe(shed.Signal{Action: shed.ActionDirectGround})
 			continue
 		}
 		addr, err := cluster.Addr(home)
@@ -301,13 +380,16 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			return meter, err
 		}
 		reqStart := time.Now()
-		src, err := serveRequest(h, cluster, client, home, first, addr, r, opts, rt)
+		src, sig, err := serveRequest(h, cluster, client, home, first, addr, r, opts, stage, rt)
 		if err != nil {
 			return meter, err
 		}
 		finishReqTrace(opts.Tracer, rt, src, reqStart)
 		ro.record(src, r.Size)
 		meter.Record(r.Size, src.Hit())
+		if opts.Shedder != nil {
+			opts.Shedder.Observe(sig)
+		}
 	}
 	checkMeter(meter, tr)
 	return meter, nil
@@ -434,15 +516,18 @@ func relayFetch(h *core.HashScheme, cluster *Cluster, client *Client, home orbit
 		sc, hopID := rt.nextHop()
 		has, err := client.ContainsCtx(addr, r.Object, sc)
 		if err != nil {
-			if faulty {
-				continue // neighbour unreachable ≈ no relay copy available
+			// A shed answer (the neighbour refuses probes while overloaded)
+			// means the same thing as an unreachable neighbour: no relay
+			// copy available here, try the other direction.
+			if faulty || errors.Is(err, shed.ErrShed) {
+				continue
 			}
 			return src, false, err
 		}
 		if has {
 			// Touch the serving neighbour (recency) as sim does.
 			if _, err := client.GetCtx(addr, r.Object, r.Size, sc); err != nil {
-				if faulty {
+				if faulty || errors.Is(err, shed.ErrShed) {
 					continue
 				}
 				return src, false, err

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"starcdn/internal/cache"
+	"starcdn/internal/core"
 	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
+	"starcdn/internal/shed"
 )
 
 // ServerOptions configures optional server behaviour.
@@ -43,6 +45,14 @@ type ServerOptions struct {
 	// -assemble. Servers without a tracer still negotiate CapTrace and
 	// parse context frames — propagation costs nothing to accept.
 	Tracer *obs.Tracer
+	// Shedder, when non-nil, enforces overload control at the wire
+	// (protocol v3): at stage ≥ 1 relay probes (OpContains) are refused,
+	// at stage ≥ 3 owner-miss fetches (OpGet on a miss, OpAdmit) are
+	// refused. Connections that negotiated CapShed get StatusShed; v2
+	// peers get StatusError, their existing terminal-fault path. Cluster
+	// servers share the one controller, like satellites sharing a control
+	// plane; it survives Kill/Revive with the rest of the options.
+	Shedder *shed.Controller
 }
 
 // Server runs one satellite's cache behind a TCP listener.
@@ -51,6 +61,7 @@ type Server struct {
 	ln     net.Listener
 	log    *slog.Logger
 	tracer *obs.Tracer
+	shed   *shed.Controller
 	proc   string     // span Proc label, "sat-<id>"
 	mu     sync.Mutex // serialises cache access across connections
 	cache  cache.Policy
@@ -95,6 +106,7 @@ func NewServerOpts(id orbit.SatID, kind cache.Kind, capacity int64, opts ServerO
 		ln:     ln,
 		log:    obs.NewLogger(nil).With("sat", int(id)),
 		tracer: opts.Tracer,
+		shed:   opts.Shedder,
 		proc:   "sat-" + strconv.Itoa(int(id)),
 		cache:  c,
 		meter:  opts.Meter,
@@ -180,6 +192,10 @@ func (s *Server) handle(conn net.Conn) {
 	// pending holds the trace context delivered by the last OpTraceContext
 	// extension frame; it applies to exactly the next request frame.
 	var pending *obs.SpanContext
+	// shedOK records whether this connection negotiated CapShed: only then
+	// may shed rejections use StatusShed; older peers get StatusError,
+	// their established terminal-fault path.
+	shedOK := false
 	for {
 		//lint:ignore deadline server handlers block on the next request by design: clients arm per-frame deadlines on their side, and Server.Close severs every open conn so a stalled client cannot pin the wait group
 		m, err := readFrame(conn)
@@ -190,9 +206,16 @@ func (s *Server) handle(conn net.Conn) {
 		case OpHello:
 			// Negotiation: grant the trace capability unconditionally —
 			// parsing context frames is cheap whether or not this server
-			// carries a tracer — and echo the protocol version.
+			// carries a tracer — grant CapShed to peers that asked for it
+			// (they proved they understand StatusShed), and echo the
+			// protocol version.
+			granted := CapTrace
+			if m.b&CapShed != 0 {
+				granted |= CapShed
+				shedOK = true
+			}
 			//lint:ignore deadline response writes go to the kernel socket buffer of a loopback conn; a stalled client is severed by Server.Close
-			if err := writeResponse(conn, StatusOK, ProtocolVersion, CapTrace); err != nil {
+			if err := writeResponse(conn, StatusOK, ProtocolVersion, granted); err != nil {
 				return
 			}
 		case OpTraceContext:
@@ -205,7 +228,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			pending = &sc
 		default:
-			if err := s.serveOne(conn, m, pending); err != nil {
+			if err := s.serveOne(conn, m, pending, shedOK); err != nil {
 				return
 			}
 			pending = nil
@@ -213,10 +236,27 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext) error {
+// shedStatus is the wire answer for an operation refused by overload
+// control: StatusShed on connections that negotiated CapShed, StatusError
+// (the pre-v3 terminal-fault path) otherwise.
+func shedStatus(shedOK bool) Status {
+	if shedOK {
+		return StatusShed
+	}
+	return StatusError
+}
+
+func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext, shedOK bool) error {
 	var opStart time.Time
 	if s.tracer != nil && sc != nil && sc.Sampled {
 		opStart = time.Now()
+	}
+	// Snapshot the stage outside s.mu: the controller has its own lock and
+	// the stage holds for the whole operation, exactly as the simulator
+	// reads it once per request.
+	stage := shed.StageNormal
+	if s.shed != nil {
+		stage = s.shed.Stage()
 	}
 	s.mu.Lock()
 	var st Status
@@ -225,28 +265,54 @@ func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext) error {
 	case OpGet:
 		hit := s.cache.Get(cache.ObjectID(m.a))
 		s.meter.Record(int64(m.b), hit)
-		if hit {
+		switch {
+		case hit:
 			st = StatusHit
-		} else {
+		case stage.Sheds(core.ValueMissFetch):
+			// Stage ≥ 3: hits-only. The Get already ran (recency touched,
+			// miss metered — identical to the simulator's stage-3 path);
+			// the fetch behind it is refused.
+			st = shedStatus(shedOK)
+		default:
 			st = StatusMiss
 		}
 	case OpContains:
-		if s.cache.Contains(cache.ObjectID(m.a)) {
+		if stage.Sheds(core.ValueRelayProbe) {
+			// Stage ≥ 1: relay probes are refused without touching the
+			// cache — the probe is speculative work this server is shedding.
+			st = shedStatus(shedOK)
+		} else if s.cache.Contains(cache.ObjectID(m.a)) {
 			st = StatusHit
 		} else {
 			st = StatusMiss
 		}
 	case OpAdmit:
-		err := s.cache.Admit(cache.ObjectID(m.a), int64(m.b))
-		if err == nil || errors.Is(err, cache.ErrTooLarge) {
-			st = StatusOK
+		if stage.Sheds(core.ValueMissFetch) {
+			st = shedStatus(shedOK)
 		} else {
-			st = StatusError
+			err := s.cache.Admit(cache.ObjectID(m.a), int64(m.b))
+			if err == nil || errors.Is(err, cache.ErrTooLarge) {
+				st = StatusOK
+			} else {
+				st = StatusError
+			}
 		}
 	case OpStats:
 		st = StatusOK
 		a = uint64(s.meter.Requests)
 		b = uint64(s.meter.Hits)
+	case OpShed:
+		if shedOK {
+			st = StatusOK
+			a = uint64(stage)
+			burn := 0.0
+			if s.shed != nil {
+				burn = s.shed.Burn()
+			}
+			b = uint64(burn * 1e6)
+		} else {
+			st = StatusError
+		}
 	default:
 		st = StatusError
 	}
@@ -273,6 +339,8 @@ func opName(op Op) string {
 		return "admit"
 	case OpStats:
 		return "stats"
+	case OpShed:
+		return "shed"
 	default:
 		return "op-" + strconv.Itoa(int(op))
 	}

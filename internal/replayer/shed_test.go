@@ -1,0 +1,319 @@
+package replayer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/obs"
+	"starcdn/internal/shed"
+	"starcdn/internal/sim"
+)
+
+// shedChaosConfig is the overload-control configuration the chaos shed
+// tests share: tight epochs and a low degraded tolerance so a transient
+// kill wave drives the ladder up, a small session quota with a short idle
+// window so stage 2 visibly rejects, and a single dwell epoch so recovery
+// completes within the trace.
+func shedChaosConfig(reg *obs.Registry) shed.Config {
+	cfg := shed.Defaults()
+	cfg.EpochSec = 30
+	cfg.WindowEpochs = 4
+	cfg.MaxDegraded = 0.02
+	cfg.DwellEpochs = 1
+	cfg.SessionQuota = 6
+	cfg.SessionIdleSec = 10
+	cfg.Metrics = reg
+	return cfg
+}
+
+// counterValue reads one counter series (name plus rendered labels) from a
+// registry snapshot, returning 0 when the series does not exist.
+func counterValue(reg *obs.Registry, key string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name+s.LabelString() == key {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// stage3Controller escalates a fresh controller to StageHitsOnly via the
+// external burn signal: each Tick closes one 1-second epoch, and a burn of
+// 10 clears every Enter threshold, so three closed epochs climb the ladder.
+func stage3Controller(t *testing.T) *shed.Controller {
+	t.Helper()
+	cfg := shed.Defaults()
+	cfg.EpochSec = 1
+	cfg.DwellEpochs = 1
+	ctrl, err := shed.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetBurn(10)
+	for ts := 0.0; ts <= 4; ts++ {
+		ctrl.Tick(ts)
+	}
+	if got := ctrl.Stage(); got != shed.StageHitsOnly {
+		t.Fatalf("controller at %v, want stage-3", got)
+	}
+	return ctrl
+}
+
+// TestShedParitySimVsSequentialReplay is the overload-control cross-check in
+// its strictest form: under an identical §3.4 kill schedule and an identical
+// shed configuration, the in-process simulator and the sequential TCP replay
+// must shed the identical request set — same meters, same per-action shed
+// counters, same stage transitions, same final stage.
+func TestShedParitySimVsSequentialReplay(t *testing.T) {
+	const requests = 6000
+	const traceSeed = 31
+	const capacity = 64 << 20
+	const seed = 99
+
+	hSim, usersSim, trSim := newReplayFixture(t, requests, traceSeed)
+	hTCP, usersTCP, trTCP := newReplayFixture(t, requests, traceSeed)
+
+	opts := Options{Hashing: true, Relay: true, Seed: seed}
+	sats := contactedSats(t, hTCP, usersTCP, trTCP, opts)
+	// All-transient kills: every outage is a miss-through wave (the burn
+	// signal) and every satellite comes back, so the run must recover.
+	events := sim.GenerateChaos(sats, sim.ChaosOptions{
+		StartSec: 200, EndSec: 500,
+		KillFraction:      0.30,
+		TransientFraction: 1.0,
+		ReviveAfterSec:    200,
+		Seed:              7,
+	})
+	if len(events) == 0 {
+		t.Fatal("chaos generator produced no events")
+	}
+
+	regSim := obs.NewRegistry()
+	simCtrl, err := shed.NewController(shedChaosConfig(regSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := sim.NewStarCDN(hSim, sim.CacheConfig{Kind: cache.LRU, Bytes: capacity},
+		sim.StarCDNOptions{Hashing: true, Relay: true})
+	m1, err := sim.Run(hSim.Grid().Constellation(), usersSim, trSim, pol,
+		sim.Config{Seed: seed, Failures: events, Shedder: simCtrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regTCP := obs.NewRegistry()
+	tcpCtrl, err := shed.NewController(shedChaosConfig(regTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The one controller drives both sides of the wire: the replay loop's
+	// client-side decisions and the servers' StatusShed enforcement.
+	cluster, err := NewClusterOpts(cache.LRU, capacity, ServerOptions{Shedder: tcpCtrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	opts.Fault = chaosFaultPolicy()
+	opts.Failures = events
+	opts.Obs = obs.NewRegistry()
+	opts.Shedder = tcpCtrl
+	m2, err := Replay(hTCP, cluster, usersTCP, trTCP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hit-for-hit parity: shedding changed which requests hit, and it must
+	// have changed them identically in both pipelines.
+	if m1.Meter.Requests != m2.Requests {
+		t.Fatalf("request counts differ: %d vs %d", m1.Meter.Requests, m2.Requests)
+	}
+	if m1.Meter.Hits != m2.Hits {
+		t.Errorf("hit counts differ under shedding: sim %d vs TCP %d", m1.Meter.Hits, m2.Hits)
+	}
+	if m1.Meter.BytesHit != m2.BytesHit {
+		t.Errorf("byte hits differ under shedding: %d vs %d", m1.Meter.BytesHit, m2.BytesHit)
+	}
+
+	// The shed request sets agree exactly.
+	simShed := m1.BySource[sim.SourceShed]
+	tcpShed := counterValue(opts.Obs, `starcdn_replay_requests_total{source="shed"}`)
+	if simShed == 0 {
+		t.Fatal("chaos run shed no requests; the schedule no longer overloads the controller")
+	}
+	if float64(simShed) != tcpShed {
+		t.Errorf("shed counts differ: sim %d vs TCP %.0f", simShed, tcpShed)
+	}
+
+	// Same controller trajectory: every action tally, both transition
+	// directions (recovery included), and the final stage agree.
+	for a := shed.ActionRelaySkip; a <= shed.ActionHitOnly; a++ {
+		key := `starcdn_shed_actions_total{action="` + a.String() + `"}`
+		sv, tv := counterValue(regSim, key), counterValue(regTCP, key)
+		if sv != tv {
+			t.Errorf("action %v counts differ: sim %.0f vs TCP %.0f", a, sv, tv)
+		}
+	}
+	sUp, sDown := simCtrl.Transitions()
+	tUp, tDown := tcpCtrl.Transitions()
+	if sUp != tUp || sDown != tDown {
+		t.Errorf("transitions differ: sim (%d up, %d down) vs TCP (%d up, %d down)",
+			sUp, sDown, tUp, tDown)
+	}
+	if sUp < 2 {
+		t.Errorf("controller climbed only %d stages; the kill wave no longer overloads it", sUp)
+	}
+	if sDown == 0 {
+		t.Error("controller never recovered a stage within the trace")
+	}
+	if s1, s2 := simCtrl.Stage(), tcpCtrl.Stage(); s1 != s2 {
+		t.Errorf("final stages differ: sim %v vs TCP %v", s1, s2)
+	}
+	if got := tcpCtrl.Stage(); got != shed.StageNormal {
+		t.Errorf("replay ended at %v, want full hysteretic recovery to stage-0", got)
+	}
+}
+
+// TestShedWireStatusShedNoRetry: a StatusShed answer is a served refusal,
+// not a transport fault — the client maps it to shed.ErrShed on exactly one
+// attempt (retrying would add the very load being shed) and counts it under
+// starcdn_client_rejected_total{reason="shed"}.
+func TestShedWireStatusShedNoRetry(t *testing.T) {
+	ctrl := stage3Controller(t)
+	s, err := NewServerOpts(1, cache.LRU, 1<<20, ServerOptions{Shedder: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	reg := obs.NewRegistry()
+	cl := NewClientOpts(ClientOptions{
+		IOTimeout: 2 * time.Second,
+		Retry:     RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+		Obs:       reg,
+		Shed:      true,
+	})
+	defer func() { _ = cl.Close() }()
+
+	// Owner miss at stage 3: the fetch behind it is refused.
+	if _, err := cl.Get(s.Addr(), 42, 100); !errors.Is(err, shed.ErrShed) {
+		t.Fatalf("stage-3 miss returned %v, want shed.ErrShed", err)
+	}
+	if err := cl.Admit(s.Addr(), 42, 100); !errors.Is(err, shed.ErrShed) {
+		t.Fatalf("stage-3 admit returned %v, want shed.ErrShed", err)
+	}
+	if _, err := cl.Contains(s.Addr(), 42); !errors.Is(err, shed.ErrShed) {
+		t.Fatalf("stage-3 contains returned %v, want shed.ErrShed", err)
+	}
+	// Hello + three single-attempt operations; a retried shed would add
+	// attempts and show up here.
+	if got := counterValue(reg, "starcdn_client_attempts_total"); got != 3 {
+		t.Errorf("attempts = %.0f, want 3 (sheds must not retry)", got)
+	}
+	if got := counterValue(reg, "starcdn_client_retries_total"); got != 0 {
+		t.Errorf("retries = %.0f, want 0", got)
+	}
+	if got := counterValue(reg, `starcdn_client_rejected_total{reason="shed"}`); got != 3 {
+		t.Errorf("rejected{shed} = %.0f, want 3", got)
+	}
+	// Sheds are served answers, not failures.
+	if got := counterValue(reg, "starcdn_client_failures_total"); got != 0 {
+		t.Errorf("failures = %.0f, want 0", got)
+	}
+
+	// The stage query reports the ladder position and burn over the wire.
+	stage, burn, err := cl.ShedStage(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage != shed.StageHitsOnly {
+		t.Errorf("wire stage = %v, want stage-3", stage)
+	}
+	if burn < 9.999 {
+		t.Errorf("wire burn = %v, want ~10", burn)
+	}
+}
+
+// TestShedWireOldClientFallback: a peer that never requested CapShed must
+// never see the StatusShed byte — shed rejections arrive as StatusError,
+// the terminal-fault path every pre-v3 client already handles.
+func TestShedWireOldClientFallback(t *testing.T) {
+	ctrl := stage3Controller(t)
+	s, err := NewServerOpts(2, cache.LRU, 1<<20, ServerOptions{Shedder: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	// Propagate-only client: sends a hello, asks for CapTrace but not
+	// CapShed — the modern server must still answer its sheds StatusError.
+	cl := NewClientOpts(ClientOptions{IOTimeout: 2 * time.Second, Propagate: true})
+	defer func() { _ = cl.Close() }()
+	st, _, _, err := cl.roundTrip(s.Addr(), OpGet, 42, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusError {
+		t.Errorf("non-CapShed get answered %d, want StatusError", st)
+	}
+	if _, _, err := cl.ShedStage(s.Addr()); err == nil {
+		t.Error("OpShed without CapShed succeeded, want error")
+	}
+
+	// A plain v1-style client (no hello at all) gets the same fallback.
+	v1 := NewClient()
+	defer func() { _ = v1.Close() }()
+	st, _, _, err = v1.roundTrip(s.Addr(), OpAdmit, 7, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusError {
+		t.Errorf("v1 admit answered %d, want StatusError", st)
+	}
+}
+
+// TestShedHelloNegotiatesCapability: the hello grants CapShed only when
+// requested, and a granted connection answers sheds with StatusShed.
+func TestShedHelloNegotiatesCapability(t *testing.T) {
+	ctrl := stage3Controller(t)
+	s, err := NewServerOpts(3, cache.LRU, 1<<20, ServerOptions{Shedder: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+
+	cl := NewClientOpts(ClientOptions{IOTimeout: 2 * time.Second, Shed: true})
+	defer func() { _ = cl.Close() }()
+	st, _, _, err := cl.roundTrip(s.Addr(), OpGet, 42, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusShed {
+		t.Errorf("CapShed get answered %d, want StatusShed", st)
+	}
+	// Hits are never shed, even at stage 3: a server without the object
+	// sheds the miss, but one holding it serves it.
+	ctrl2 := stage3Controller(t)
+	s2, err := NewServerOpts(4, cache.LRU, 1<<20, ServerOptions{Shedder: ctrl2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	// Seed the cache below stage 3 by admitting through a fresh controller…
+	// impossible here; admit directly against the running server before it
+	// sheds is also refused. Use the server's cache handle instead.
+	s2.mu.Lock()
+	if err := s2.cache.Admit(9, 10); err != nil {
+		s2.mu.Unlock()
+		t.Fatal(err)
+	}
+	s2.mu.Unlock()
+	hit, err := cl.Get(s2.Addr(), 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("cached object not served at stage 3; hits must never shed")
+	}
+}

@@ -23,11 +23,15 @@ const (
 	// (§7 intermediate design): a cache hit for latency purposes, but the
 	// content still consumes the satellite uplink.
 	SourceGroundEdge
+	// SourceShed is a request rejected by overload control (shed.ErrShed):
+	// no content moved, no uplink or ISL capacity consumed. It counts as a
+	// miss for hit-rate purposes but is excluded from uplink accounting.
+	SourceShed
 )
 
 // numSources is the number of defined service sources; Sources() and the
 // per-source metric vectors in Run are sized by it.
-const numSources = int(SourceGroundEdge) + 1
+const numSources = int(SourceShed) + 1
 
 // sourceNames maps each Source to its stable wire/metric-label name. Metric
 // series and trace JSONL use these names, never the Source(%d) fallback.
@@ -39,6 +43,7 @@ var sourceNames = [numSources]string{
 	SourceGround:     "ground",
 	SourceNoCover:    "no-coverage",
 	SourceGroundEdge: "ground-edge",
+	SourceShed:       "shed",
 }
 
 // Sources enumerates every defined service source in declaration order —
@@ -185,8 +190,9 @@ func (m *Metrics) record(sat orbit.SatID, loc int, size int64, src Source, laten
 	hit := src.Hit()
 	m.Meter.Record(size, hit)
 	// Ground-edge hits avoid the origin fetch but still climb the uplink —
-	// the §7 trade-off this metric exists to expose.
-	if !hit || src == SourceGroundEdge {
+	// the §7 trade-off this metric exists to expose. Shed requests move no
+	// bytes at all: that is the whole point of shedding.
+	if (!hit || src == SourceGroundEdge) && src != SourceShed {
 		m.UplinkBytes += size
 	}
 	m.BySource[src]++

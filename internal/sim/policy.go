@@ -9,6 +9,7 @@ import (
 	"starcdn/internal/invariant"
 	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
+	"starcdn/internal/shed"
 	"starcdn/internal/topo"
 	"starcdn/internal/trace"
 )
@@ -27,6 +28,11 @@ type ServeContext struct {
 	// hop per segment the request traverses (AddHop is nil-safe, so
 	// instrumented paths need no guard).
 	Span *obs.Span
+	// ShedStage is the overload-control stage active for this request
+	// (shed.StageNormal when no shedder is wired in). Policies consult it
+	// through Stage.Sheds to drop value classes; the runner handles
+	// session admission before Serve is reached.
+	ShedStage shed.Stage
 }
 
 // Outcome is a policy's answer: where the request was served and the
@@ -41,6 +47,9 @@ type Outcome struct {
 	// ISLBytes is the inter-satellite traffic this request generated,
 	// measured in byte-hops (content bytes times ISL hops traversed).
 	ISLBytes int64
+	// Shed records what overload control did to this request
+	// (shed.ActionNone when untouched).
+	Shed shed.Action
 }
 
 // Policy is a satellite CDN content placement/fetch scheme.
@@ -251,6 +260,25 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 			return Outcome{Source: SourceGround, ServerSat: -1, SpaceMs: groundMs}
 		}
 		home = owner
+		// Stage ≥ 1 sheds the remote fetch: instead of routing over the
+		// ISLs to the bucket owner, serve the §3.4-shaped ground miss
+		// directly. The owner's cache is never touched, exactly like the
+		// reactive degrade above, so both pipelines stay byte-identical.
+		// At stage 3 (hits only) the request is rejected outright instead:
+		// it cannot be a cache hit without the ISL fetch stage 1 already
+		// shed, and falling back to the ground would keep the congested
+		// uplink saturated — the opposite of what hits-only mode is for.
+		if ctx.ShedStage.Sheds(core.ValueRemoteFetch) && owner != ctx.First {
+			if ctx.ShedStage.Sheds(core.ValueMissFetch) {
+				ctx.Span.AddHop(obs.Hop{Kind: "shed", Sat: int(owner)})
+				return Outcome{Source: SourceShed, ServerSat: owner,
+					Shed: shed.ActionHitOnly}
+			}
+			groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
+			ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: -1, SimMs: groundMs})
+			return Outcome{Source: SourceGround, ServerSat: -1, SpaceMs: groundMs,
+				Shed: shed.ActionDirectGround}
+		}
 		ph, sh := p.hash.RoutingHops(ctx.First, home)
 		routeMs = ctx.Latency.ISLPathRTTMs(ph, sh, ctx.Rng)
 	}
@@ -275,10 +303,21 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 			ISLBytes: routeISLBytes}
 	}
 
+	// Stage ≥ 3 sheds the ground fetch behind the miss: only cache hits
+	// are served. The Get above already refreshed recency (same as the
+	// TCP server, which answers the Get before learning it must shed), so
+	// cache state stays identical; nothing is admitted.
+	if ctx.ShedStage.Sheds(core.ValueMissFetch) {
+		ctx.Span.AddHop(obs.Hop{Kind: "shed", Sat: int(home)})
+		return Outcome{Source: SourceShed, ServerSat: home, SpaceMs: routeMs,
+			Shed: shed.ActionHitOnly}
+	}
+
 	// Miss at the bucket owner: relayed fetch from same-bucket inter-orbit
 	// neighbours (§3.3). West is checked first — it retraces this
 	// satellite's recent footprint; east costs the same so it stays enabled.
-	if p.opts.Relay {
+	// Stage ≥ 1 sheds the probes: the miss goes straight to the ground.
+	if p.opts.Relay && !ctx.ShedStage.Sheds(core.ValueRelayProbe) {
 		westHit, eastHit := false, false
 		var westSat, eastSat orbit.SatID
 		if nb, ok := p.relayNeighbor(home, topo.West); ok {
@@ -313,12 +352,17 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	}
 
 	// Ground fetch; the owner caches the object on the way through.
+	action := shed.ActionNone
+	if p.opts.Relay && ctx.ShedStage.Sheds(core.ValueRelayProbe) {
+		action = shed.ActionRelaySkip
+	}
 	admit(c, ctx.Req.Object, ctx.Req.Size)
 	groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
 	ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: int(home), SimMs: groundMs})
 	return Outcome{Source: SourceGround, ServerSat: home,
 		SpaceMs:  routeMs + groundMs,
-		ISLBytes: routeISLBytes}
+		ISLBytes: routeISLBytes,
+		Shed:     action}
 }
 
 // relayNeighbor resolves the east/west relay target: the same-bucket

@@ -10,6 +10,7 @@ import (
 	"starcdn/internal/obs"
 	"starcdn/internal/orbit"
 	"starcdn/internal/sched"
+	"starcdn/internal/shed"
 	"starcdn/internal/trace"
 )
 
@@ -69,6 +70,14 @@ type Config struct {
 	// time series. Like Metrics and Tracer it only reads run state — results
 	// are byte-identical with the recorder on or off.
 	Recorder *obs.Recorder
+	// Shedder, when non-nil, closes the overload-control loop: it is ticked
+	// on simulated time before each request, consulted for session
+	// admission and the active shed stage, and fed the request's outcome.
+	// Unlike Metrics/Tracer/Recorder it DOES change results — that is its
+	// job — but deterministically: the same seed, trace, failures, and shed
+	// config shed the identical request set, in the sim and in the
+	// sequential TCP replayer alike.
+	Shedder *shed.Controller
 }
 
 // Run replays the trace through the policy over the constellation. users[i]
@@ -146,6 +155,13 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		// Advance cannot fail here: the only hook ever registered (the obs
 		// failure counters) never returns an error.
 		_ = failures.Advance(r.TimeSec)
+		// Ordering contract with the TCP replayer: failures advance, then
+		// the shed controller closes its epochs, then the request is
+		// decided — so stage changes land on identical request boundaries
+		// in both pipelines.
+		if cfg.Shedder != nil {
+			cfg.Shedder.Tick(r.TimeSec)
+		}
 		cfg.Recorder.TickAt(r.TimeSec)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {
@@ -176,7 +192,19 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		}
 		ctx.First = first
 		ctx.Req = r
-		out := p.Serve(&ctx)
+		ctx.ShedStage = shed.StageNormal
+		if cfg.Shedder != nil {
+			ctx.ShedStage = cfg.Shedder.Stage()
+		}
+		var out Outcome
+		if cfg.Shedder != nil && first >= 0 && !cfg.Shedder.AdmitSession(r.Location, r.TimeSec) {
+			// Stage ≥ 2 turned the session away: no cache touch, no
+			// uplink, just the rejection riding the user link back.
+			out = Outcome{Source: SourceShed, ServerSat: -1, Shed: shed.ActionRejectSession}
+			span.AddHop(obs.Hop{Kind: "shed", Sat: int(first)})
+		} else {
+			out = p.Serve(&ctx)
+		}
 		if cfg.TrafficScale > 0 && uplinkSource(out.Source) {
 			demandWindowBytes += r.Size
 		}
@@ -211,6 +239,15 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		}
 		ro.record(&out, r.Size, totalMs)
 		metrics.record(out.ServerSat, r.Location, r.Size, out.Source, totalMs)
+		if cfg.Shedder != nil {
+			// The burn signal is the §3.4 miss-through: a ground serve with
+			// no serving satellite that shedding did not cause. Both
+			// pipelines emit exactly this signal, so the controllers agree.
+			cfg.Shedder.Observe(shed.Signal{
+				Degraded: out.Source == SourceGround && out.ServerSat < 0 && out.Shed == shed.ActionNone,
+				Action:   out.Shed,
+			})
+		}
 		metrics.ISLBytes += out.ISLBytes
 		if metrics.PerClass != nil {
 			k := cfg.ClassOf(r.Object)

@@ -207,3 +207,70 @@ func BenchmarkObsOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSketchOverhead measures what the streaming-sketch telemetry adds
+// on top of a metrics-equipped sim.Run (recorded in BENCH_obs.json). Two
+// variants run the identical seeded simulation:
+//
+//	metrics          — live registry, no sketches (the BenchmarkObsOverhead
+//	                   "metrics" configuration; the comparison baseline)
+//	metrics+sketches — Config.Sketches on: three top-K popularity summaries
+//	                   (objects, satellites, buckets — Space-Saving plus a
+//	                   Count-Min refinement grid each) and overall plus
+//	                   per-satellite latency quantile sketches updated on
+//	                   every request
+//
+// The acceptance bar is ≤5% slowdown for sketches over metrics-only. Results
+// must stay identical — the assertion below is the bench-side half of the
+// byte-identical-reports contract (experiments.TestObsDoesNotChangeReports
+// is the report-side half).
+func BenchmarkSketchOverhead(b *testing.B) {
+	e := env()
+	tr, err := e.ProductionTrace("video")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Constellation("bench-sketch")
+	h, err := core.NewHashScheme(topo.NewGrid(c, topo.StarlinkTable1()), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := e.Users()
+
+	variants := []struct {
+		name     string
+		sketches bool
+	}{
+		{"metrics", false},
+		{"metrics+sketches", true},
+	}
+	var baseline *sim.Metrics
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var m *sim.Metrics
+			b.SetBytes(int64(len(tr.Requests)))
+			for i := 0; i < b.N; i++ {
+				// Fresh policy per iteration: cache state must not carry over.
+				p := sim.NewStarCDN(h, sim.CacheConfig{
+					Kind: cache.LRU, Bytes: e.Scale.LatencyCacheSize,
+				}, sim.StarCDNOptions{Hashing: true, Relay: true})
+				var err error
+				m, err = sim.Run(c, users, tr, p, sim.Config{
+					Seed: e.Scale.Seed, Metrics: obs.NewRegistry(), Sketches: v.sketches,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Sketches must not change a single result.
+			if baseline == nil {
+				baseline = m
+			} else if m.Meter != baseline.Meter || m.UplinkBytes != baseline.UplinkBytes ||
+				m.ISLBytes != baseline.ISLBytes {
+				b.Fatalf("variant %s changed results: meter %+v uplink %d isl %d, baseline meter %+v uplink %d isl %d",
+					v.name, m.Meter, m.UplinkBytes, m.ISLBytes,
+					baseline.Meter, baseline.UplinkBytes, baseline.ISLBytes)
+			}
+		})
+	}
+}

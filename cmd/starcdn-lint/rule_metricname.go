@@ -22,10 +22,19 @@ import (
 //   - counters end in `_total` (the Prometheus cumulative convention)
 //   - gauges do NOT end in `_total` — a gauge named like a counter lies to
 //     rate() queries
-//   - histograms end in a unit suffix (`_ms`, `_us`, `_ns`, `_seconds`,
-//     `_bytes`) so quantiles are interpretable, and no series of any kind
-//     may end in `_bucket`, `_sum`, or `_count`, which the recorder reserves
-//     for histogram fan-out
+//   - histograms and quantile sketches end in a unit suffix (`_ms`, `_us`,
+//     `_ns`, `_seconds`, `_bytes`) so quantiles are interpretable, and no
+//     series of any kind may end in `_bucket`, `_sum`, or `_count` (reserved
+//     for the recorder's histogram fan-out) or `_topk`, `_q`, or `_samples`
+//     (reserved for its top-K/sketch fan-out)
+//   - top-K summaries must not end in `_total` — they are not counters and
+//     lie to rate() queries just like a mis-suffixed gauge
+//   - literal label keys passed to L() come from a known bounded-cardinality
+//     vocabulary: every key names a value set bounded by design (sources,
+//     stages, satellites), never per-object identity. High-cardinality keys
+//     belong in the top-K/sketch instruments, whose exposition is bounded by
+//     construction; a new bounded key earns its metricLabelKeys entry in the
+//     PR that introduces it.
 //
 // Only string-literal names are checked: a computed name is a deliberate
 // choice the reviewer can see at the call site. Receivers are matched by
@@ -43,8 +52,8 @@ func (ruleMetricName) Applies(relPath string) bool { return true }
 // dashboard group. A new subsystem earns its entry here in the same PR that
 // introduces its first metric ("shed" arrived with the overload controller).
 var metricFamilies = []string{
-	"cache", "client", "cluster", "fixture", "replay",
-	"server", "shed", "sim", "slo", "test",
+	"cache", "client", "cluster", "fixture", "popularity", "replay",
+	"server", "shed", "sim", "sketch", "slo", "test",
 }
 
 // metricFamily extracts the component after the starcdn_ prefix, up to the
@@ -60,9 +69,23 @@ func metricFamily(name string) string {
 // metricUnitSuffixes are the suffixes accepted on histogram names.
 var metricUnitSuffixes = []string{"_ms", "_us", "_ns", "_seconds", "_bytes"}
 
-// metricReservedSuffixes collide with the recorder's histogram fan-out
-// series (`<name>_bucket{le=...}`, `<name>_sum`, `<name>_count`).
-var metricReservedSuffixes = []string{"_bucket", "_sum", "_count"}
+// metricReservedSuffixes collide with the recorder's fan-out series:
+// histograms fan into `<name>_bucket{le=...}`, `<name>_sum`, `<name>_count`;
+// top-Ks into `<name>_topk{rank=...}` and `<name>_samples`; sketches into
+// `<name>_q{q=...}` and `<name>_samples`.
+var metricReservedSuffixes = []string{
+	"_bucket", "_sum", "_count", "_topk", "_q", "_samples",
+}
+
+// metricLabelKeys is the bounded-cardinality label vocabulary: every literal
+// key passed to L() must name a value set bounded by design. "sat" is bounded
+// by the constellation, "le"/"rank"/"q" by the recorder's fan-out geometry,
+// the rest are small enums. Object/bucket identity is deliberately absent —
+// per-key series belong in top-K/sketch instruments.
+var metricLabelKeys = []string{
+	"action", "class", "dir", "kind", "le", "path", "pipeline", "q",
+	"rank", "reason", "sat", "scheme", "slo", "source", "stage",
+}
 
 // wellFormedMetricName reports whether name matches starcdn_[a-z0-9_]+ with
 // no trailing underscore.
@@ -85,15 +108,15 @@ func wellFormedMetricName(name string) bool {
 }
 
 // registryMethod returns the instrument kind ("Counter", "Gauge",
-// "Histogram") when call is a method of that name on a *Registry (or
-// Registry) receiver.
+// "Histogram", "TopK", "Sketch") when call is a method of that name on a
+// *Registry (or Registry) receiver.
 func registryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	switch sel.Sel.Name {
-	case "Counter", "Gauge", "Histogram":
+	case "Counter", "Gauge", "Histogram", "TopK", "Sketch":
 	default:
 		return "", false
 	}
@@ -168,7 +191,7 @@ func (r ruleMetricName) Check(tree *Tree, pkg *Package) []Diagnostic {
 				if strings.HasSuffix(name, "_total") {
 					flag(call, fmt.Sprintf("gauge %q must not end in _total (reserved for counters)", name))
 				}
-			case "Histogram":
+			case "Histogram", "Sketch":
 				unit := false
 				for _, s := range metricUnitSuffixes {
 					if strings.HasSuffix(name, s) {
@@ -176,16 +199,68 @@ func (r ruleMetricName) Check(tree *Tree, pkg *Package) []Diagnostic {
 						break
 					}
 				}
+				low := strings.ToLower(kind)
 				if strings.HasSuffix(name, "_total") {
-					flag(call, fmt.Sprintf("histogram %q must not end in _total (reserved for counters)", name))
+					flag(call, fmt.Sprintf("%s %q must not end in _total (reserved for counters)", low, name))
 				} else if !unit {
-					flag(call, fmt.Sprintf("histogram %q must end in a unit suffix (%s)", name, strings.Join(metricUnitSuffixes, ", ")))
+					flag(call, fmt.Sprintf("%s %q must end in a unit suffix (%s)", low, name, strings.Join(metricUnitSuffixes, ", ")))
+				}
+			case "TopK":
+				if strings.HasSuffix(name, "_total") {
+					flag(call, fmt.Sprintf("top-K %q must not end in _total (reserved for counters)", name))
 				}
 			}
 			return true
 		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 || !isLabelCtor(pkg.Info, call) {
+				return true
+			}
+			key, ok := stringLiteral(call.Args[0])
+			if !ok {
+				return true // computed keys are a visible call-site decision
+			}
+			for _, k := range metricLabelKeys {
+				if key == k {
+					return true
+				}
+			}
+			flag(call, fmt.Sprintf("label key %q is not in the bounded-cardinality vocabulary (%s); high-cardinality dimensions belong in top-K/sketch instruments (add bounded keys to metricLabelKeys)",
+				key, strings.Join(metricLabelKeys, ", ")))
+			return true
+		})
 	}
 	return diags
+}
+
+// isLabelCtor reports whether call is the label constructor: a function
+// named L returning a value whose type is named Label. Matching by name and
+// result type (not import path) follows the same stub-friendly convention as
+// registryMethod.
+func isLabelCtor(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	if name != "L" {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "Label"
 }
 
 // stringLiteral unwraps a string literal (possibly parenthesised or a

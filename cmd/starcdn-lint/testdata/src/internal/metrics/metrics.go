@@ -9,11 +9,19 @@ package metrics
 // Label mirrors obs.Label.
 type Label struct{ K, V string }
 
-// Counter, Gauge, and Histogram mirror the obs instrument handles.
+// L mirrors the obs label constructor; the rule matches the function name
+// and Label result type, so literal keys here feed the bounded-cardinality
+// vocabulary check.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+// Counter, Gauge, Histogram, TopK, and Sketch mirror the obs instrument
+// handles.
 type (
 	Counter   struct{}
 	Gauge     struct{}
 	Histogram struct{}
+	TopK      struct{}
+	Sketch    struct{}
 )
 
 // Registry mirrors obs.Registry's constructor surface; the rule matches the
@@ -24,6 +32,10 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter { return &Coun
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge     { return &Gauge{} }
 func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
 	return &Histogram{}
+}
+func (r *Registry) TopK(name string, k int, labels ...Label) *TopK { return &TopK{} }
+func (r *Registry) Sketch(name string, alpha float64, labels ...Label) *Sketch {
+	return &Sketch{}
 }
 
 type instruments struct {
@@ -59,4 +71,25 @@ func register(r *Registry, shard string) {
 
 	//lint:ignore metricname fixture: legacy dashboards pin this name
 	r.Counter("legacy_events")
+
+	// Streaming-sketch instrument kinds: the popularity/sketch families are
+	// known; sketches carry unit suffixes like histograms, top-Ks are not
+	// counters, and the recorder's top-K/sketch fan-out suffixes are
+	// reserved for every kind.
+	r.TopK("starcdn_popularity_objects", 32)
+	r.Sketch("starcdn_sketch_serve_latency_ms", 0.01)
+	r.TopK("starcdn_popularity_hits_total", 32)    // want metricname
+	r.Sketch("starcdn_sketch_serve_latency", 0.01) // want metricname
+	r.TopK("starcdn_popularity_objects_topk", 32)  // want metricname
+	r.Sketch("starcdn_sketch_latency_q", 0.01)     // want metricname
+	r.Counter("starcdn_fixture_frames_samples")    // want metricname
+	r.Gauge("starcdn_fixture_depth_topk")          // want metricname
+
+	// Label keys come from the bounded-cardinality vocabulary; computed keys
+	// are a visible call-site decision.
+	r.Counter("starcdn_fixture_events_total", L("source", "hit"))
+	r.TopK("starcdn_popularity_sats", 32, L("pipeline", "replay"))
+	r.Counter("starcdn_fixture_events_total", L("object_id", "42")) // want metricname
+	r.Gauge("starcdn_fixture_depth", L("user", "u-1934"))           // want metricname
+	r.Counter("starcdn_fixture_events_total", L(shard, "x"))
 }

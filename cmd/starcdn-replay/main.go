@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"starcdn/internal/cache"
@@ -72,6 +73,8 @@ func main() {
 		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
 		tracePropa    = flag.Bool("trace-propagate", false, "propagate trace context over the wire (protocol v2); server spans join the client's traces")
 		serverTrace   = flag.String("server-trace-out", "", "write server-side operation spans as JSONL to this file (requires -trace-propagate; assemble with starcdn-trace -assemble)")
+
+		sketches = flag.Bool("sketches", false, "streaming sketch telemetry: top-K object/satellite/bucket popularity and a wall-latency quantile sketch with trace exemplars (exposed on /popularity.json with -metrics-addr)")
 
 		recordEpoch = flag.Duration("record-epoch", 0, "flight-recorder snapshot interval (wall clock; 0 disables; e.g. 1s)")
 		sloP99Ms    = flag.Float64("slo-p99-ms", 0, "SLO: p99 client frame latency <= this many ms over -slo-window (0 disables; requires -record-epoch)")
@@ -182,6 +185,13 @@ func main() {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Obs = reg
+	}
+	if *sketches {
+		if reg == nil {
+			reg = obs.NewRegistry()
+			opts.Obs = reg
+		}
+		opts.Sketches = true
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -364,6 +374,26 @@ func main() {
 			}
 			fmt.Printf("slo %-12s value=%.4g burn=%.3g budget=%.3g (%s)\n",
 				s.Name, s.Value, s.BurnRate, s.Budget, state)
+		}
+	}
+	if opts.Sketches {
+		// The hot set as the sketches saw it: the top-K summary over object
+		// keys and the wall-latency quantile sketch (also on /popularity.json).
+		objs := reg.TopK("starcdn_popularity_objects", 0)
+		if top := objs.Top(); len(top) > 0 {
+			if len(top) > 5 {
+				top = top[:5]
+			}
+			parts := make([]string, len(top))
+			for i, e := range top {
+				parts[i] = fmt.Sprintf("%s×%d", e.Key, e.Count)
+			}
+			fmt.Printf("hot objects:      %s (of %d sketched)\n",
+				strings.Join(parts, " "), objs.N())
+		}
+		if lat := reg.Sketch("starcdn_sketch_replay_wall_ms", 0); lat.Count() > 0 {
+			fmt.Printf("wire latency:     p50=%.3gms p99=%.3gms over %d served (sketch)\n",
+				lat.Quantile(0.5), lat.Quantile(0.99), lat.Count())
 		}
 	}
 	if *metricsAddr != "" && *metricsLinger > 0 {

@@ -20,10 +20,11 @@ func TestObsDoesNotChangeReports(t *testing.T) {
 	}
 	names := []string{"fig6", "fig10-l4"}
 
-	run := func(reg *obs.Registry, tracer *obs.Tracer) map[string]string {
+	run := func(reg *obs.Registry, tracer *obs.Tracer, sketches bool) map[string]string {
 		e := NewEnv(tinyScale())
 		e.Obs = reg
 		e.Tracer = tracer
+		e.Sketches = sketches
 		out := make(map[string]string, len(names))
 		for _, name := range names {
 			s, err := Run(e, name)
@@ -35,21 +36,47 @@ func TestObsDoesNotChangeReports(t *testing.T) {
 		return out
 	}
 
-	plain := run(nil, nil)
+	plain := run(nil, nil, false)
 
 	reg := obs.NewRegistry()
 	var spanBuf bytes.Buffer
 	tracer := obs.NewTracer(&spanBuf, 1, 3)
-	instrumented := run(reg, tracer)
+	instrumented := run(reg, tracer, false)
 	if err := tracer.Flush(); err != nil {
 		t.Fatal(err)
 	}
+
+	// Third variant: streaming sketches on top. Sketch updates are pure
+	// functions of the request stream, so the reports must stay
+	// byte-identical — and the popularity summaries must actually fill.
+	sketchReg := obs.NewRegistry()
+	sketched := run(sketchReg, nil, true)
 
 	for _, name := range names {
 		if plain[name] != instrumented[name] {
 			t.Errorf("%s: instrumented run changed the report\n--- plain ---\n%s\n--- instrumented ---\n%s",
 				name, plain[name], instrumented[name])
 		}
+		if plain[name] != sketched[name] {
+			t.Errorf("%s: sketches changed the report\n--- plain ---\n%s\n--- sketches ---\n%s",
+				name, plain[name], sketched[name])
+		}
+	}
+
+	var popEntries, sketchSamples int64
+	for _, s := range sketchReg.Snapshot() {
+		switch s.Kind {
+		case "topk":
+			popEntries += int64(len(s.TopK))
+		case "sketch":
+			sketchSamples += s.SketchCount
+		}
+	}
+	if popEntries == 0 {
+		t.Error("sketched experiments registered no top-K entries")
+	}
+	if sketchSamples == 0 {
+		t.Error("sketched experiments registered no quantile-sketch samples")
 	}
 
 	// The side channels actually carried data: simulation counters for every

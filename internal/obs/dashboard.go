@@ -24,6 +24,25 @@ type dashboardChart struct {
 	Empty  bool
 }
 
+// dashboardTopK is one top-K instrument's table: the ranked entries with
+// their refined estimates and trace exemplars.
+type dashboardTopK struct {
+	Name    string
+	N       int64
+	Entries []TopKEntry
+}
+
+// dashboardQuantileRow is one quantile-sketch instrument's row in the
+// latency table.
+type dashboardQuantileRow struct {
+	Name  string
+	Count int64
+	P50   string
+	P90   string
+	P99   string
+	Trace string // exemplar trace ID nearest p99 ("" when unsampled)
+}
+
 // dashboardData feeds the page template.
 type dashboardData struct {
 	EpochSec  float64
@@ -33,10 +52,14 @@ type dashboardData struct {
 	Match     string
 	SLOs      []SLOStatus
 	Shed      *ShedStatus
+	TopKs     []dashboardTopK
+	Quantiles []dashboardQuantileRow
 	Charts    []dashboardChart
 }
 
-var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"rank": func(i int) int { return i + 1 },
+}).Parse(`<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <meta http-equiv="refresh" content="2">
 <title>starcdn flight recorder</title>
@@ -71,6 +94,19 @@ svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
 <td>{{if .Exit}}{{printf "%.3g" .Exit}}{{else}}–{{end}}</td>
 <td>{{.Dwell}}/{{.DwellEpochs}}</td><td>{{.SessionsOpen}}</td></tr>
 </table>{{end}}
+{{if .TopKs}}<h2>popularity (top-K) · <a href="/popularity.json">/popularity.json</a></h2>
+{{range .TopKs}}<h3 style="font-size:0.9em">{{.Name}} · n={{.N}}</h3>
+<table><tr><th>#</th><th>key</th><th>count</th><th>±err</th><th>refined</th><th>exemplar trace</th></tr>
+{{range $i, $e := .Entries}}<tr><td>{{rank $i}}</td><td>{{$e.Key}}</td><td>{{$e.Count}}</td>
+<td>{{$e.Err}}</td><td>{{$e.Refined}}</td>
+<td>{{if $e.Exemplar.TraceID}}<code title="starcdn-trace -assemble {{$e.Exemplar.TraceID}}">{{$e.Exemplar.TraceID}}</code>{{else}}–{{end}}</td></tr>
+{{end}}</table>
+{{end}}{{end}}
+{{if .Quantiles}}<h2>latency sketches</h2>
+<table><tr><th>series</th><th>samples</th><th>p50</th><th>p90</th><th>p99</th><th>p99 exemplar</th></tr>
+{{range .Quantiles}}<tr><td>{{.Name}}</td><td>{{.Count}}</td><td>{{.P50}}</td><td>{{.P90}}</td><td>{{.P99}}</td>
+<td>{{if .Trace}}<code title="starcdn-trace -assemble {{.Trace}}">{{.Trace}}</code>{{else}}–{{end}}</td></tr>
+{{end}}</table>{{end}}
 <h2>series{{if .Truncated}} (first {{len .Charts}}){{end}}</h2>
 <div class="grid">
 {{range .Charts}}<div class="card"><div class="k">{{.Key}} = {{.Last}}</div>
@@ -80,11 +116,17 @@ svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
 </body></html>
 `))
 
+// dashboardMaxTopKs caps how many top-K tables the page renders (each is
+// itself bounded at promTopKRanks rows).
+const dashboardMaxTopKs = 6
+
 // handleDashboard renders the live flight-recorder page: SLO table, the
-// overload-controller panel when a shed status source is wired in, plus one
-// inline-SVG sparkline per recorded series (sorted; ?match= filters by
-// substring). Everything is stdlib — html/template and hand-rolled SVG.
-func (r *Recorder) handleDashboard(slos *SLOEngine, shed ShedStatusFunc) http.HandlerFunc {
+// overload-controller panel when a shed status source is wired in, the
+// popularity top-K tables and quantile-sketch rows when the registry holds
+// sketch instruments, plus one inline-SVG sparkline per recorded series
+// (sorted; ?match= filters by substring). Everything is stdlib —
+// html/template and hand-rolled SVG.
+func (r *Recorder) handleDashboard(reg *Registry, slos *SLOEngine, shed ShedStatusFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		match := req.URL.Query().Get("match")
 		keys := r.Series()
@@ -97,6 +139,35 @@ func (r *Recorder) handleDashboard(slos *SLOEngine, shed ShedStatusFunc) http.Ha
 		if shed != nil {
 			st := shed()
 			data.Shed = &st
+		}
+		for _, s := range reg.Snapshot() {
+			switch s.Kind {
+			case "topk":
+				if len(data.TopKs) >= dashboardMaxTopKs {
+					break
+				}
+				entries := s.TopK
+				if len(entries) > promTopKRanks {
+					entries = entries[:promTopKRanks]
+				}
+				data.TopKs = append(data.TopKs, dashboardTopK{
+					Name: s.Name + s.LabelString(), N: s.TopKN, Entries: entries,
+				})
+			case "sketch":
+				row := dashboardQuantileRow{
+					Name: s.Name + s.LabelString(), Count: s.SketchCount,
+					P50: "–", P90: "–", P99: "–",
+				}
+				if len(s.SketchQ) == 3 && !math.IsNaN(s.SketchQ[0]) {
+					row.P50 = formatFloat(s.SketchQ[0])
+					row.P90 = formatFloat(s.SketchQ[1])
+					row.P99 = formatFloat(s.SketchQ[2])
+				}
+				if len(s.SketchExemplars) == 3 && s.SketchExemplars[2].Valid() {
+					row.Trace = s.SketchExemplars[2].TraceID
+				}
+				data.Quantiles = append(data.Quantiles, row)
+			}
 		}
 		for _, key := range keys {
 			if match != "" && !strings.Contains(key, match) {
@@ -133,6 +204,14 @@ func sparkline(key string, pts []Point) dashboardChart {
 	}
 	ch.Empty = false
 	ch.Last = formatFloat(ys[len(ys)-1])
+	if len(ys) == 1 {
+		// A one-coordinate polyline renders nothing; draw a short visible
+		// dash at the sample's position instead (a fresh recorder with a
+		// single sealed epoch must still show its one data point).
+		y := h / 2
+		ch.Points = fmt.Sprintf("%.1f,%.1f %.1f,%.1f", w/2-6, y, w/2+6, y)
+		return ch
+	}
 	tMin, tMax := xs[0], xs[len(xs)-1]
 	vMin, vMax := ys[0], ys[0]
 	for _, v := range ys {

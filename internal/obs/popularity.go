@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// popularitySeries is one sketch-backed series on /popularity.json: either
+// a top-K popularity summary (Entries set) or a quantile sketch (Quantiles
+// set). Unlike the Prometheus exposition, this surface carries the full
+// keyed entries and their trace exemplars — it is the "which objects are
+// hot, and give me a trace of one" endpoint.
+type popularitySeries struct {
+	Name      string             `json:"name"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Kind      string             `json:"kind"`
+	N         int64              `json:"n,omitempty"`
+	Entries   []TopKEntry        `json:"entries,omitempty"`
+	Count     int64              `json:"count,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Exemplars map[string]any     `json:"exemplars,omitempty"`
+}
+
+// handlePopularity serves /popularity.json: every top-K and quantile-sketch
+// series of the registry, full detail, deterministically ordered. Query
+// params: ?k=N truncates top-K entries (default: all tracked); ?match=substr
+// filters by series name.
+func handlePopularity(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		match := req.URL.Query().Get("match")
+		maxK := 0
+		if s := req.URL.Query().Get("k"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				maxK = v
+			}
+		}
+		out := struct {
+			Series []popularitySeries `json:"series"`
+		}{Series: []popularitySeries{}}
+		for _, s := range reg.Snapshot() {
+			if s.Kind != "topk" && s.Kind != "sketch" {
+				continue
+			}
+			if match != "" && !strings.Contains(s.Name, match) {
+				continue
+			}
+			ps := popularitySeries{Name: s.Name, Kind: s.Kind}
+			if len(s.Labels) > 0 {
+				ps.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					ps.Labels[l.Key] = l.Value
+				}
+			}
+			switch s.Kind {
+			case "topk":
+				ps.N = s.TopKN
+				entries := s.TopK
+				if maxK > 0 && len(entries) > maxK {
+					entries = entries[:maxK]
+				}
+				ps.Entries = entries
+			case "sketch":
+				ps.Count = s.SketchCount
+				ps.Quantiles = make(map[string]float64, len(s.SketchQ))
+				for i, q := range SketchQuantiles {
+					if i >= len(s.SketchQ) || math.IsNaN(s.SketchQ[i]) {
+						continue
+					}
+					ps.Quantiles[formatFloat(q)] = s.SketchQ[i]
+					if i < len(s.SketchExemplars) && s.SketchExemplars[i].Valid() {
+						if ps.Exemplars == nil {
+							ps.Exemplars = make(map[string]any)
+						}
+						ps.Exemplars[formatFloat(q)] = s.SketchExemplars[i]
+					}
+				}
+			}
+			out.Series = append(out.Series, ps)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	}
+}

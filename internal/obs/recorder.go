@@ -56,6 +56,9 @@ type recSeries struct {
 	cntRing []float64   // histogram <key>_count destination
 	sumRing []float64   // histogram <key>_sum destination
 	buckets [][]float64 // histogram cumulative _bucket destinations
+	samples []float64   // topk/sketch <key>_samples destination
+	ranks   [][]float64 // topk <name>_topk{rank=...} destinations
+	qs      [][]float64 // sketch <name>_q{q=...} destinations
 }
 
 // RecorderOptions configures a Recorder.
@@ -219,6 +222,22 @@ func (r *Recorder) snapshotLocked(t float64) {
 			}
 			rs.cntRing[slot] = float64(run)
 			rs.sumRing[slot] = s.h.Sum()
+		case topkKind:
+			top := s.tk.Top()
+			for i := range rs.ranks {
+				if i < len(top) {
+					rs.ranks[i][slot] = float64(top[i].Count)
+				} else {
+					rs.ranks[i][slot] = math.NaN()
+				}
+			}
+			rs.samples[slot] = float64(s.tk.N())
+		case sketchKind:
+			qv, _, count, _, _, _ := s.sk.snapshotSketch()
+			for i := range rs.qs {
+				rs.qs[i][slot] = qv[i]
+			}
+			rs.samples[slot] = float64(count)
 		}
 	}
 	r.head = (r.head + 1) % r.capN
@@ -250,11 +269,33 @@ func (r *Recorder) rebuildPlanLocked() {
 				bs := SeriesSnapshot{Labels: append(append([]Label(nil), s.labels...), L("le", le))}
 				rs.buckets[i] = r.ringLocked(s.name + "_bucket" + bs.LabelString())
 			}
+		case topkKind:
+			rs.samples = r.ringLocked(s.key + "_samples")
+			rs.ranks = make([][]float64, promTopKRanks)
+			for i := range rs.ranks {
+				rs.ranks[i] = r.ringLocked(derivedRingKey(s.name+"_topk", s.labels, "rank", formatFloat(float64(i+1))))
+			}
+		case sketchKind:
+			rs.samples = r.ringLocked(s.key + "_samples")
+			rs.qs = make([][]float64, len(SketchQuantiles))
+			for i, q := range SketchQuantiles {
+				rs.qs[i] = r.ringLocked(derivedRingKey(s.name+"_q", s.labels, "q", formatFloat(q)))
+			}
 		default:
 			rs.ring = r.ringLocked(s.key)
 		}
 		r.plan = append(r.plan, rs)
 	}
+}
+
+// derivedRingKey renders the ring key of a derived series — the base
+// labels plus one appended dimension (rank for top-K, q for sketches),
+// following the histogram _bucket convention of appending the extra label
+// last. The SLO engine rebuilds the same key when targeting a recorded
+// sketch quantile.
+func derivedRingKey(name string, labels []Label, extraKey, extraVal string) string {
+	bs := SeriesSnapshot{Labels: append(append([]Label(nil), labels...), L(extraKey, extraVal))}
+	return name + bs.LabelString()
 }
 
 // ringLocked returns (creating and NaN-backfilling if needed) the ring for a
@@ -336,11 +377,18 @@ func (r *Recorder) Last(key string) (Point, bool) {
 }
 
 // Delta returns how much a cumulative series (counter, histogram
-// _count/_sum/_bucket) grew inside the window: the latest in-window value
-// minus the last value recorded *before* the window (0 when the series was
-// born inside the retained history, so a freshly started counter's whole
-// value counts). This is the increase() convention: the first in-window
-// epoch's increments are attributed to the window, not silently dropped.
+// _count/_sum/_bucket) grew inside the window, accumulated epoch by epoch
+// following the increase() convention:
+//
+//   - A series born inside the retained history counts its whole first
+//     value (the first in-window epoch's increments are attributed to the
+//     window, not silently dropped).
+//   - A *decrease* between adjacent epochs means the underlying counter
+//     restarted from zero (a killed-and-revived server re-registering its
+//     meters); the post-reset value is counted as that epoch's increase, so
+//     the delta stays monotone non-negative instead of going negative and
+//     poisoning rates, quantiles, and SLO ratios across the reset.
+//
 // ok=false without at least one in-window sample.
 func (r *Recorder) Delta(key string, windowSec float64) (float64, bool) {
 	if r == nil {
@@ -353,7 +401,7 @@ func (r *Recorder) Delta(key string, windowSec float64) (float64, bool) {
 		return 0, false
 	}
 	latest := r.times[r.slotAt(r.n-1)]
-	baseline, last := 0.0, math.NaN()
+	prev, total, seen := math.NaN(), 0.0, false
 	for i := 0; i < r.n; i++ {
 		slot := r.slotAt(i)
 		v := ring[slot]
@@ -361,15 +409,21 @@ func (r *Recorder) Delta(key string, windowSec float64) (float64, bool) {
 			continue
 		}
 		if windowSec > 0 && r.times[slot] <= latest-windowSec {
-			baseline = v
+			prev = v // pre-window baseline (resets before the window don't matter)
 			continue
 		}
-		last = v
+		seen = true
+		if math.IsNaN(prev) || v < prev {
+			total += v // first appearance, or counter reset: count the accrual from zero
+		} else {
+			total += v - prev
+		}
+		prev = v
 	}
-	if math.IsNaN(last) {
+	if !seen {
 		return 0, false
 	}
-	return last - baseline, true
+	return total, true
 }
 
 // HistogramWindow returns a histogram series' bucket bounds and per-bucket

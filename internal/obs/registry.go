@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"starcdn/internal/obs/sketch"
 )
 
 // Label is one name=value dimension of a metric series.
@@ -150,6 +152,8 @@ const (
 	counterKind metricKind = iota
 	gaugeKind
 	histogramKind
+	topkKind
+	sketchKind
 )
 
 func (k metricKind) String() string {
@@ -158,6 +162,10 @@ func (k metricKind) String() string {
 		return "counter"
 	case gaugeKind:
 		return "gauge"
+	case topkKind:
+		return "topk"
+	case sketchKind:
+		return "sketch"
 	default:
 		return "histogram"
 	}
@@ -174,6 +182,8 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	tk     *TopK
+	sk     *Sketch
 }
 
 // Registry hands out named, labelled instruments and snapshots them for
@@ -219,7 +229,7 @@ func seriesKey(name string, labels []Label) (string, []Label) {
 // A pre-existing series of a different kind under the same name+labels is a
 // programmer error; the caller then gets a fresh detached instrument that
 // never shows up in expositions rather than corrupting the registered one.
-func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds []float64) *series {
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds []float64, param float64) *series {
 	key, ls := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -235,6 +245,10 @@ func (r *Registry) lookup(name string, labels []Label, kind metricKind, bounds [
 		ns.g = &Gauge{}
 	case histogramKind:
 		ns.h = newHistogram(bounds)
+	case topkKind:
+		ns.tk = newTopK(int(param))
+	case sketchKind:
+		ns.sk = newSketchInstrument(param)
 	}
 	if !ok {
 		r.series[key] = ns
@@ -275,7 +289,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, labels, counterKind, nil).c
+	return r.lookup(name, labels, counterKind, nil, 0).c
 }
 
 // Gauge returns the gauge registered under (name, labels). A nil registry
@@ -284,7 +298,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, labels, gaugeKind, nil).g
+	return r.lookup(name, labels, gaugeKind, nil, 0).g
 }
 
 // Histogram returns the histogram registered under (name, labels), creating
@@ -297,7 +311,29 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if bounds == nil {
 		bounds = DefLatencyBucketsMs
 	}
-	return r.lookup(name, labels, histogramKind, bounds).h
+	return r.lookup(name, labels, histogramKind, bounds, 0).h
+}
+
+// TopK returns the top-K popularity instrument registered under (name,
+// labels), tracking at most k keys (k <= 0 selects the default capacity;
+// the capacity is fixed on first use). A nil registry returns a nil (no-op)
+// instrument.
+func (r *Registry) TopK(name string, k int, labels ...Label) *TopK {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, topkKind, nil, float64(k)).tk
+}
+
+// Sketch returns the quantile-sketch instrument registered under (name,
+// labels) with relative accuracy alpha (alpha <= 0 selects 0.01; the
+// accuracy is fixed on first use). A nil registry returns a nil (no-op)
+// instrument.
+func (r *Registry) Sketch(name string, alpha float64, labels ...Label) *Sketch {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, sketchKind, nil, alpha).sk
 }
 
 // SeriesSnapshot is one series' frozen state, as used by the expositions.
@@ -312,6 +348,18 @@ type SeriesSnapshot struct {
 	HistCumulative []int64
 	HistCount      int64
 	HistSum        float64
+	// TopK/TopKN describe top-K instruments: the ranked entries and the
+	// total stream weight they summarise.
+	TopK  []TopKEntry
+	TopKN int64
+	// SketchQ (aligned with SketchQuantiles), SketchExemplars, SketchCount,
+	// SketchSum, SketchMin, and SketchMax describe quantile sketches.
+	SketchQ         []float64
+	SketchExemplars []sketch.Exemplar
+	SketchCount     int64
+	SketchSum       float64
+	SketchMin       float64
+	SketchMax       float64
 }
 
 // LabelString renders the series' labels as {k="v",...} ("" when unlabelled).
@@ -358,6 +406,12 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 			// stay internally consistent under concurrent updates.
 			snap.HistCount = snap.HistCumulative[len(snap.HistCumulative)-1]
 			snap.HistSum = s.h.Sum()
+		case topkKind:
+			snap.TopK = s.tk.Top()
+			snap.TopKN = s.tk.N()
+		case sketchKind:
+			snap.SketchQ, snap.SketchExemplars, snap.SketchCount,
+				snap.SketchSum, snap.SketchMin, snap.SketchMax = s.sk.snapshotSketch()
 		}
 		out = append(out, snap)
 	}

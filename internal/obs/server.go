@@ -51,10 +51,11 @@ type HealthFunc func() Health
 
 // Server is the opt-in observability HTTP listener. It mounts:
 //
-//	/metrics        Prometheus text exposition
-//	/metrics.json   expvar-style JSON exposition
-//	/healthz        Health JSON (503 when not OK)
-//	/debug/pprof/*  net/http/pprof (profile, heap, trace, ...)
+//	/metrics          Prometheus text exposition
+//	/metrics.json     expvar-style JSON exposition
+//	/popularity.json  top-K and quantile-sketch series, full keyed detail
+//	/healthz          Health JSON (503 when not OK)
+//	/debug/pprof/*    net/http/pprof (profile, heap, trace, ...)
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -112,9 +113,12 @@ func ServeWith(addr string, opts ServeOptions) (*Server, error) {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
+	if reg != nil {
+		mux.HandleFunc("/popularity.json", handlePopularity(reg))
+	}
 	if opts.Recorder != nil {
 		mux.HandleFunc("/timeseries.json", opts.Recorder.handleTimeseries)
-		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(opts.SLOs, opts.Shed))
+		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(reg, opts.SLOs, opts.Shed))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,414 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// defaultQuantileBuckets caps the bucket map of a Quantile sketch. With
+// relative accuracy α=0.01 (γ≈1.0202) 1024 buckets span ~20 orders of
+// magnitude before the collapse path ever runs, so in practice the cap is
+// a memory guarantee, not an accuracy cost.
+const defaultQuantileBuckets = 1024
+
+// minIndexable is the smallest positive value given its own log-spaced
+// bucket; smaller (and non-positive) observations land in the zero bucket.
+const minIndexable = 1e-9
+
+// QBucket is one log-spaced bucket of a Quantile sketch.
+type QBucket struct {
+	// Index is the bucket's log-γ index: the bucket covers (γ^(i-1), γ^i].
+	Index int `json:"index"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+	// Ex is the bucket's trace exemplar (zero when never sampled).
+	Ex Exemplar `json:"exemplar"`
+}
+
+// Quantile is a DDSketch-style quantile summary with relative-error
+// guarantee: Quantile(q) is within a factor (1±α) of the true q-quantile,
+// for any distribution, at any scale — which is what replaces fixed-bucket
+// histograms where the value range is unknown. Observations map to
+// log-spaced buckets (index ⌈log_γ x⌉ with γ=(1+α)/(1−α)); bucket counts
+// are order-independent, so Merge (bucket-wise addition) is exact.
+//
+// Memory is bounded by maxBuckets: past the cap the lowest-index buckets
+// collapse together (sacrificing resolution at the cheap low end first,
+// the DDSketch convention), deterministically by sorted index.
+//
+// The sketch self-synchronizes: every method is safe for concurrent use.
+// The single-owner shard paths pay only an uncontended lock per sample.
+type Quantile struct {
+	alpha      float64
+	gamma, lg  float64
+	maxBuckets int
+
+	mu       sync.Mutex
+	n        int64
+	sum      float64
+	min, max float64
+	zero     int64 // observations ≤ minIndexable (incl. non-positive)
+	zeroEx   Exemplar
+	buckets  map[int]*QBucket
+	// lastX/lastIdx/lastB memoise the most recent index computation and its
+	// bucket: replayed latencies come from a small discrete set (hop
+	// geometry), so repeated values skip both the math.Log and the bucket
+	// map lookup. lastX is 0 when empty — unreachable, since only values >
+	// minIndexable are indexed; collapse invalidates lastB (it may delete
+	// the cached bucket).
+	lastX   float64
+	lastIdx int
+	lastB   *QBucket
+}
+
+// NewQuantile returns a sketch with relative accuracy alpha (values outside
+// (0, 0.5) select 0.01) and at most maxBuckets buckets (≤ 0 selects 1024).
+func NewQuantile(alpha float64, maxBuckets int) *Quantile {
+	if !(alpha > 0 && alpha < 0.5) {
+		alpha = 0.01
+	}
+	if maxBuckets <= 0 {
+		maxBuckets = defaultQuantileBuckets
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Quantile{
+		alpha:      alpha,
+		gamma:      gamma,
+		lg:         math.Log(gamma),
+		maxBuckets: maxBuckets,
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+		buckets:    make(map[int]*QBucket),
+	}
+}
+
+// Alpha returns the configured relative accuracy (0 on nil).
+func (s *Quantile) Alpha() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.alpha
+}
+
+// Count returns the number of observations (0 on nil).
+func (s *Quantile) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Sum returns the sum of observations (0 on nil). Note the sum is a float
+// accumulation, so sharded merges may differ from a single stream in the
+// last bits; quantiles, counts, and buckets are exact under merge.
+func (s *Quantile) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// Min returns the smallest observation (NaN when empty or nil).
+func (s *Quantile) Min() float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN when empty or nil).
+func (s *Quantile) Max() float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Observe records one sample.
+func (s *Quantile) Observe(x float64) { s.ObserveEx(x, Exemplar{}) }
+
+// ObserveEx is Observe carrying an exemplar for the contributing request.
+// NaN observations are ignored (they have no quantile position).
+func (s *Quantile) ObserveEx(x float64, ex Exemplar) {
+	if s == nil || math.IsNaN(x) {
+		return
+	}
+	s.mu.Lock()
+	s.n++
+	s.sum += x
+	s.min = math.Min(s.min, x)
+	s.max = math.Max(s.max, x)
+	if x <= minIndexable {
+		s.zero++
+		if ex.better(s.zeroEx) {
+			s.zeroEx = ex
+		}
+		s.mu.Unlock()
+		return
+	}
+	b := s.lastB
+	if x != s.lastX || b == nil {
+		idx := s.index(x)
+		b = s.buckets[idx]
+		if b == nil {
+			b = &QBucket{Index: idx}
+			s.buckets[idx] = b
+		}
+		s.lastX, s.lastIdx, s.lastB = x, idx, b
+	}
+	b.Count++
+	if ex.better(b.Ex) {
+		b.Ex = ex
+	}
+	s.collapse()
+	s.mu.Unlock()
+}
+
+// index maps a positive observation to its log-γ bucket.
+func (s *Quantile) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.lg))
+}
+
+// value returns the representative value of bucket idx: the midpoint
+// 2γ^idx/(γ+1), which is within relative error α of every value the bucket
+// covers.
+func (s *Quantile) value(idx int) float64 {
+	return 2 * math.Pow(s.gamma, float64(idx)) / (s.gamma + 1)
+}
+
+// collapse enforces maxBuckets by folding the lowest-index bucket into its
+// nearest higher neighbour until the cap holds. Sorting the indices keeps
+// the operation deterministic; collapsing low buckets first preserves tail
+// (p99) accuracy at the cost of resolution near zero.
+func (s *Quantile) collapse() {
+	if len(s.buckets) <= s.maxBuckets {
+		return
+	}
+	s.lastX, s.lastIdx, s.lastB = 0, 0, nil // the cached bucket may be folded away
+	idxs := make([]int, 0, len(s.buckets))
+	for i := range s.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for len(idxs) > s.maxBuckets {
+		lo, next := s.buckets[idxs[0]], s.buckets[idxs[1]]
+		next.Count += lo.Count
+		if lo.Ex.better(next.Ex) {
+			next.Ex = lo.Ex
+		}
+		delete(s.buckets, idxs[0])
+		idxs = idxs[1:]
+	}
+}
+
+// Quantile returns the q-quantile estimate (q clamped to [0,1]); NaN when
+// empty. The estimate is within relative error α of the true quantile as
+// long as the collapse path has not merged the target bucket.
+func (s *Quantile) Quantile(q float64) float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := s.zero
+	if cum >= target {
+		// The zero bucket holds values ≤ minIndexable; report them as 0.
+		return 0
+	}
+	for _, b := range s.bucketsAsc() {
+		cum += b.Count
+		if cum >= target {
+			return s.value(b.Index)
+		}
+	}
+	return s.value(s.maxIndex()) // unreachable: counts always sum to n
+}
+
+// bucketsAsc returns the buckets sorted by index — the deterministic
+// iteration every consumer (quantile walk, exposition) uses. Callers hold mu.
+func (s *Quantile) bucketsAsc() []QBucket {
+	out := make([]QBucket, 0, len(s.buckets))
+	for _, b := range s.buckets {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// maxIndex returns the highest occupied bucket index (0 when none).
+func (s *Quantile) maxIndex() int {
+	first, max := true, 0
+	for i := range s.buckets {
+		if first || i > max {
+			max = i
+			first = false
+		}
+	}
+	return max
+}
+
+// Buckets returns the occupied buckets sorted ascending by index, plus the
+// zero-bucket count and its exemplar. The slices are copies.
+func (s *Quantile) Buckets() (buckets []QBucket, zero int64, zeroEx Exemplar) {
+	if s == nil {
+		return nil, 0, Exemplar{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bucketsAsc(), s.zero, s.zeroEx
+}
+
+// ZeroExemplar returns the exemplar of the zero bucket.
+func (s *Quantile) ZeroExemplar() Exemplar {
+	if s == nil {
+		return Exemplar{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.zeroEx
+}
+
+// ExemplarNear returns the exemplar of the bucket holding the q-quantile —
+// the trace of a request that actually experienced roughly that value.
+// ok=false when the sketch is empty or the bucket carries no exemplar.
+func (s *Quantile) ExemplarNear(q float64) (Exemplar, bool) {
+	if s == nil {
+		return Exemplar{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Exemplar{}, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := s.zero
+	if cum >= target {
+		return s.zeroEx, s.zeroEx.Valid()
+	}
+	for _, b := range s.bucketsAsc() {
+		cum += b.Count
+		if cum >= target {
+			return b.Ex, b.Ex.Valid()
+		}
+	}
+	return Exemplar{}, false
+}
+
+// Merge folds o into s bucket-wise — the exact union sketch (counts and
+// quantile walks agree with a single-stream sketch over the concatenated
+// observations, whatever the interleaving; only the float Sum is
+// order-sensitive in its last bits). Sketches must share alpha to merge
+// meaningfully; differing geometries are folded by re-indexing o's bucket
+// midpoints, an α-bounded approximation.
+func (s *Quantile) Merge(o *Quantile) {
+	if s == nil || o == nil {
+		return
+	}
+	// Snapshot the donor under its own lock first; the two locks are never
+	// held together, so cross merges cannot deadlock.
+	ov := o.mergeView()
+	if ov.n == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += ov.n
+	s.sum += ov.sum
+	s.min = math.Min(s.min, ov.min)
+	s.max = math.Max(s.max, ov.max)
+	s.zero += ov.zero
+	if ov.zeroEx.better(s.zeroEx) {
+		s.zeroEx = ov.zeroEx
+	}
+	sameGeometry := o.gamma == s.gamma // geometry is immutable after construction
+	for _, ob := range ov.buckets {
+		idx := ob.Index
+		if !sameGeometry {
+			idx = s.index(o.value(ob.Index))
+		}
+		b := s.buckets[idx]
+		if b == nil {
+			b = &QBucket{Index: idx}
+			s.buckets[idx] = b
+		}
+		b.Count += ob.Count
+		if ob.Ex.better(b.Ex) {
+			b.Ex = ob.Ex
+		}
+	}
+	s.collapse()
+}
+
+// quantileView is the donor snapshot Merge works from.
+type quantileView struct {
+	n        int64
+	sum      float64
+	min, max float64
+	zero     int64
+	zeroEx   Exemplar
+	buckets  []QBucket
+}
+
+// mergeView snapshots the fields Merge needs under the donor's lock.
+func (s *Quantile) mergeView() quantileView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return quantileView{
+		n: s.n, sum: s.sum, min: s.min, max: s.max,
+		zero: s.zero, zeroEx: s.zeroEx, buckets: s.bucketsAsc(),
+	}
+}
+
+// Reset clears the sketch for reuse (per-segment worker sketches).
+func (s *Quantile) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 0
+	s.sum = 0
+	s.zero = 0
+	s.zeroEx = Exemplar{}
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	s.lastX, s.lastIdx, s.lastB = 0, 0, nil
+	clear(s.buckets)
+}

@@ -1,0 +1,296 @@
+package sketch
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is one tracked key of a Space-Saving summary. Count overestimates
+// the key's true frequency by at most Err: true ∈ [Count-Err, Count].
+type Entry struct {
+	Key   uint64   `json:"key"`
+	Count int64    `json:"count"`
+	Err   int64    `json:"err"`
+	Ex    Exemplar `json:"exemplar"`
+}
+
+// node is one tracked entry plus its position in the eviction heap, so an
+// update can re-sift the entry in O(log k) without searching for it.
+type node struct {
+	e   Entry
+	pos int
+}
+
+// SpaceSaving is the Metwally et al. top-K frequency summary: it tracks at
+// most k keys; an untracked key evicts the minimum-count entry and inherits
+// its count as overestimation error. For a stream of total weight N the
+// per-entry error is bounded by N/k, and every key with true frequency
+// above N/k is guaranteed to be tracked.
+//
+// Determinism: the eviction victim is the minimum by (count, key) — a total
+// order — so identical streams produce identical summaries. Note that the
+// summary is a function of stream *order* once eviction starts: per-shard
+// sketches merged with Merge agree with a single-stream sketch exactly
+// while no eviction occurred, and within the error bounds after.
+//
+// The tracked set is indexed two ways: a map for O(1) key lookup and an
+// intrusive min-heap ordered by the (count, key) total order, whose root is
+// the unique eviction victim. Counts only grow, so an update is one
+// sift-down — O(log k) instead of the O(k) min scan, which is what keeps
+// the eviction-heavy tail of a Zipf stream off the hot-path profile.
+//
+// The summary self-synchronizes: every method is safe for concurrent use.
+// The single-owner shard paths pay only an uncontended lock per update.
+type SpaceSaving struct {
+	k  int
+	mu sync.Mutex
+	n  int64
+	m  map[uint64]*node
+	h  []*node // min-heap by (count, key); h[0] is the eviction victim
+}
+
+// NewSpaceSaving returns a summary tracking at most k keys (k < 1 selects 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, m: make(map[uint64]*node, k), h: make([]*node, 0, k)}
+}
+
+// K returns the entry capacity (0 on nil).
+func (s *SpaceSaving) K() int {
+	if s == nil {
+		return 0
+	}
+	return s.k
+}
+
+// N returns the total stream weight observed (0 on nil).
+func (s *SpaceSaving) N() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Len returns the number of tracked keys (0 on nil).
+func (s *SpaceSaving) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Update adds weight inc to key. Non-positive increments are ignored.
+func (s *SpaceSaving) Update(key uint64, inc int64) { s.UpdateEx(key, inc, Exemplar{}) }
+
+// UpdateEx is Update carrying an exemplar for the contributing request.
+func (s *SpaceSaving) UpdateEx(key uint64, inc int64, ex Exemplar) {
+	s.UpdateEvict(key, inc, ex)
+}
+
+// UpdateEvict is UpdateEx additionally reporting the key it evicted to make
+// room (ok=false when nothing was evicted), so callers keeping per-key side
+// state (the shard's display-name table) can drop the victim's entry
+// immediately instead of sweeping for stale keys later.
+func (s *SpaceSaving) UpdateEvict(key uint64, inc int64, ex Exemplar) (evicted uint64, ok bool) {
+	if s == nil || inc <= 0 {
+		return 0, false
+	}
+	s.mu.Lock()
+	s.n += inc
+	if nd, found := s.m[key]; found {
+		nd.e.Count += inc
+		if ex.better(nd.e.Ex) {
+			nd.e.Ex = ex
+		}
+		// The count grew, so the entry can only move away from the root.
+		s.siftDown(nd.pos)
+		s.mu.Unlock()
+		return 0, false
+	}
+	if len(s.m) < s.k {
+		nd := &node{e: Entry{Key: key, Count: inc, Ex: ex}, pos: len(s.h)}
+		s.m[key] = nd
+		s.h = append(s.h, nd)
+		s.siftUp(nd.pos)
+		s.mu.Unlock()
+		return 0, false
+	}
+	// The newcomer inherits the victim's count as its overestimation bound
+	// (the classic Space-Saving replacement); its exemplar dies with it. The
+	// victim is the heap root — the unique minimum by (count, key).
+	v := s.h[0]
+	evicted = v.e.Key
+	delete(s.m, evicted)
+	v.e = Entry{Key: key, Count: v.e.Count + inc, Err: v.e.Count, Ex: ex}
+	s.m[key] = v
+	s.siftDown(0)
+	s.mu.Unlock()
+	return evicted, true
+}
+
+// entryGreater is the (count desc, key asc) total order shared by Top and
+// Merge. Taking entries by value keeps the comparison free of shared state.
+func entryGreater(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}
+
+// entryLess is entryGreater reversed: the heap order, with h[0] minimal.
+func entryLess(a, b *node) bool {
+	if a.e.Count != b.e.Count {
+		return a.e.Count < b.e.Count
+	}
+	return a.e.Key < b.e.Key
+}
+
+// siftUp restores the heap invariant after an insertion at i. Callers hold mu.
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(s.h[i], s.h[p]) {
+			return
+		}
+		s.h[i], s.h[p] = s.h[p], s.h[i]
+		s.h[i].pos, s.h[p].pos = i, p
+		i = p
+	}
+}
+
+// siftDown restores the heap invariant after the entry at i grew (or was
+// replaced). Callers hold mu.
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && entryLess(s.h[l], s.h[min]) {
+			min = l
+		}
+		if r < n && entryLess(s.h[r], s.h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.h[i], s.h[min] = s.h[min], s.h[i]
+		s.h[i].pos, s.h[min].pos = i, min
+		i = min
+	}
+}
+
+// minCount is the smallest tracked count when the summary is full — the
+// upper bound on any untracked key's true frequency — and 0 otherwise
+// (an unfull summary tracks every key it has seen exactly). Callers hold mu.
+func (s *SpaceSaving) minCount() int64 {
+	if s == nil || len(s.m) < s.k {
+		return 0
+	}
+	return s.h[0].e.Count
+}
+
+// Top returns the tracked entries ordered by (count desc, key asc) — a
+// deterministic total order. The slice is a copy; mutating it does not
+// affect the summary.
+func (s *SpaceSaving) Top() []Entry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.h))
+	for _, nd := range s.h {
+		out = append(out, nd.e)
+	}
+	sort.Slice(out, func(i, j int) bool { return entryGreater(out[i], out[j]) })
+	return out
+}
+
+// Merge folds o into s following the mergeable-summaries construction: for
+// every key tracked on either side, the merged count (and error) is the sum
+// of the per-side counts, with a side that does not track the key
+// contributing its minimum tracked count — the tightest upper bound it can
+// state for an unseen key. The k largest merged entries by (count desc,
+// key asc) survive, so merge(a,b) and merge(b,a) produce identical
+// summaries. The receiver keeps its own capacity; o is not modified.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if s == nil || o == nil {
+		return
+	}
+	// Snapshot the donor under its own lock first; the two locks are never
+	// held together, so cross merges cannot deadlock.
+	on, om, minO := o.mergeView()
+	if on == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	minS := s.minCount()
+	merged := make([]Entry, 0, len(s.m)+len(om))
+	for _, nd := range s.h {
+		me := nd.e
+		if oe, ok := om[me.Key]; ok {
+			me.Count += oe.Count
+			me.Err += oe.Err
+			if oe.Ex.better(me.Ex) {
+				me.Ex = oe.Ex
+			}
+		} else {
+			me.Count += minO
+			me.Err += minO
+		}
+		merged = append(merged, me)
+	}
+	for key, oe := range om {
+		if _, ok := s.m[key]; ok {
+			continue
+		}
+		merged = append(merged, Entry{Key: key, Count: oe.Count + minS, Err: oe.Err + minS, Ex: oe.Ex})
+	}
+	sort.Slice(merged, func(i, j int) bool { return entryGreater(merged[i], merged[j]) })
+	if len(merged) > s.k {
+		merged = merged[:s.k]
+	}
+	s.m = make(map[uint64]*node, len(merged))
+	s.h = s.h[:0]
+	for i := range merged {
+		nd := &node{e: merged[i], pos: len(s.h)}
+		s.m[nd.e.Key] = nd
+		s.h = append(s.h, nd)
+	}
+	for i := len(s.h)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.n += on
+}
+
+// mergeView snapshots the fields Merge needs from a donor: total weight, an
+// entry copy, and the minimum tracked count.
+func (s *SpaceSaving) mergeView() (n int64, m map[uint64]Entry, min int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m = make(map[uint64]Entry, len(s.h))
+	for _, nd := range s.h {
+		m[nd.e.Key] = nd.e
+	}
+	return s.n, m, s.minCount()
+}
+
+// Reset clears the summary for reuse (per-segment worker sketches).
+func (s *SpaceSaving) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 0
+	clear(s.m)
+	s.h = s.h[:0]
+}

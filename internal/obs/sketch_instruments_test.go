@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"starcdn/internal/obs/sketch"
+)
+
+// TestTopKExposition: a TopK instrument emits bounded-cardinality rank rows
+// plus a samples counter on the Prometheus exposition, and the full keyed
+// entry list on the JSON exposition.
+func TestTopKExposition(t *testing.T) {
+	r := NewRegistry()
+	tk := r.TopK("starcdn_popularity_objects", 4, L("pipeline", "sim"))
+	for i := 0; i < 10; i++ {
+		tk.Observe("obj-1", 1)
+	}
+	tk.Observe("obj-2", 3)
+	tk.Observe("obj-3", 1)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE starcdn_popularity_objects_topk gauge",
+		"# TYPE starcdn_popularity_objects_samples counter",
+		`starcdn_popularity_objects_topk{pipeline="sim",rank="1"} 10`,
+		`starcdn_popularity_objects_topk{pipeline="sim",rank="2"} 3`,
+		`starcdn_popularity_objects_topk{pipeline="sim",rank="3"} 1`,
+		`starcdn_popularity_objects_samples{pipeline="sim"} 14`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q\n%s", want, out)
+		}
+	}
+	// Object keys must never become label values on the Prometheus side.
+	if strings.Contains(out, "obj-1") {
+		t.Errorf("object key leaked into prometheus exposition:\n%s", out)
+	}
+
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]struct {
+		Kind    string      `json:"kind"`
+		N       int64       `json:"n"`
+		Entries []TopKEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(jb.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON exposition: %v\n%s", err, jb.String())
+	}
+	s, ok := doc[`starcdn_popularity_objects{pipeline="sim"}`]
+	if !ok {
+		t.Fatalf("JSON exposition missing topk series: %s", jb.String())
+	}
+	if s.Kind != "topk" || s.N != 14 || len(s.Entries) != 3 {
+		t.Fatalf("topk JSON = kind=%q n=%d entries=%d, want topk/14/3", s.Kind, s.N, len(s.Entries))
+	}
+	if s.Entries[0].Key != "obj-1" || s.Entries[0].Count != 10 {
+		t.Errorf("rank-1 entry = %+v, want obj-1 count 10", s.Entries[0])
+	}
+}
+
+// TestTopKLabelEscaping: hostile label values on the new instrument kinds
+// render escaped on the Prometheus exposition, exactly like the scalar
+// kinds, and the derived rank/q series keys stay parseable.
+func TestTopKLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "a\nb\"c\\d"
+	r.TopK("starcdn_popularity_objects", 2, L("path", hostile)).Observe("k", 1)
+	sk := r.Sketch("starcdn_sketch_serve_latency_ms", 0, L("path", hostile))
+	sk.Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const escaped = `path="a\nb\"c\\d"`
+	out := b.String()
+	for _, want := range []string{
+		`starcdn_popularity_objects_topk{` + escaped + `,rank="1"} 1`,
+		`starcdn_popularity_objects_samples{` + escaped + `} 1`,
+		`starcdn_sketch_serve_latency_ms_q{` + escaped + `,q="0.5"} `,
+		`starcdn_sketch_serve_latency_ms_samples{` + escaped + `} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Contains(l, "path=") && strings.Contains(l, "a\nb") {
+			t.Errorf("raw newline broke sample line %q", l)
+		}
+	}
+}
+
+// TestSketchEmptyExposition: a sketch that never observed anything exposes
+// its samples counter at zero, no quantile rows (NaN is not a valid
+// Prometheus sample value here), and null min/max on the JSON side — and an
+// empty top-K exposes no rank rows.
+func TestSketchEmptyExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Sketch("starcdn_sketch_serve_latency_ms", 0)
+	r.TopK("starcdn_popularity_objects", 4)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "_q{") {
+		t.Errorf("empty sketch emitted quantile rows:\n%s", out)
+	}
+	if strings.Contains(out, "_topk{") {
+		t.Errorf("empty topk emitted rank rows:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into prometheus exposition:\n%s", out)
+	}
+	for _, want := range []string{
+		"starcdn_sketch_serve_latency_ms_samples 0",
+		"starcdn_popularity_objects_samples 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]struct {
+		Kind  string   `json:"kind"`
+		Count int64    `json:"count"`
+		Min   *float64 `json:"min"`
+		Max   *float64 `json:"max"`
+	}
+	if err := json.Unmarshal(jb.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON exposition: %v\n%s", err, jb.String())
+	}
+	sk := doc["starcdn_sketch_serve_latency_ms"]
+	if sk.Kind != "sketch" || sk.Count != 0 || sk.Min != nil || sk.Max != nil {
+		t.Errorf("empty sketch JSON = %+v, want count 0 and null min/max", sk)
+	}
+}
+
+// TestTopKEvictionChurnAtCapacity: with capacity far below the key space,
+// the instrument keeps serving rank rows whose error bounds hold (true count
+// within [Count-Err, Count]) and whose total stream weight N stays exact.
+func TestTopKEvictionChurnAtCapacity(t *testing.T) {
+	r := NewRegistry()
+	tk := r.TopK("starcdn_popularity_objects", 8)
+	// 200 distinct keys; key i observed i times (total 20100). The heavy
+	// tail (193..200 observations) must survive the churn of 192 lighter
+	// keys cycling through the 8 tracked slots.
+	for count := 1; count <= 200; count++ {
+		key := fmt.Sprintf("key-%03d", count)
+		for j := 0; j < count; j++ {
+			tk.Observe(key, 1)
+		}
+	}
+	if got := tk.N(); got != 20100 {
+		t.Fatalf("N = %d, want 20100", got)
+	}
+	top := tk.Top()
+	if len(top) != 8 {
+		t.Fatalf("len(top) = %d, want 8", len(top))
+	}
+	for _, e := range top {
+		var truth int64
+		if _, err := fmt.Sscanf(e.Key, "key-%d", &truth); err != nil {
+			t.Fatalf("unexpected key %q", e.Key)
+		}
+		if e.Count < truth || e.Count-e.Err > truth {
+			t.Errorf("%s: truth %d outside [%d, %d]", e.Key, truth, e.Count-e.Err, e.Count)
+		}
+		if e.Refined > e.Count {
+			t.Errorf("%s: refined %d exceeds count %d", e.Key, e.Refined, e.Count)
+		}
+	}
+	// The single heaviest key (guaranteed tracked: 200 > N/k) ranks first.
+	if top[0].Key != "key-200" {
+		t.Errorf("rank-1 key = %s, want key-200", top[0].Key)
+	}
+	// Exposition stays bounded at promTopKRanks rows even at capacity 8.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "starcdn_popularity_objects_topk{"); n != promTopKRanks {
+		t.Errorf("%d rank rows exposed, want %d", n, promTopKRanks)
+	}
+}
+
+// TestInstrumentMergeCommutes: merging two shards into an instrument in
+// either order yields identical snapshots — entries, counts, error bounds,
+// exemplars, and quantiles. The merge operators' total-order tie-breaks are
+// what the concurrent replayer's determinism rests on.
+func TestInstrumentMergeCommutes(t *testing.T) {
+	buildShards := func() (*TopKShard, *TopKShard) {
+		a, b := NewTopKShard(4), NewTopKShard(4)
+		for i := 0; i < 5; i++ {
+			a.ObserveEx("x", 1, sketch.Exemplar{TraceID: "ta", Req: int64(i), Value: 1})
+		}
+		a.Observe("y", 2)
+		b.ObserveEx("x", 3, sketch.Exemplar{TraceID: "tb", Req: 9, Value: 2})
+		b.Observe("z", 4)
+		return a, b
+	}
+
+	ab := NewRegistry().TopK("starcdn_popularity_objects", 4)
+	a1, b1 := buildShards()
+	ab.MergeShard(a1)
+	ab.MergeShard(b1)
+
+	ba := NewRegistry().TopK("starcdn_popularity_objects", 4)
+	a2, b2 := buildShards()
+	ba.MergeShard(b2)
+	ba.MergeShard(a2)
+
+	if ab.N() != ba.N() {
+		t.Errorf("merged N differs: %d vs %d", ab.N(), ba.N())
+	}
+	if !reflect.DeepEqual(ab.Top(), ba.Top()) {
+		t.Errorf("merge order changed top-K:\nab: %+v\nba: %+v", ab.Top(), ba.Top())
+	}
+	// The max-Req exemplar wins regardless of merge order.
+	if ex := ab.Top()[0].Exemplar; ex.TraceID != "tb" || ex.Req != 9 {
+		t.Errorf("rank-1 exemplar = %+v, want tb/9", ab.Top()[0].Exemplar)
+	}
+
+	// Quantile sketches likewise.
+	mkQ := func() (*sketch.Quantile, *sketch.Quantile) {
+		qa, qb := sketch.NewQuantile(0, 0), sketch.NewQuantile(0, 0)
+		for i := 1; i <= 50; i++ {
+			qa.Observe(float64(i))
+			qb.Observe(float64(i) * 10)
+		}
+		return qa, qb
+	}
+	sab := NewRegistry().Sketch("starcdn_sketch_serve_latency_ms", 0)
+	qa1, qb1 := mkQ()
+	sab.MergeQuantile(qa1)
+	sab.MergeQuantile(qb1)
+	sba := NewRegistry().Sketch("starcdn_sketch_serve_latency_ms", 0)
+	qa2, qb2 := mkQ()
+	sba.MergeQuantile(qb2)
+	sba.MergeQuantile(qa2)
+	if sab.Count() != sba.Count() || sab.Count() != 100 {
+		t.Fatalf("merged counts = %d vs %d, want 100", sab.Count(), sba.Count())
+	}
+	for _, q := range SketchQuantiles {
+		va, vb := sab.Quantile(q), sba.Quantile(q)
+		if va != vb {
+			t.Errorf("p%g differs by merge order: %v vs %v", q*100, va, vb)
+		}
+	}
+}
+
+// TestPopularityEndpoint: /popularity.json serves the full keyed top-K and
+// quantile detail with ?k and ?match filters.
+func TestPopularityEndpoint(t *testing.T) {
+	r := NewRegistry()
+	tk := r.TopK("starcdn_popularity_objects", 8)
+	tk.ObserveEx("obj-1", 5, sketch.Exemplar{TraceID: "deadbeef", Req: 3, Value: 100})
+	tk.Observe("obj-2", 2)
+	tk.Observe("obj-3", 1)
+	sk := r.Sketch("starcdn_sketch_serve_latency_ms", 0)
+	sk.Observe(4)
+	sk.Observe(40)
+	r.Counter("starcdn_sim_served_total").Inc() // scalar kinds must not appear
+
+	get := func(q string) map[string]any {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/popularity.json"+q, nil)
+		w := httptest.NewRecorder()
+		handlePopularity(r)(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", q, w.Code)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: bad JSON: %v", q, err)
+		}
+		return body
+	}
+
+	body := get("")
+	series := body["series"].([]any)
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2 (topk + sketch): %v", len(series), body)
+	}
+	var sawTopK, sawSketch bool
+	for _, sv := range series {
+		s := sv.(map[string]any)
+		switch s["kind"] {
+		case "topk":
+			sawTopK = true
+			entries := s["entries"].([]any)
+			if len(entries) != 3 {
+				t.Errorf("topk entries = %d, want 3", len(entries))
+			}
+			first := entries[0].(map[string]any)
+			if first["key"] != "obj-1" {
+				t.Errorf("rank-1 key = %v", first["key"])
+			}
+			if first["exemplar"].(map[string]any)["trace"] != "deadbeef" {
+				t.Errorf("rank-1 exemplar = %v", first["exemplar"])
+			}
+		case "sketch":
+			sawSketch = true
+			if s["count"].(float64) != 2 {
+				t.Errorf("sketch count = %v, want 2", s["count"])
+			}
+		default:
+			t.Errorf("unexpected kind %v on /popularity.json", s["kind"])
+		}
+	}
+	if !sawTopK || !sawSketch {
+		t.Fatalf("missing kinds: topk=%v sketch=%v", sawTopK, sawSketch)
+	}
+
+	// ?k truncates entries; ?match filters series.
+	body = get("?k=1&match=popularity")
+	series = body["series"].([]any)
+	if len(series) != 1 {
+		t.Fatalf("match filter left %d series, want 1", len(series))
+	}
+	if entries := series[0].(map[string]any)["entries"].([]any); len(entries) != 1 {
+		t.Errorf("?k=1 left %d entries", len(entries))
+	}
+}
+
+// TestRecorderTopKSketchRings: the flight recorder fans a topk instrument
+// out into per-rank rings plus a samples ring, and a sketch into per-quantile
+// rings plus samples, so dashboards can plot hot-set churn over time.
+func TestRecorderTopKSketchRings(t *testing.T) {
+	r := NewRegistry()
+	rec := NewRecorder(r, RecorderOptions{EpochSec: 1})
+	tk := r.TopK("starcdn_popularity_objects", 4)
+	sk := r.Sketch("starcdn_sketch_serve_latency_ms", 0)
+	for i := 1; i <= 3; i++ {
+		tk.Observe("hot", 2)
+		tk.Observe("warm", 1)
+		sk.Observe(float64(10 * i))
+		rec.TickAt(float64(i))
+	}
+	keys := rec.Series()
+	wantKeys := []string{
+		`starcdn_popularity_objects_topk{rank="1"}`,
+		`starcdn_popularity_objects_topk{rank="2"}`,
+		"starcdn_popularity_objects_samples",
+		`starcdn_sketch_serve_latency_ms_q{q="0.5"}`,
+		`starcdn_sketch_serve_latency_ms_q{q="0.99"}`,
+		"starcdn_sketch_serve_latency_ms_samples",
+	}
+	have := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		have[k] = true
+	}
+	for _, k := range wantKeys {
+		if !have[k] {
+			t.Errorf("recorder missing ring %q (have %v)", k, keys)
+		}
+	}
+	// The rank-1 ring carries the hot key's running count.
+	pts := rec.Window(`starcdn_popularity_objects_topk{rank="1"}`, 0)
+	if len(pts) != 3 || pts[2].V != 6 {
+		t.Errorf("rank-1 ring = %+v, want 3 points ending at 6", pts)
+	}
+	// Sample rings are cumulative and monotone.
+	if d, ok := rec.Delta("starcdn_popularity_objects_samples", 0); !ok || d != 9 {
+		t.Errorf("samples delta = %v (ok=%v), want 9", d, ok)
+	}
+	// Unranked slots (rank 3, 4) record NaN, which the JSON handler must
+	// render as nulls, not 500s.
+	req := httptest.NewRequest(http.MethodGet, "/timeseries.json?match=rank", nil)
+	w := httptest.NewRecorder()
+	rec.handleTimeseries(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("timeseries status = %d", w.Code)
+	}
+	var body struct {
+		Series map[string]struct {
+			V []*float64 `json:"v"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	r3 := body.Series[`starcdn_popularity_objects_topk{rank="3"}`]
+	if len(r3.V) != 3 {
+		t.Fatalf("rank-3 ring = %+v, want 3 points", r3)
+	}
+	for i, v := range r3.V {
+		if v != nil {
+			t.Errorf("rank-3 point %d = %v, want null (no third entry)", i, *v)
+		}
+	}
+}

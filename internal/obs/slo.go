@@ -17,6 +17,13 @@ import (
 //     histogram _count series) and the objective is "ΔGood/ΔTotal over the
 //     window stays >= MinRatio" — e.g. "hit rate >= 60% over 1 min".
 //
+// A quantile objective with Sketch set targets a recorded quantile-sketch
+// series instead of a histogram: the engine reads the sketch's recorded
+// `<name>_q{q="..."}` ring, so Quantile must be one of SketchQuantiles.
+// Sketch quantiles are running (whole-stream) values with a relative-error
+// guarantee, where histogram quantiles are windowed with fixed-bucket
+// interpolation error — pick per objective.
+//
 // Epochs whose window holds no samples are skipped (no breach, no budget
 // burn): an idle system is not failing its objectives.
 type SLO struct {
@@ -24,9 +31,12 @@ type SLO struct {
 	Name string
 
 	// Quantile objective.
-	Series   string  // recorded histogram key, e.g. `starcdn_sim_latency_ms`
+	Series   string  // recorded histogram (or sketch) key, e.g. `starcdn_sim_latency_ms`
 	Quantile float64 // e.g. 0.99
 	MaxValue float64 // inclusive upper bound on the windowed quantile
+	// Sketch marks Series as a quantile-sketch series rather than a
+	// histogram; Quantile must then be one of SketchQuantiles.
+	Sketch bool
 
 	// Ratio objective.
 	Good     string  // cumulative "good events" series key
@@ -62,6 +72,19 @@ func (s SLO) Validate() error {
 	case s.Series != "":
 		if s.Quantile <= 0 || s.Quantile > 1 {
 			return fmt.Errorf("obs: SLO %s quantile %v outside (0,1]", s.Name, s.Quantile)
+		}
+		if s.Sketch {
+			found := false
+			for _, q := range SketchQuantiles {
+				if q == s.Quantile {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("obs: SLO %s targets sketch quantile %v, but only %v are recorded",
+					s.Name, s.Quantile, SketchQuantiles)
+			}
 		}
 	default:
 		return fmt.Errorf("obs: SLO %s names no objective series", s.Name)
@@ -196,6 +219,9 @@ func (s SLO) Describe() string {
 	if s.ratio() {
 		return fmt.Sprintf("%s/%s >= %g over %gs", s.Good, s.Total, s.MinRatio, s.WindowSec)
 	}
+	if s.Sketch {
+		return fmt.Sprintf("sketch p%g(%s) <= %g", s.Quantile*100, s.Series, s.MaxValue)
+	}
 	return fmt.Sprintf("p%g(%s) <= %g over %gs", s.Quantile*100, s.Series, s.MaxValue, s.WindowSec)
 }
 
@@ -294,6 +320,20 @@ func (e *SLOEngine) windowValue(s SLO) (float64, bool) {
 		}
 		good, _ := e.rec.Delta(s.Good, s.WindowSec)
 		return good / total, true
+	}
+	if s.Sketch {
+		// The recorder fans a sketch series out into one ring per recorded
+		// quantile; the objective reads that ring's freshest in-window value
+		// (the running quantile as of the latest epoch).
+		name, labels := splitSeriesKey(s.Series)
+		key := derivedRingKey(name+"_q", labels, "q", formatFloat(s.Quantile))
+		pts := e.rec.Window(key, s.WindowSec)
+		for i := len(pts) - 1; i >= 0; i-- {
+			if !math.IsNaN(pts[i].V) {
+				return pts[i].V, true
+			}
+		}
+		return 0, false
 	}
 	bounds, delta, ok := e.rec.HistogramWindow(s.Series, s.WindowSec)
 	if !ok {

@@ -87,6 +87,10 @@ func (r *Recorder) handleTimeseries(w http.ResponseWriter, req *http.Request) {
 
 // transformPoints converts raw samples to per-epoch deltas or per-second
 // rates. The first point is dropped (no predecessor to difference against).
+// A decrease between adjacent epochs is treated as a counter reset per the
+// increase() convention (Recorder.Delta documents the full rationale): the
+// post-reset value counts as that epoch's accrual, so a killed-and-revived
+// server never plots a negative delta or rate.
 func transformPoints(pts []Point, form string) []Point {
 	if len(pts) < 2 {
 		return nil
@@ -94,6 +98,9 @@ func transformPoints(pts []Point, form string) []Point {
 	out := make([]Point, 0, len(pts)-1)
 	for i := 1; i < len(pts); i++ {
 		d := pts[i].V - pts[i-1].V
+		if pts[i].V < pts[i-1].V {
+			d = pts[i].V
+		}
 		if form == "rate" {
 			dt := pts[i].T - pts[i-1].T
 			if dt > 0 {

@@ -1,6 +1,7 @@
 package replayer
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -61,11 +62,25 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 	if err != nil {
 		return total, err
 	}
-	ro := newReplayObs(opts.Obs)
+	ro := newReplayObs(opts.Obs, opts.Sketches)
 
 	// Per-location clients persist across segments so connection pools and
 	// their retry state behave like long-lived terminal stacks.
 	clients := make([]*Client, len(users))
+	// Per-location sketch shards: each worker records into its own shard
+	// without cross-worker coordination (the underlying summaries self-lock,
+	// so a single owner pays only uncontended locks), and the segment barrier
+	// below merges them into the shared instruments in location order — a
+	// deterministic merge schedule, so the concurrent summaries are
+	// independent of goroutine interleaving (and, below the eviction
+	// threshold, identical to a sequential replay's).
+	var shards []*popShard
+	if ro.sketching() {
+		shards = make([]*popShard, len(users))
+		for i := range shards {
+			shards[i] = newPopShard()
+		}
+	}
 	defer func() {
 		for _, cl := range clients {
 			if cl != nil {
@@ -168,12 +183,24 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 				defer wg.Done()
 				client := clients[loc]
 				m := &meters[loc]
+				var ps *popShard
+				if shards != nil {
+					ps = shards[loc]
+				}
 				for _, j := range perLoc[loc] {
 					rt := newReqTrace(opts, j.index, j.req, j.first)
+					// BucketOf is a pure hash (safe to share across workers);
+					// shed and degraded paths feed the bucket top-K exactly
+					// like the sequential pipeline.
+					bucket := -1
+					if ps != nil && opts.Hashing {
+						bucket = int(h.BucketOf(j.req.Object))
+					}
 					if j.shedReject {
 						rt.addHop(obs.Hop{Kind: "shed", Sat: int(j.first)})
 						finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
 						ro.record(sim.SourceShed, j.req.Size)
+						ps.record(j.req, j.index, -1, bucket, math.NaN(), rt.traceID())
 						m.Record(j.req.Size, false)
 						opts.Shedder.Observe(shed.Signal{Action: shed.ActionRejectSession})
 						continue
@@ -182,6 +209,7 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 						rt.addHop(obs.Hop{Kind: "shed", Sat: int(j.home)})
 						finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
 						ro.record(sim.SourceShed, j.req.Size)
+						ps.record(j.req, j.index, j.home, bucket, math.NaN(), rt.traceID())
 						m.Record(j.req.Size, false)
 						opts.Shedder.Observe(shed.Signal{Action: shed.ActionHitOnly})
 						continue
@@ -190,6 +218,7 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 						rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
 						finishReqTrace(opts.Tracer, rt, sim.SourceGround, time.Time{})
 						ro.record(sim.SourceGround, j.req.Size)
+						ps.record(j.req, j.index, -1, bucket, math.NaN(), rt.traceID())
 						m.Record(j.req.Size, false)
 						opts.Shedder.Observe(shed.Signal{Action: shed.ActionDirectGround})
 						continue
@@ -199,6 +228,7 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 						rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
 						finishReqTrace(opts.Tracer, rt, src, time.Time{})
 						ro.record(src, j.req.Size)
+						ps.record(j.req, j.index, -1, bucket, math.NaN(), rt.traceID())
 						m.Record(j.req.Size, false)
 						if opts.Shedder != nil {
 							opts.Shedder.Observe(shed.Signal{Degraded: src == sim.SourceGround})
@@ -214,6 +244,7 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 					}
 					finishReqTrace(opts.Tracer, rt, src, reqStart)
 					ro.record(src, j.req.Size)
+					ps.record(j.req, j.index, j.home, bucket, wallMs(reqStart), rt.traceID())
 					m.Record(j.req.Size, src.Hit())
 					if opts.Shedder != nil {
 						opts.Shedder.Observe(sig)
@@ -224,6 +255,16 @@ func ReplayConcurrent(h *core.HashScheme, cluster *Cluster, users []geo.Point, t
 		wg.Wait()
 		if runErr != nil {
 			return total, runErr
+		}
+		// Segment barrier: fold every worker's sketch shard into the shared
+		// instruments in location order (a fixed merge schedule — the
+		// summaries cannot depend on which worker finished first), then reset
+		// the shards for the next segment.
+		if ro.sketching() {
+			for _, ps := range shards {
+				ro.pop.mergeShard(ps)
+				ps.reset()
+			}
 		}
 		start = end
 	}

@@ -2,6 +2,7 @@ package replayer
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"starcdn/internal/cache"
@@ -210,5 +211,64 @@ func TestReplayConcurrentObsRace(t *testing.T) {
 			t.Fatalf("request %d traced twice", spans[i].Req)
 		}
 		seen[spans[i].Req] = true
+	}
+}
+
+// TestReplayRecorderMonotoneDeltas: a flight recorder sampling on short wall
+// epochs while chaos kills and revives a server mid-epoch must never report a
+// negative windowed delta for any cumulative series — the recorder's
+// increase() convention clamps across restarts (obs.Recorder.Delta), and the
+// cluster carries meters across kill/revive so totals keep accruing.
+func TestReplayRecorderMonotoneDeltas(t *testing.T) {
+	h, users, tr := obsEnv(t, 4000, 37)
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, obs.RecorderOptions{EpochSec: 0.05})
+
+	victim := h.NearestOwner(0, h.BucketOf(tr.Requests[0].Object))
+	mid := tr.Requests[len(tr.Requests)/2].TimeSec
+	end := tr.Requests[len(tr.Requests)-1].TimeSec
+	failures := []sim.FailureEvent{
+		{TimeSec: mid, Sat: victim, Down: true, Transient: true},
+		{TimeSec: (mid + end) / 2, Sat: victim, Down: false},
+	}
+
+	cluster, err := NewClusterOpts(cache.LRU, 32<<20, ServerOptions{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := Replay(h, cluster, users, tr, Options{
+		Hashing: true, Relay: true, Seed: 41, Obs: reg, Recorder: rec,
+		Fault: &FaultPolicy{}, Failures: failures,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.Epochs() == 0 {
+		t.Fatal("recorder captured no epochs")
+	}
+	if got := reg.Counter("starcdn_cluster_kills_total").Value(); got != 1 {
+		t.Fatalf("kills counter = %d, want 1 (fixture did not exercise a kill)", got)
+	}
+	var checked int
+	for _, key := range rec.Series() {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		d, ok := rec.Delta(key, 0)
+		if !ok {
+			continue
+		}
+		checked++
+		if d < 0 {
+			t.Errorf("%s: windowed delta = %v, want non-negative across kill/revive", key, d)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cumulative series recorded")
 	}
 }

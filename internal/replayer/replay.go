@@ -3,6 +3,7 @@ package replayer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"starcdn/internal/cache"
@@ -94,6 +95,17 @@ type Options struct {
 	// cluster's ServerOptions.Obs and here to get server-, client-, and
 	// replay-level series on one exposition.
 	Obs *obs.Registry
+	// Sketches opts in to streaming-sketch telemetry on the Obs registry
+	// (no-op when Obs is nil): the same top-K popularity summaries sim.Run
+	// builds (starcdn_popularity_*, identical names and keys, so a replay
+	// and a sim run of one seed produce identical top-K entries) plus a
+	// wall-clock latency quantile sketch (starcdn_sketch_replay_wall_ms)
+	// over the requests actually served over TCP. Sketch updates never touch
+	// the seeded simulation streams, so results are identical on or off; in
+	// ReplayConcurrent each worker records into a private shard merged at
+	// segment barriers in location order, so the concurrent summaries equal
+	// the sequential ones.
+	Sketches bool
 	// Tracer, when non-nil, emits one JSONL span per sampled request with
 	// wall-clock per-hop latencies measured around the real TCP exchanges.
 	Tracer *obs.Tracer
@@ -305,7 +317,7 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 	// Pooled loopback connections; a close error after a completed replay
 	// cannot invalidate the measured meter.
 	defer func() { _ = client.Close() }()
-	ro := newReplayObs(opts.Obs)
+	ro := newReplayObs(opts.Obs, opts.Sketches)
 	if opts.Recorder != nil {
 		stop := opts.Recorder.StartWall()
 		defer stop()
@@ -328,12 +340,20 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			stage = opts.Shedder.Stage()
 		}
 		rt := newReqTrace(opts, int64(i), r, first)
+		// The bucket key is a pure function of the object (identical to
+		// sim.StarCDN.ObjectBucket), so every path — shed, degraded, served —
+		// feeds the bucket top-K exactly as the sim pipeline does.
+		bucket := -1
+		if ro.sketching() && opts.Hashing {
+			bucket = int(h.BucketOf(r.Object))
+		}
 		if opts.Shedder != nil && first >= 0 && !opts.Shedder.AdmitSession(r.Location, r.TimeSec) {
 			// Stage ≥ 2 turned the session away before any satellite was
 			// contacted, exactly where sim.Run rejects it.
 			rt.addHop(obs.Hop{Kind: "shed", Sat: int(first)})
 			finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
 			ro.record(sim.SourceShed, r.Size)
+			ro.recordPop(r, int64(i), -1, bucket, math.NaN(), rt.traceID())
 			meter.Record(r.Size, false)
 			opts.Shedder.Observe(shed.Signal{Action: shed.ActionRejectSession})
 			continue
@@ -345,6 +365,7 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
 			finishReqTrace(opts.Tracer, rt, src, time.Time{})
 			ro.record(src, r.Size)
+			ro.recordPop(r, int64(i), -1, bucket, math.NaN(), rt.traceID())
 			meter.Record(r.Size, false)
 			if opts.Shedder != nil {
 				// The §3.4 miss-through (not the no-coverage case) is the
@@ -361,6 +382,9 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 				rt.addHop(obs.Hop{Kind: "shed", Sat: int(home)})
 				finishReqTrace(opts.Tracer, rt, sim.SourceShed, time.Time{})
 				ro.record(sim.SourceShed, r.Size)
+				// The owner is charged with the refusal, matching the sim's
+				// ServerSat for the stage-3 remote hits-only path.
+				ro.recordPop(r, int64(i), home, bucket, math.NaN(), rt.traceID())
 				meter.Record(r.Size, false)
 				opts.Shedder.Observe(shed.Signal{Action: shed.ActionHitOnly})
 				continue
@@ -371,6 +395,7 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 			rt.addHop(obs.Hop{Kind: "ground", Sat: -1})
 			finishReqTrace(opts.Tracer, rt, sim.SourceGround, time.Time{})
 			ro.record(sim.SourceGround, r.Size)
+			ro.recordPop(r, int64(i), -1, bucket, math.NaN(), rt.traceID())
 			meter.Record(r.Size, false)
 			opts.Shedder.Observe(shed.Signal{Action: shed.ActionDirectGround})
 			continue
@@ -386,6 +411,7 @@ func Replay(h *core.HashScheme, cluster *Cluster, users []geo.Point, tr *trace.T
 		}
 		finishReqTrace(opts.Tracer, rt, src, reqStart)
 		ro.record(src, r.Size)
+		ro.recordPop(r, int64(i), home, bucket, wallMs(reqStart), rt.traceID())
 		meter.Record(r.Size, src.Hit())
 		if opts.Shedder != nil {
 			opts.Shedder.Observe(sig)
@@ -456,6 +482,15 @@ func (t *reqTrace) cur() *obs.SpanContext {
 	}
 	id := obs.DeriveSpanID(t.hi, t.lo, t.hop)
 	return &obs.SpanContext{TraceHi: t.hi, TraceLo: t.lo, Parent: id, Sampled: true}
+}
+
+// traceID returns the trace identity string ("" when unsampled) — the
+// sketch-exemplar link back to the assembled distributed trace.
+func (t *reqTrace) traceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.span.TraceID
 }
 
 // addHop appends one hop to the underlying span (nil-safe).

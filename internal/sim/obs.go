@@ -3,8 +3,11 @@ package sim
 import (
 	"strconv"
 
+	"starcdn/internal/cache"
 	"starcdn/internal/obs"
+	"starcdn/internal/obs/sketch"
 	"starcdn/internal/orbit"
+	"starcdn/internal/trace"
 )
 
 // runObs holds the pre-resolved obs instruments for one Run. Handles are
@@ -29,6 +32,86 @@ type runObs struct {
 	hits   *obs.Counter
 	reg    *obs.Registry
 	perSat map[orbit.SatID]*satObs
+	// pop is the opt-in streaming-sketch telemetry (Config.Sketches); nil
+	// keeps the metrics-only fast path.
+	pop *popObs
+}
+
+// popObs holds the streaming-sketch instruments of one run: top-K
+// popularity (objects, serving satellites, hash buckets) and quantile
+// latency sketches, all deterministic and mergeable (see internal/obs/
+// sketch). Updates are pure functions of the request stream — no RNG, no
+// wall clock — so enabling them cannot change simulation results, and a
+// sequential TCP replay of the same seed builds identical top-K summaries.
+type popObs struct {
+	objects *obs.TopK
+	sats    *obs.TopK
+	buckets *obs.TopK
+	latency *obs.Sketch
+	perSat  map[orbit.SatID]*obs.Sketch
+	// bucketOf maps an object to its consistent-hash bucket (-1 when the
+	// policy has no bucket structure); nil disables the bucket top-K.
+	bucketOf func(cache.ObjectID) int
+	reg      *obs.Registry
+}
+
+// newPopObs resolves the sketch instruments under the shared popularity/
+// sketch names (the same names the TCP replayer uses, which is what makes
+// cross-pipeline top-K parity a straight series comparison). The top-Ks are
+// keyed by integer identity — the update path never builds a key string;
+// the Pop*Key renderers only run at exposition time for tracked entries.
+func newPopObs(reg *obs.Registry, bucketOf func(cache.ObjectID) int) *popObs {
+	po := &popObs{
+		objects:  reg.TopK("starcdn_popularity_objects", 0),
+		sats:     reg.TopK("starcdn_popularity_sats", 0),
+		buckets:  reg.TopK("starcdn_popularity_buckets", 0),
+		latency:  reg.Sketch("starcdn_sketch_serve_latency_ms", 0),
+		perSat:   make(map[orbit.SatID]*obs.Sketch),
+		bucketOf: bucketOf,
+		reg:      reg,
+	}
+	po.objects.SetNamer(func(id uint64) string { return PopObjectKey(cache.ObjectID(id)) })
+	po.sats.SetNamer(func(id uint64) string { return PopSatKey(orbit.SatID(id)) })
+	po.buckets.SetNamer(func(id uint64) string { return PopBucketKey(int(id)) })
+	return po
+}
+
+// PopObjectKey, PopSatKey, and PopBucketKey render the display names of the
+// integer-keyed popularity summaries. Exported so the TCP replayer keys and
+// names its summaries identically — the cross-pipeline parity tests compare
+// entries by these rendered keys.
+func PopObjectKey(obj cache.ObjectID) string {
+	return "obj-" + strconv.FormatUint(uint64(obj), 10)
+}
+
+func PopSatKey(sat orbit.SatID) string { return "sat-" + strconv.Itoa(int(sat)) }
+
+func PopBucketKey(b int) string { return "bucket-" + strconv.Itoa(b) }
+
+// record feeds one request into the sketches. sat < 0 means no satellite
+// served (no coverage, degraded, or session-rejected); traceID is the
+// sampled request's trace identity ("" when unsampled) and becomes the
+// exemplar linking hot entries back to assembled distributed traces.
+func (po *popObs) record(r *trace.Request, req int64, sat orbit.SatID, totalMs float64, traceID string) {
+	ex := sketch.Exemplar{TraceID: traceID, Req: req, Value: float64(r.Size)}
+	po.objects.ObserveIDEx(uint64(r.Object), 1, ex)
+	if po.bucketOf != nil {
+		if b := po.bucketOf(r.Object); b >= 0 {
+			po.buckets.ObserveIDEx(uint64(b), 1, ex)
+		}
+	}
+	lex := sketch.Exemplar{TraceID: traceID, Req: req, Value: totalMs}
+	po.latency.ObserveEx(totalMs, lex)
+	if sat >= 0 {
+		po.sats.ObserveIDEx(uint64(sat), 1, ex)
+		sk := po.perSat[sat]
+		if sk == nil {
+			sk = po.reg.Sketch("starcdn_sketch_sat_serve_latency_ms", 0,
+				obs.L("sat", strconv.Itoa(int(sat))))
+			po.perSat[sat] = sk
+		}
+		sk.ObserveEx(totalMs, lex)
+	}
 }
 
 // satObs tracks one serving satellite's live hit rate.
@@ -38,7 +121,10 @@ type satObs struct {
 }
 
 // newRunObs resolves the run-level series; nil registry disables everything.
-func newRunObs(reg *obs.Registry) *runObs {
+// sketches opts in to the streaming-sketch telemetry (top-K popularity and
+// latency quantile sketches); bucketOf may be nil when the policy has no
+// consistent-hash bucket structure.
+func newRunObs(reg *obs.Registry, sketches bool, bucketOf func(cache.ObjectID) int) *runObs {
 	if reg == nil {
 		return nil
 	}
@@ -58,14 +144,20 @@ func newRunObs(reg *obs.Registry) *runObs {
 		ro.bySource[s] = reg.Counter("starcdn_sim_requests_total", l)
 		ro.bytesSource[s] = reg.Counter("starcdn_sim_bytes_total", l)
 	}
+	if sketches {
+		ro.pop = newPopObs(reg, bucketOf)
+	}
 	return ro
 }
 
-// record mirrors one served request into the live instruments.
-func (ro *runObs) record(out *Outcome, size int64, totalMs float64) {
+// record mirrors one served request into the live instruments. req is the
+// global request index and traceID the sampled trace identity ("" when
+// unsampled); both only feed sketch exemplars.
+func (ro *runObs) record(out *Outcome, r *trace.Request, req int64, totalMs float64, traceID string) {
 	if ro == nil {
 		return
 	}
+	size := r.Size
 	src := out.Source
 	if !src.Valid() {
 		src = SourceGround // never reached for well-formed policies
@@ -94,6 +186,9 @@ func (ro *runObs) record(out *Outcome, size int64, totalMs float64) {
 			so.hit++
 		}
 		so.rate.Set(float64(so.hit) / float64(so.req))
+	}
+	if ro.pop != nil {
+		ro.pop.record(r, req, out.ServerSat, totalMs, traceID)
 	}
 }
 

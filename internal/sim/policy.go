@@ -221,6 +221,16 @@ func (p *StarCDN) PrefetchStats() PrefetchStats {
 // SetRelayStats wires a Table 3 tally sink (usually &Metrics.Relay).
 func (p *StarCDN) SetRelayStats(r *RelayAvailability) { p.relayStats = r }
 
+// ObjectBucket returns the consistent-hash bucket that owns obj, or -1 when
+// hashing is disabled. The popularity telemetry keys per-bucket load on it;
+// policies without a bucket structure simply don't implement the interface.
+func (p *StarCDN) ObjectBucket(obj cache.ObjectID) int {
+	if !p.opts.Hashing {
+		return -1
+	}
+	return int(p.hash.BucketOf(obj))
+}
+
 // Name implements Policy.
 func (p *StarCDN) Name() string {
 	switch {

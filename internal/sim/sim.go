@@ -59,6 +59,14 @@ type Config struct {
 	// are atomic and never touch the seeded RNG streams, so enabling metrics
 	// cannot change results.
 	Metrics *obs.Registry
+	// Sketches opts in to streaming-sketch telemetry on the Metrics registry
+	// (no-op when Metrics is nil): top-K popularity summaries for objects,
+	// serving satellites, and consistent-hash buckets, plus relative-error
+	// latency quantile sketches, all with trace exemplars. Sketch updates are
+	// pure functions of the request stream — no RNG, no wall clock — so
+	// results are byte-identical with sketches on or off, and a sequential
+	// TCP replay of the same seed builds the identical top-K summaries.
+	Sketches bool
 	// Tracer, when non-nil, emits one JSONL span per sampled request with the
 	// full hop chain (first-contact -> owner -> relay -> ground -> user-link).
 	// Sampling is a pure hash of (tracer seed, request index), so it is
@@ -100,7 +108,13 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	if err != nil {
 		return nil, err
 	}
-	ro := newRunObs(cfg.Metrics)
+	// The bucket top-K needs the policy's consistent-hash structure; policies
+	// without one (or with hashing disabled) simply have no bucket series.
+	var bucketOf func(cache.ObjectID) int
+	if bp, ok := p.(interface{ ObjectBucket(cache.ObjectID) int }); ok {
+		bucketOf = bp.ObjectBucket
+	}
+	ro := newRunObs(cfg.Metrics, cfg.Sketches, bucketOf)
 	if ro != nil {
 		failures.OnApply(ro.onFailure)
 	}
@@ -237,7 +251,11 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 			span.SimMs = totalMs
 			cfg.Tracer.Emit(span)
 		}
-		ro.record(&out, r.Size, totalMs)
+		traceID := ""
+		if span != nil {
+			traceID = span.TraceID
+		}
+		ro.record(&out, r, int64(i), totalMs, traceID)
 		metrics.record(out.ServerSat, r.Location, r.Size, out.Source, totalMs)
 		if cfg.Shedder != nil {
 			// The burn signal is the §3.4 miss-through: a ground serve with

@@ -13,7 +13,10 @@
 #   5. /timeseries.json and /dashboard answer 200 while the flight recorder
 #      is live (1s wall epochs)
 #   6. starcdn-trace summarises the emitted spans (per-source latency table)
-#   7. cross-process trace round trip: with -trace-propagate the server's
+#   7. /popularity.json exposes the streaming-sketch hot set (-sketches):
+#      top-K object popularity with per-entry trace exemplars and a
+#      wall-latency quantile sketch, with ?k= truncation
+#   8. cross-process trace round trip: with -trace-propagate the server's
 #      spans join the client's traces; starcdn-trace -assemble stitches the
 #      two span files into exactly one rooted tree per sampled request with
 #      zero orphan spans
@@ -47,9 +50,9 @@ step "generate trace (4000 web requests)"
 "$WORK/spacegen" -synthesize-production -class web -requests 4000 \
 	-duration 600 -seed 7 -out "$WORK/web.sctr" >/dev/null
 
-step "replay with metrics + recorder + propagated tracing"
+step "replay with metrics + recorder + sketches + propagated tracing"
 "$WORK/starcdn-replay" -in "$WORK/web.sctr" -cache-mb 64 -buckets 4 -fault \
-	-metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+	-metrics-addr 127.0.0.1:0 -metrics-linger 30s -sketches \
 	-record-epoch 1s -slo-hit-rate 0.1 -slo-window 10s \
 	-trace-out "$WORK/spans.jsonl" -trace-sample 1 \
 	-trace-propagate -server-trace-out "$WORK/server-spans.jsonl" \
@@ -120,6 +123,34 @@ curl -fsS "http://$ADDR/metrics.json" | grep -q 'starcdn_replay_requests_total' 
 	exit 1
 }
 
+step "scrape /popularity.json (hot-set sketches + exemplars)"
+curl -fsS "http://$ADDR/popularity.json" >"$WORK/popularity.json"
+for want in \
+	'"name": "starcdn_popularity_objects"' \
+	'"name": "starcdn_sketch_replay_wall_ms"' \
+	'"kind": "topk"' \
+	'"kind": "sketch"'; do
+	grep -q "$want" "$WORK/popularity.json" || {
+		echo "popularity exposition missing $want" >&2
+		head -40 "$WORK/popularity.json" >&2
+		exit 1
+	}
+done
+# Rate-1 tracing means every top-K entry and quantile bucket carries a trace
+# exemplar — the "give me a trace of a hot request" handle.
+grep -q '"trace": "[0-9a-f]' "$WORK/popularity.json" || {
+	echo "popularity entries carry no trace exemplars" >&2
+	head -40 "$WORK/popularity.json" >&2
+	exit 1
+}
+# ?k= bounds the entry list per series.
+NKEYS=$(curl -fsS "http://$ADDR/popularity.json?k=1&match=popularity_objects" \
+	| grep -c '"key"')
+[ "$NKEYS" = "1" ] || {
+	echo "popularity ?k=1 returned $NKEYS entries, want 1" >&2
+	exit 1
+}
+
 step "scrape /timeseries.json (flight recorder)"
 curl -fsS "http://$ADDR/timeseries.json" | grep -q '"epoch_sec"' || {
 	echo "timeseries response missing epoch_sec" >&2
@@ -146,6 +177,15 @@ grep -q 'hit-rate' "$WORK/dashboard.html" || {
 kill "$REPLAY_PID" 2>/dev/null || true
 wait "$REPLAY_PID" 2>/dev/null || true
 REPLAY_PID=""
+
+# The replay's own stdout summarises the hot set when -sketches is on.
+for line in '^hot objects:' '^wire latency:'; do
+	grep -q "$line" "$WORK/replay.out" || {
+		echo "replay output missing \"$line\" sketch summary" >&2
+		grep -v '^metrics:' "$WORK/replay.out" >&2
+		exit 1
+	}
+done
 
 step "summarise spans with starcdn-trace"
 [ -s "$WORK/spans.jsonl" ] || { echo "no spans were written" >&2; exit 1; }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint waivers shardaudit fmt bench debug-test race chaos obs clean
+.PHONY: all build test check lint waivers shardaudit allocaudit fmt bench debug-test race chaos obs clean
 
 all: build
 
@@ -35,6 +35,14 @@ waivers:
 ## item 1) must partition. `make check` fails if the committed file drifts.
 shardaudit:
 	$(GO) run ./cmd/starcdn-lint -shardaudit > SHARD_AUDIT.md
+
+## allocaudit: regenerate ALLOC_AUDIT.md, the classified inventory of every
+## allocation site reachable from the hot-path roots (kind, escape verdict,
+## call chain, waiver coverage — see DESIGN.md §7). `make check` fails if
+## the committed file drifts or the allocs/op budgets in BENCH_core.json
+## are exceeded.
+allocaudit:
+	$(GO) run ./cmd/starcdn-lint -allocaudit > ALLOC_AUDIT.md
 
 fmt:
 	gofmt -w $(shell gofmt -l . | grep -v '^cmd/starcdn-lint/testdata/')

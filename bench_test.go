@@ -108,6 +108,7 @@ func BenchmarkSimHotPath(b *testing.B) {
 	}
 	users := e.Users()
 	b.SetBytes(int64(len(tr.Requests)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := sim.NewStarCDN(h, sim.CacheConfig{

@@ -3,10 +3,16 @@ package main
 // This file builds the interprocedural static call graph that turns the
 // determinism rules into taint analyses. Nodes are the module's declared
 // functions and methods (*types.Func); edges are statically resolved call
-// sites. Calls through interfaces or stored function values do not resolve
-// to a concrete body and simply end at the abstract callee — the analysis
-// is a deliberate under-approximation of dynamic dispatch, which keeps it
-// free of false paths; the direct (per-package) rules still cover the
+// sites plus *references*: a function or method named as a value (a method
+// value like `s.onFailure` passed as a callback, a function identifier
+// stored in a table) may be called later, so the reference produces an
+// edge — without it, callbacks registered from the hot path would be
+// invisible to every reachability-based rule (sharedwrite, hotalloc, the
+// audits). Deferred calls and `go`-statement callees are ordinary call
+// expressions and resolve the same way. Calls through interfaces still end
+// at the abstract callee (no concrete body to follow); the hotalloc sweep
+// layers a class-hierarchy bridge on top for exactly that case
+// (rule_hotalloc.go), and the direct (per-package) rules cover the
 // packages with the strongest obligations.
 //
 // During graph construction each function also records its determinism
@@ -34,9 +40,37 @@ type funcNode struct {
 	pkg  *Package
 	decl *ast.FuncDecl
 
-	callees    []*types.Func // statically resolved callees, in source order
+	callees    []*types.Func // statically resolved callees and references, in source order
+	ifaceCalls []*types.Func // abstract interface-method callees (for the CHA bridge)
 	wallClock  []srcCall     // time.Now/Since/Until call sites
 	globalRand []srcCall     // global math/rand draw sites
+}
+
+// addEdge records one resolved callee or function reference, routing the
+// determinism sources into their dedicated lists and abstract interface
+// methods into ifaceCalls (they have no body; the hotalloc sweep bridges
+// them to concrete implementations).
+func (n *funcNode) addEdge(fn *types.Func, pos token.Pos) {
+	switch {
+	case isWallClock(fn):
+		n.wallClock = append(n.wallClock, srcCall{pos: pos, name: "time." + fn.Name()})
+	case isGlobalRand(fn):
+		n.globalRand = append(n.globalRand, srcCall{pos: pos, name: "rand." + fn.Name()})
+	case isIfaceMethod(fn):
+		n.ifaceCalls = append(n.ifaceCalls, fn)
+	default:
+		n.callees = append(n.callees, fn)
+	}
+}
+
+// isIfaceMethod reports whether fn is an interface method (abstract: no
+// concrete body can back it directly).
+func isIfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
 }
 
 // callGraph indexes the module's functions and their static call edges.
@@ -115,26 +149,33 @@ func buildCallGraph(t *Tree) *callGraph {
 					continue
 				}
 				node := &funcNode{obj: obj, pkg: pkg, decl: fd}
+				// callPos marks identifiers consumed as the callee of a call
+				// expression; Inspect visits the CallExpr before its Fun
+				// children, so the marks land before the idents are revisited.
+				callPos := make(map[*ast.Ident]bool)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					callee := calleeOf(pkg.Info, call)
-					if callee == nil {
-						return true
-					}
-					switch {
-					case isWallClock(callee):
-						node.wallClock = append(node.wallClock, srcCall{
-							pos: call.Pos(), name: "time." + callee.Name(),
-						})
-					case isGlobalRand(callee):
-						node.globalRand = append(node.globalRand, srcCall{
-							pos: call.Pos(), name: "rand." + callee.Name(),
-						})
-					default:
-						node.callees = append(node.callees, callee)
+					switch x := n.(type) {
+					case *ast.CallExpr:
+						switch fun := ast.Unparen(x.Fun).(type) {
+						case *ast.Ident:
+							callPos[fun] = true
+						case *ast.SelectorExpr:
+							callPos[fun.Sel] = true
+						}
+						callee := calleeOf(pkg.Info, x)
+						if callee == nil {
+							return true
+						}
+						node.addEdge(callee, x.Pos())
+					case *ast.Ident:
+						// A function or method referenced as a value: a may-
+						// call edge (the stored value can be invoked later).
+						if callPos[x] {
+							return true
+						}
+						if fn, ok := pkg.Info.Uses[x].(*types.Func); ok {
+							node.addEdge(fn, x.Pos())
+						}
 					}
 					return true
 				})

@@ -1,0 +1,84 @@
+package main
+
+// The -json output mode: the run's findings as one machine-readable
+// document, so check.sh extensions and future tooling consume diagnostics
+// without parsing the human text format. The schema is a compatibility
+// surface (DESIGN.md §7) — fields are only ever added, never renamed or
+// repurposed:
+//
+//	{
+//	  "findings": [
+//	    {
+//	      "rule":   "hotalloc",
+//	      "file":   "internal/sim/sim.go",   // slash-separated, module-relative
+//	      "line":   190,
+//	      "col":    14,
+//	      "message": "...",
+//	      "chain":  ["sim.Run", "sim.(engine).step"],  // empty for rules without one
+//	      "waived": true,                   // suppressed by //lint:ignore
+//	      "waiver_reason": "..."            // the directive's reason, iff waived
+//	    }
+//	  ],
+//	  "counts": { "findings": 0, "waived": 44 }
+//	}
+//
+// Waived findings are included (tools see the full ledger, not just what
+// gates), but only unwaived ones count toward "findings" and the non-zero
+// exit. Output is deterministic: both lists arrive sorted from runLint and
+// are emitted in one stable order.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is one diagnostic in the -json schema.
+type jsonFinding struct {
+	Rule         string   `json:"rule"`
+	File         string   `json:"file"`
+	Line         int      `json:"line"`
+	Col          int      `json:"col"`
+	Message      string   `json:"message"`
+	Chain        []string `json:"chain"`
+	Waived       bool     `json:"waived"`
+	WaiverReason string   `json:"waiver_reason,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Counts   struct {
+		Findings int `json:"findings"`
+		Waived   int `json:"waived"`
+	} `json:"counts"`
+}
+
+// writeJSONDiagnostics renders the run's unwaived findings followed by its
+// waived ones as the -json document.
+func writeJSONDiagnostics(res *lintResult, w io.Writer) error {
+	var rep jsonReport
+	rep.Findings = make([]jsonFinding, 0, len(res.diags)+len(res.waived))
+	for _, list := range [][]Diagnostic{res.diags, res.waived} {
+		for _, d := range list {
+			f := jsonFinding{
+				Rule:         d.Rule,
+				File:         d.Pos.Filename,
+				Line:         d.Pos.Line,
+				Col:          d.Pos.Column,
+				Message:      d.Message,
+				Chain:        d.Chain,
+				Waived:       d.Waived,
+				WaiverReason: d.WaiverReason,
+			}
+			if f.Chain == nil {
+				f.Chain = []string{}
+			}
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	rep.Counts.Findings = len(res.diags)
+	rep.Counts.Waived = len(res.waived)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -87,6 +87,16 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Chain is the hot-path call chain from a root to the finding, for the
+	// rules that compute one (hotalloc); empty otherwise. The -json output
+	// carries it structurally so tooling never parses the message text.
+	Chain []string
+	// Waived marks a finding suppressed by a //lint:ignore directive, with
+	// the directive's reason. Waived findings never reach res.diags (they
+	// do not gate); the -json mode reports them so downstream tooling sees
+	// the full ledger.
+	Waived       bool
+	WaiverReason string
 }
 
 func (d Diagnostic) String() string {
@@ -125,12 +135,13 @@ func allRules() []Rule {
 		ruleDeadline{},
 		rulePrintf{},
 		ruleMetricName{},
+		rulePoolCheck{},
 	}
 }
 
 // allTreeRules returns the whole-module analyses.
 func allTreeRules() []TreeRule {
-	return []TreeRule{ruleTaint{}, ruleLockGuard{}, ruleGoroLeak{}, ruleSharedWrite{}}
+	return []TreeRule{ruleTaint{}, ruleLockGuard{}, ruleGoroLeak{}, ruleSharedWrite{}, ruleHotAlloc{}}
 }
 
 // ignoreDirective is a parsed //lint:ignore comment.
@@ -248,19 +259,18 @@ func buildIgnoreIndex(tree *Tree) *ignoreIndex {
 	return idx
 }
 
-// suppress reports whether d is waived by a directive, marking the
-// directive used if so.
-func (idx *ignoreIndex) suppress(d Diagnostic) bool {
+// suppressor returns the directive waiving d (marking it used), or nil.
+func (idx *ignoreIndex) suppressor(d Diagnostic) *ignoreDirective {
 	byLine := idx.byFile[d.Pos.Filename]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	dir := byLine[d.Pos.Line]
 	if dir == nil || !dir.rules[d.Rule] {
-		return false
+		return nil
 	}
 	dir.used[d.Rule] = true
-	return true
+	return dir
 }
 
 // ruleTiming is one rule's wall-clock cost in a run (load included as the
@@ -276,6 +286,10 @@ type lintResult struct {
 	tree *Tree
 	// diags are the unsuppressed findings in the selected packages, sorted.
 	diags []Diagnostic
+	// waived are the suppressed findings in the selected packages, sorted,
+	// each carrying its directive's reason. They never gate; the -json
+	// output reports them alongside diags.
+	waived []Diagnostic
 	// directives are every //lint:ignore in the tree, with usage marked.
 	directives []*ignoreDirective
 	// timings are per-rule wall-clock costs, in run order.
@@ -352,9 +366,14 @@ func runLint(root string, patterns []string) (*lintResult, error) {
 		timings = append(timings, ruleTiming{Name: rule.Name(), D: time.Since(start)})
 	}
 
-	var diags []Diagnostic
+	var diags, waived []Diagnostic
 	for _, d := range raw {
-		if ignores.suppress(d) {
+		if dir := ignores.suppressor(d); dir != nil {
+			if selected[relDirOf(root, d.Pos.Filename)] {
+				d.Waived = true
+				d.WaiverReason = dir.reason
+				waived = append(waived, d)
+			}
 			continue
 		}
 		if selected[relDirOf(root, d.Pos.Filename)] {
@@ -369,8 +388,12 @@ func runLint(root string, patterns []string) (*lintResult, error) {
 	for i := range diags {
 		diags[i].Pos.Filename = relativize(root, diags[i].Pos.Filename)
 	}
+	for i := range waived {
+		waived[i].Pos.Filename = relativize(root, waived[i].Pos.Filename)
+	}
 	sortDiagnostics(diags)
-	return &lintResult{tree: tree, diags: diags, directives: ignores.directives, timings: timings}, nil
+	sortDiagnostics(waived)
+	return &lintResult{tree: tree, diags: diags, waived: waived, directives: ignores.directives, timings: timings}, nil
 }
 
 // lintTree is the plain-findings entry point used by main and the tests.

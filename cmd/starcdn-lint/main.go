@@ -15,11 +15,19 @@ func main() {
 		"emit the shard-readiness audit (SHARD_AUDIT.md contents) to stdout: the "+
 			"inventory of mutable shared state reachable from sim.Run that the sharded "+
 			"parallel engine must partition; deterministic, byte-identical across runs")
+	allocAudit := flag.Bool("allocaudit", false,
+		"emit the hot-path allocation audit (ALLOC_AUDIT.md contents) to stdout: every "+
+			"allocation site reachable from the hot-path roots with kind, escape verdict, "+
+			"call chain, and waiver coverage; deterministic, byte-identical across runs")
+	jsonOut := flag.Bool("json", false,
+		"emit findings as one JSON document (stable schema: rule, pos, chain, "+
+			"waived + reason; waived findings included but not counted) instead of "+
+			"the line-per-finding text format")
 	timings := flag.Bool("timings", false,
 		"print per-rule wall-clock timings to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: starcdn-lint [-waivers] [-shardaudit] [-timings] [packages]\n\n"+
+			"usage: starcdn-lint [-waivers] [-shardaudit] [-allocaudit] [-json] [-timings] [packages]\n\n"+
 				"Type-checked lint for StarCDN Go packages: determinism (simtime/\n"+
 				"globalrand taint, maporder), robustness (panicfree, closecheck,\n"+
 				"errdrop, atomicmix, deadline), and concurrency dataflow (lockguard,\n"+
@@ -35,13 +43,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 		os.Exit(2)
 	}
-	if *shardAudit {
+	if *shardAudit || *allocAudit {
 		tree, err := loadTree(root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 			os.Exit(2)
 		}
-		if err := writeShardAudit(tree, os.Stdout); err != nil {
+		write := writeShardAudit
+		if *allocAudit {
+			write = writeAllocAudit
+		}
+		if err := write(tree, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
 			os.Exit(2)
 		}
@@ -66,8 +78,15 @@ func main() {
 		}
 		return
 	}
-	for _, d := range res.diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSONDiagnostics(res, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "starcdn-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.diags {
+			fmt.Println(d)
+		}
 	}
 	if len(res.diags) > 0 {
 		fmt.Fprintf(os.Stderr, "starcdn-lint: %d finding(s)\n", len(res.diags))

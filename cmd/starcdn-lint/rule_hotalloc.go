@@ -1,0 +1,771 @@
+package main
+
+// ruleHotAlloc is the allocation analysis behind ROADMAP items 1 and 2: the
+// sharded sim engine and the zero-copy wire path are both allocation-bound,
+// so every allocation site in a function statically reachable from the hot
+// paths is classified and triaged before those refactors land. Roots:
+//
+//	sim.Run                      — the per-request epoch loop
+//	replayer.(Client).roundTrip  — the replay frame path, client side
+//	replayer.(Server).handle     — the replay frame path, server side
+//	shed.(Controller).Tick/Observe/AdmitSession — per-request shed hooks
+//	obs.(Tracer).Emit            — the per-request trace hook
+//
+// Plain call edges cannot see through interface dispatch (Policy.Serve,
+// cache.Cache methods), which is exactly where the sim hot path spends its
+// time; the sweep therefore layers a class-hierarchy bridge over the call
+// graph: an abstract interface-method callee recorded in funcNode.ifaceCalls
+// expands to every module method whose receiver implements the interface.
+// The bridge is deliberately scoped to this rule and the -allocaudit mode —
+// the taint/sharedwrite rules keep the plain graph so their findings stay
+// conservative and stable.
+//
+// Each allocation site gets a kind (composite, new, make, append, concat,
+// fmt, box, closure, addr, defer, maprange) and an intraprocedural escape
+// verdict, resolved transitively through local aliases:
+//
+//	local    — never leaves the frame (stack-allocatable)
+//	arg      — a pointer-shaped value handed to a callee, which may retain it
+//	returned — leaves only through a return (exit-path value; caller decides)
+//	sent     — sent on a channel
+//	captured — captured by a closure or a go-statement body
+//	stored   — stored to a field, map, slice element, or package variable
+//	           rooted outside the frame (definitely heap)
+//
+// A store into a local that itself only returns resolves to "returned", so
+// constructors (build object, wire fields, return it) stay quiet. The rule
+// flags the per-request garbage makers: escaping composite/new/make/closure
+// sites, non-returned string building (concat/fmt), and defer-in-loop.
+// Growth-amortized appends, interface boxing, &local handed to a callee, and
+// map-range scratch are inventory-only — they land in ALLOC_AUDIT.md (see
+// allocaudit.go) with verdicts and chains but do not gate. Every flagged
+// real-tree site is fixed, covered by the allocs/op budget in BENCH_core.json,
+// or waived with rationale.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Escape verdicts, ordered: a site's verdict is the strongest fate any use
+// of its value reaches. "returned" outranks "arg" (an error built and
+// returned is an exit-path value even if also inspected), and the hard
+// escapes outrank "returned" (stored-and-returned still lives on the heap
+// past the call).
+const (
+	vLocal = iota
+	vArg
+	vReturned
+	vSent
+	vCaptured
+	vStored
+)
+
+var verdictNames = [...]string{"local", "arg", "returned", "sent", "captured", "stored"}
+
+// allocSite is one classified allocation site in a hot-path function.
+type allocSite struct {
+	pos     token.Pos
+	kind    string // composite new make append concat fmt box closure addr defer maprange
+	expr    string // shortened source expression
+	inLoop  bool   // inside an intra-function for/range body
+	verdict int    // escape verdict (vLocal..vStored)
+	fn      *funcNode
+}
+
+// flagged reports whether the site is a rule finding (vs audit-only
+// inventory). Appends amortize, boxing and &local-to-arg are too common and
+// too often stack-resident to gate on; everything else that escapes per
+// call is per-request garbage.
+func (s allocSite) flagged() bool {
+	switch s.kind {
+	case "defer":
+		return true
+	case "concat", "fmt":
+		return s.verdict != vReturned
+	case "composite", "new", "make", "closure":
+		return s.verdict == vArg || s.verdict >= vSent
+	case "addr":
+		return s.verdict >= vSent
+	}
+	return false // append, box, maprange: audit-only
+}
+
+// hotAllocRootSpec names one hot-path entry function.
+type hotAllocRootSpec struct {
+	relPath string
+	recv    string // receiver type name; "" for a package-level function
+	name    string
+}
+
+var hotAllocRootSpecs = []hotAllocRootSpec{
+	{"internal/sim", "", "Run"},
+	{"internal/replayer", "Client", "roundTrip"},
+	{"internal/replayer", "Server", "handle"},
+	{"internal/shed", "Controller", "Tick"},
+	{"internal/shed", "Controller", "Observe"},
+	{"internal/shed", "Controller", "AdmitSession"},
+	{"internal/obs", "Tracer", "Emit"},
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for plain
+// functions).
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// hotAllocRoots resolves the root specs present in the tree (fixture trees
+// carry only a subset).
+func hotAllocRoots(tree *Tree) []*funcNode {
+	g := tree.callGraph()
+	var roots []*funcNode
+	for _, spec := range hotAllocRootSpecs {
+		for _, n := range g.order {
+			if n.pkg.RelPath == spec.relPath && n.obj.Name() == spec.name &&
+				recvTypeName(n.obj) == spec.recv {
+				roots = append(roots, n)
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// implementsIface reports whether a concrete receiver type satisfies iface
+// (through its value or pointer method set).
+func implementsIface(recv types.Type, iface *types.Interface) bool {
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
+// ifaceBridge maps abstract interface methods to the module methods that can
+// back them (the class-hierarchy bridge), built lazily and memoized.
+type ifaceBridge struct {
+	g    *callGraph
+	memo map[*types.Func][]*funcNode
+}
+
+// implementers returns the concrete module methods a call to the interface
+// method fn can dispatch to, in deterministic graph order.
+func (b *ifaceBridge) implementers(fn *types.Func) []*funcNode {
+	if impls, ok := b.memo[fn]; ok {
+		return impls
+	}
+	var iface *types.Interface
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		iface, _ = sig.Recv().Type().Underlying().(*types.Interface)
+	}
+	var impls []*funcNode
+	if iface != nil {
+		for _, n := range b.g.order {
+			sig := n.obj.Type().(*types.Signature)
+			if sig.Recv() == nil || n.obj.Name() != fn.Name() {
+				continue
+			}
+			if implementsIface(sig.Recv().Type(), iface) {
+				impls = append(impls, n)
+			}
+		}
+	}
+	b.memo[fn] = impls
+	return impls
+}
+
+// hotAllocReach runs the bridged reachability sweep: BFS over static call
+// edges plus interface calls expanded through the bridge. Returns the reach
+// set, the BFS parent map for chain rendering, the resolved roots, and the
+// number of functions reached only through the bridge.
+func hotAllocReach(tree *Tree) (map[*types.Func]bool, map[*types.Func]*types.Func, []*funcNode, int) {
+	g := tree.callGraph()
+	roots := hotAllocRoots(tree)
+	bridge := &ifaceBridge{g: g, memo: make(map[*types.Func][]*funcNode)}
+	reach := make(map[*types.Func]bool)
+	parent := make(map[*types.Func]*types.Func)
+	viaBridge := make(map[*types.Func]bool)
+	var queue []*funcNode
+	for _, n := range roots {
+		if !reach[n.obj] {
+			reach[n.obj] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		visit := func(callee *types.Func, bridged bool) {
+			if reach[callee] {
+				return
+			}
+			cn, ok := g.nodes[callee]
+			if !ok {
+				return
+			}
+			reach[callee] = true
+			parent[callee] = n.obj
+			if bridged {
+				viaBridge[callee] = true
+			}
+			queue = append(queue, cn)
+		}
+		for _, callee := range n.callees {
+			visit(callee, false)
+		}
+		for _, ifm := range n.ifaceCalls {
+			for _, impl := range bridge.implementers(ifm) {
+				visit(impl.obj, true)
+			}
+		}
+	}
+	return reach, parent, roots, len(viaBridge)
+}
+
+// ---------------------------------------------------------------------------
+// Intra-function escape analysis.
+
+// escapeAnalysis resolves value fates inside one function body.
+type escapeAnalysis struct {
+	info    *types.Info
+	body    *ast.BlockStmt
+	parents map[ast.Node]ast.Node
+	memo    map[*types.Var]int
+	busy    map[*types.Var]bool
+}
+
+func newEscapeAnalysis(info *types.Info, body *ast.BlockStmt) *escapeAnalysis {
+	ea := &escapeAnalysis{
+		info:    info,
+		body:    body,
+		parents: make(map[ast.Node]ast.Node),
+		memo:    make(map[*types.Var]int),
+		busy:    make(map[*types.Var]bool),
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			ea.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return ea
+}
+
+// typeEscapesByValue reports whether passing a value of type t to a callee
+// can retain the pointed-to memory: pointer-shaped types share their
+// referent with the callee.
+func typeEscapesByValue(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// localVarOf resolves an identifier to a function-local (non-field,
+// non-package-level) variable, through both Defs and Uses.
+func (ea *escapeAnalysis) localVarOf(id *ast.Ident) *types.Var {
+	obj := ea.info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// exprFate resolves the fate of the value produced by expression e from its
+// structural context, following local aliases through varFate.
+func (ea *escapeAnalysis) exprFate(e ast.Expr) int {
+	p := ea.parents[e]
+	switch ctx := p.(type) {
+	case *ast.ParenExpr, *ast.SliceExpr, *ast.TypeAssertExpr:
+		return ea.exprFate(p.(ast.Expr))
+	case *ast.UnaryExpr:
+		if ctx.Op == token.AND {
+			return ea.exprFate(ctx) // the fate of the pointer is the value's fate
+		}
+		return vLocal
+	case *ast.BinaryExpr:
+		return ea.exprFate(ctx) // e.g. string concat chains
+	case *ast.ReturnStmt:
+		return vReturned
+	case *ast.SendStmt:
+		if ctx.Value == e {
+			return vSent
+		}
+		return vLocal
+	case *ast.CallExpr:
+		if ctx.Fun == e {
+			return vLocal // being invoked, not passed
+		}
+		// Builtins do not retain their operands — except append, whose
+		// result keeps the appended references alive, so an append operand
+		// inherits the result's fate.
+		if id, ok := ast.Unparen(ctx.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := ea.info.Uses[id].(*types.Builtin); isBuiltin {
+				if id.Name == "append" {
+					return ea.exprFate(ctx)
+				}
+				return vLocal
+			}
+		}
+		// A produced value handed to a callee: if the enclosing call is a
+		// go statement the value outlives the frame outright.
+		if gp, ok := ea.parents[ctx].(*ast.GoStmt); ok && gp.Call == ctx {
+			return vCaptured
+		}
+		return vArg
+	case *ast.KeyValueExpr:
+		return ea.exprFate(ctx)
+	case *ast.CompositeLit:
+		return ea.exprFate(ctx) // element inherits the composite's fate
+	case *ast.AssignStmt:
+		for i, rhs := range ctx.Rhs {
+			if rhs == e && i < len(ctx.Lhs) {
+				return ea.lhsFate(ctx.Lhs[i])
+			}
+		}
+		return vLocal
+	case *ast.ValueSpec:
+		for i, val := range ctx.Values {
+			if val == e && i < len(ctx.Names) {
+				if v := ea.localVarOf(ctx.Names[i]); v != nil {
+					return ea.varFate(v)
+				}
+			}
+		}
+		return vLocal
+	}
+	return vLocal
+}
+
+// lhsFate resolves where an assignment target puts the assigned value:
+// into a local (alias: the local's own fate), or through a field, index,
+// dereference, or package-level variable (stored — unless the root is a
+// local whose fate resolves weaker, e.g. a constructor result that is only
+// returned).
+func (ea *escapeAnalysis) lhsFate(lhs ast.Expr) int {
+	switch t := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return vLocal
+		}
+		if v := ea.localVarOf(t); v != nil {
+			return ea.varFate(v)
+		}
+		return vStored // package-level target
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if obj := rootIdentObj(ea.info, lhs); obj != nil {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					return vStored
+				}
+				// Storing through a local root: the value lives as long as
+				// the root does. Parameters and receivers root memory owned
+				// by the caller — a hard store.
+				if ea.isParam(v) {
+					return vStored
+				}
+				f := ea.varFate(v)
+				if f == vLocal || f == vArg {
+					// The root never leaves the frame (or is only lent out);
+					// the element rides along with it.
+					return f
+				}
+				return f
+			}
+		}
+		return vStored
+	}
+	return vStored
+}
+
+// isParam reports whether v is a parameter or receiver of the analyzed
+// function (declared before the body starts).
+func (ea *escapeAnalysis) isParam(v *types.Var) bool {
+	return v.Pos() < ea.body.Lbrace
+}
+
+// varFate is the strongest fate any use of local variable v reaches,
+// memoized; alias cycles resolve optimistically to the best seen so far.
+func (ea *escapeAnalysis) varFate(v *types.Var) int {
+	if f, ok := ea.memo[v]; ok {
+		return f
+	}
+	if ea.busy[v] {
+		return vLocal
+	}
+	ea.busy[v] = true
+	fate := vLocal
+	ast.Inspect(ea.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || ea.info.Uses[id] != v {
+			return true
+		}
+		if u := ea.useFate(id, v); u > fate {
+			fate = u
+		}
+		return true
+	})
+	delete(ea.busy, v)
+	ea.memo[v] = fate
+	return fate
+}
+
+// useFate classifies one use of local v.
+func (ea *escapeAnalysis) useFate(id *ast.Ident, v *types.Var) int {
+	fate := vLocal
+	// Captured by a closure declared after v: the closure body may run
+	// after the frame would have died.
+	for n := ast.Node(id); n != nil; n = ea.parents[n] {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				fate = vCaptured
+			}
+			break
+		}
+	}
+	switch p := ea.parents[id].(type) {
+	case *ast.SelectorExpr:
+		// v.f reads/writes and v.M() calls do not escape v itself.
+		return fate
+	case *ast.AssignStmt:
+		// v on an LHS is a (re)definition, not a use of its value; v on the
+		// RHS is the generic value-context case below.
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return fate
+			}
+		}
+	}
+	f := ea.exprFate(id)
+	// Passing a value type by value copies it; only pointer-shaped values
+	// lend their referent to the callee. An address-taken use (&v) passes a
+	// pointer regardless of v's own type, so it keeps its fate.
+	if f == vArg && !typeEscapesByValue(v.Type()) {
+		if u, ok := ea.parents[id].(*ast.UnaryExpr); !ok || u.Op != token.AND {
+			f = vLocal
+		}
+	}
+	if f > fate {
+		fate = f
+	}
+	return fate
+}
+
+// loopDepthOf counts the for/range bodies enclosing n (loop init/cond
+// clauses run once and do not count).
+func (ea *escapeAnalysis) loopDepthOf(n ast.Node) int {
+	depth := 0
+	pos := n.Pos()
+	for cur := ea.parents[n]; cur != nil; cur = ea.parents[cur] {
+		switch loop := cur.(type) {
+		case *ast.ForStmt:
+			if within(pos, loop.Body) || (loop.Post != nil && within(pos, loop.Post)) {
+				depth++
+			}
+		case *ast.RangeStmt:
+			if within(pos, loop.Body) {
+				depth++
+			}
+		}
+	}
+	return depth
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n != nil && pos >= n.Pos() && pos <= n.End()
+}
+
+// ---------------------------------------------------------------------------
+// Allocation site collection.
+
+// fmtFamily are the string-building stdlib calls classified as kind "fmt".
+var fmtFamily = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true},
+	"errors":  {"New": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "Quote": true},
+}
+
+// shortExpr renders an expression capped at 48 runes for audit lines.
+func shortExpr(e ast.Expr) string {
+	s := types.ExprString(e)
+	s = strings.Join(strings.Fields(s), " ")
+	if r := []rune(s); len(r) > 48 {
+		s = string(r[:45]) + "…"
+	}
+	return s
+}
+
+// isDirectIface reports whether values of t convert to an interface without
+// allocating (the value is a single pointer word).
+func isDirectIface(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// collectAllocSites classifies every allocation site in the function body,
+// including sites inside its function literals (the call graph attributes
+// those to the enclosing function too).
+func collectAllocSites(n *funcNode) []allocSite {
+	info := n.pkg.Info
+	body := n.decl.Body
+	ea := newEscapeAnalysis(info, body)
+	var sites []allocSite
+	add := func(pos token.Pos, kind string, expr ast.Expr, verdict int, at ast.Node) {
+		text := "-"
+		if expr != nil {
+			text = shortExpr(expr)
+		}
+		sites = append(sites, allocSite{
+			pos: pos, kind: kind, expr: text,
+			inLoop: ea.loopDepthOf(at) > 0, verdict: verdict, fn: n,
+		})
+	}
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CompositeLit:
+			// Only the outermost literal is the site; elements ride along.
+			switch ea.parents[x].(type) {
+			case *ast.CompositeLit, *ast.KeyValueExpr:
+				return true
+			}
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				add(x.Pos(), "composite", x, ea.exprFate(x), x)
+			default:
+				// A struct/array literal allocates only when its address is
+				// taken; a plain value literal is a write, not an allocation.
+				if u, ok := ea.parents[x].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					add(x.Pos(), "composite", u, ea.exprFate(u), x)
+				}
+			}
+		case *ast.UnaryExpr:
+			// &localvar: the variable is heap-moved if the pointer escapes.
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if v := ea.localVarOf(id); v != nil && info.Uses[id] == v {
+						add(x.Pos(), "addr", x, ea.exprFate(x), x)
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			// buf[:] over a local array: the slice references the local, so
+			// the whole array heap-moves if the slice leaves the frame (the
+			// classic stack-buffer-through-io.Writer escape).
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if v := ea.localVarOf(id); v != nil && info.Uses[id] == v {
+					if _, isArr := v.Type().Underlying().(*types.Array); isArr {
+						add(x.Pos(), "addr", x, ea.exprFate(x), x)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						add(x.Pos(), "make", x, ea.exprFate(x), x)
+					case "new":
+						add(x.Pos(), "new", x, ea.exprFate(x), x)
+					case "append":
+						add(x.Pos(), "append", x, ea.exprFate(x), x)
+					}
+					return true
+				}
+			}
+			if fn := calleeOf(info, x); fn != nil && fn.Pkg() != nil {
+				if names := fmtFamily[fn.Pkg().Path()]; names[fn.Name()] {
+					add(x.Pos(), "fmt", x, ea.exprFate(x), x)
+				}
+			}
+			collectBoxedArgs(info, ea, x, add)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) &&
+				info.Types[x].Value == nil && !insideStringConcat(ea, x) {
+				add(x.Pos(), "concat", x, ea.exprFate(x), x)
+			}
+		case *ast.FuncLit:
+			if capturesOutside(info, x) {
+				verdict := ea.exprFate(x)
+				add(x.Pos(), "closure", nil, verdict, x)
+			}
+		case *ast.DeferStmt:
+			if ea.loopDepthOf(x) > 0 {
+				add(x.Pos(), "defer", x.Call, vLocal, x)
+			}
+		case *ast.RangeStmt:
+			if _, isMap := info.TypeOf(x.X).Underlying().(*types.Map); isMap {
+				add(x.Pos(), "maprange", x.X, vLocal, x)
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// insideStringConcat reports whether e is an operand of an enclosing string
+// + chain (only the outermost + is the site).
+func insideStringConcat(ea *escapeAnalysis, e ast.Expr) bool {
+	p, ok := ea.parents[e].(*ast.BinaryExpr)
+	return ok && p.Op == token.ADD
+}
+
+// capturesOutside reports whether the function literal references a variable
+// declared outside it (a closure that needs an allocated environment).
+func capturesOutside(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// collectBoxedArgs records interface-boxing sites: a non-constant,
+// non-pointer-shaped concrete argument converted to an interface parameter
+// allocates the boxed copy.
+func collectBoxedArgs(info *types.Info, ea *escapeAnalysis, call *ast.CallExpr,
+	add func(token.Pos, string, ast.Expr, int, ast.Node)) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a spread slice is passed as-is, not boxed
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || info.Types[arg].Value != nil { // constants intern
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue // already boxed upstream
+		}
+		if isDirectIface(at) {
+			continue // single pointer word: no allocation
+		}
+		add(arg.Pos(), "box", arg, vArg, arg)
+	}
+}
+
+// hotAllocSites runs the bridged sweep and classifies every allocation site
+// in the reach set, in deterministic graph order.
+func hotAllocSites(tree *Tree) (sites []allocSite, parent map[*types.Func]*types.Func, roots []*funcNode, bridged int) {
+	reach, parent, roots, bridged := hotAllocReach(tree)
+	g := tree.callGraph()
+	for _, n := range g.order {
+		if !reach[n.obj] {
+			continue
+		}
+		sites = append(sites, collectAllocSites(n)...)
+	}
+	return sites, parent, roots, bridged
+}
+
+// ---------------------------------------------------------------------------
+// The rule.
+
+type ruleHotAlloc struct{}
+
+func (ruleHotAlloc) Name() string { return "hotalloc" }
+
+func (r ruleHotAlloc) CheckTree(tree *Tree) []Diagnostic {
+	sites, parent, roots, _ := hotAllocSites(tree)
+	if len(roots) == 0 {
+		return nil
+	}
+	g := tree.callGraph()
+	var diags []Diagnostic
+	for _, s := range sites {
+		if !s.flagged() {
+			continue
+		}
+		chain := g.chainTo(parent, s.fn.obj)
+		var msg string
+		switch s.kind {
+		case "defer":
+			msg = "defer inside a loop allocates a defer record per iteration on the hot path (" +
+				chain + "); hoist it out of the loop or waive with rationale"
+		case "concat", "fmt":
+			msg = s.kind + " " + s.expr + " builds a string per call on the hot path (" +
+				chain + "); precompute it, move it off the request path, or waive with rationale (see ALLOC_AUDIT.md)"
+		default:
+			msg = s.kind + " allocation " + s.expr + " escapes (" + verdictNames[s.verdict] +
+				") on the hot path (" + chain + "); reuse a caller-owned buffer or pool, " +
+				"budget it, or waive with rationale (see ALLOC_AUDIT.md)"
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     s.fn.pkg.Fset.Position(s.pos),
+			Rule:    r.Name(),
+			Message: msg,
+			Chain:   strings.Split(chain, " → "),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,375 @@
+package main
+
+// rulePoolCheck enforces sync.Pool discipline ahead of the wire-v3 pooled
+// buffer work (ROADMAP item 2). Pooling trades the allocator for an aliasing
+// contract the race detector cannot see: after Put the pool may hand the
+// value to any other goroutine, so a retained reference is a data race in
+// waiting. Per function (and per function literal — each is its own unit,
+// matching the CFG builder), every local bound from a (*sync.Pool).Get is
+// tracked through a forward may-analysis over the function's CFG:
+//
+//	use-after-Put — the value is read or written on a path where Put may
+//	                already have run.
+//	missing Put   — the value may still be checked out at function exit
+//	                while the function itself takes Put responsibility
+//	                (a Put exists on some path, or the value never leaves
+//	                the frame at all). Ownership transfers are exempt:
+//	                returning the value, storing it, or handing it to a
+//	                callee moves the Put obligation elsewhere.
+//	retained past handoff — the value is stored, sent, captured, or
+//	                returned beyond the frame AND returned to the pool;
+//	                the surviving alias races with the next Get.
+//
+// `defer pool.Put(v)` is the blessed shape: it releases at exit on every
+// path, creates no released-state inside the body, and exempts the var from
+// the missing-Put check.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type rulePoolCheck struct{}
+
+func (rulePoolCheck) Name() string { return "poolcheck" }
+
+func (rulePoolCheck) Applies(relPath string) bool {
+	return relPath == "internal" || strings.HasPrefix(relPath, "internal/") ||
+		strings.HasPrefix(relPath, "cmd/")
+}
+
+// isPoolMethod reports whether fn is (*sync.Pool).<name>.
+func isPoolMethod(fn *types.Func, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		fn.Name() == name && recvTypeName(fn) == "Pool"
+}
+
+func (r rulePoolCheck) Check(tree *Tree, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkPoolBody(tree, pkg, fd.Body)...)
+			// Each function literal is its own analysis unit.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					diags = append(diags, checkPoolBody(tree, pkg, lit.Body)...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// poolState bits for the may-analysis.
+const (
+	psOut = 1 << iota // checked out of the pool
+	psRel             // returned to the pool (Put may have run)
+)
+
+// poolEvent is one dataflow event inside a CFG block, in source order.
+type poolEvent struct {
+	kind string // "get", "put", "use", "kill"
+	v    *types.Var
+	pos  token.Pos
+}
+
+// checkPoolBody analyzes one function or literal body.
+func checkPoolBody(tree *Tree, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	info := pkg.Info
+
+	// Pass 1: the tracked vars — locals bound directly from a pool Get
+	// (optionally through a type assertion).
+	getPos := make(map[*types.Var]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(calleeOf(info, call), "Get") {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok && !v.IsField() {
+				if _, seen := getPos[v]; !seen {
+					getPos[v] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(getPos) == 0 {
+		return nil
+	}
+	// tracked resolves an ident to a tracked var through either Defs (the
+	// ":=" binding itself) or Uses.
+	tracked := func(id *ast.Ident) *types.Var {
+		v, _ := info.ObjectOf(id).(*types.Var)
+		if v == nil {
+			return nil
+		}
+		if _, ok := getPos[v]; !ok {
+			return nil
+		}
+		return v
+	}
+
+	// Pass 2: Put sites, deferred Puts, and escapes.
+	ea := newEscapeAnalysis(info, body)
+	putAnywhere := make(map[*types.Var]bool)
+	deferredPut := make(map[*types.Var]bool)
+	softEscape := make(map[*types.Var]bool)      // handed to a callee (borrow or handoff)
+	hardEscape := make(map[*types.Var]token.Pos) // stored/sent/captured/returned
+	underPut := func(id *ast.Ident) bool {
+		call, ok := ea.parents[id].(*ast.CallExpr)
+		if !ok || !isPoolMethod(calleeOf(info, call), "Put") {
+			return false
+		}
+		for _, a := range call.Args {
+			if a == ast.Node(id) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Captures of tracked vars are hard escapes; the literal body is
+			// a separate unit.
+			ast.Inspect(x.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v := tracked(id); v != nil {
+						if v.Pos() < x.Pos() || v.Pos() > x.End() {
+							if _, seen := hardEscape[v]; !seen {
+								hardEscape[v] = id.Pos()
+							}
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if isPoolMethod(calleeOf(info, x), "Put") && len(x.Args) > 0 {
+				if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+					if v := tracked(id); v != nil {
+						if _, isDefer := ea.parents[x].(*ast.DeferStmt); isDefer {
+							deferredPut[v] = true
+						} else {
+							putAnywhere[v] = true
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			v := tracked(x)
+			if v == nil || underPut(x) {
+				return true
+			}
+			switch f := ea.useFate(x, v); f {
+			case vArg:
+				softEscape[v] = true
+			case vReturned, vSent, vCaptured, vStored:
+				if _, seen := hardEscape[v]; !seen {
+					hardEscape[v] = x.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: forward may-analysis over the CFG.
+	cfg := buildCFG(info, body)
+	events := make([][]poolEvent, len(cfg.blocks))
+	for _, blk := range cfg.blocks {
+		for _, node := range blk.nodes {
+			events[blk.index] = append(events[blk.index], extractPoolEvents(info, ea, node, tracked)...)
+		}
+	}
+	apply := func(state map[*types.Var]uint8, evs []poolEvent, report func(poolEvent)) {
+		for _, ev := range evs {
+			switch ev.kind {
+			case "use":
+				if state[ev.v]&psRel != 0 && report != nil {
+					report(ev)
+				}
+			case "get":
+				state[ev.v] = psOut
+			case "put":
+				state[ev.v] = psRel
+			case "kill":
+				state[ev.v] = 0
+			}
+		}
+	}
+	in := make([]map[*types.Var]uint8, len(cfg.blocks))
+	for i := range in {
+		in[i] = make(map[*types.Var]uint8)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.blocks {
+			out := make(map[*types.Var]uint8, len(in[blk.index]))
+			for v, s := range in[blk.index] {
+				out[v] = s
+			}
+			apply(out, events[blk.index], nil)
+			for _, succ := range blk.succs {
+				for v, s := range out {
+					if in[succ.index][v]&s != s {
+						in[succ.index][v] |= s
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Final pass: replay with stable states to report use-after-Put.
+	var diags []Diagnostic
+	reported := make(map[*types.Var]bool)
+	for _, blk := range cfg.blocks {
+		state := make(map[*types.Var]uint8, len(in[blk.index]))
+		for v, s := range in[blk.index] {
+			state[v] = s
+		}
+		apply(state, events[blk.index], func(ev poolEvent) {
+			if reported[ev.v] {
+				return
+			}
+			reported[ev.v] = true
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(ev.pos),
+				Rule: "poolcheck",
+				Message: "pooled value " + ev.v.Name() + " used after Put; the pool may " +
+					"already have handed it to another goroutine — reorder the Put or copy out first",
+			})
+		})
+	}
+
+	// Exit obligations, in deterministic Get-position order.
+	var vars []*types.Var
+	for v := range getPos {
+		vars = append(vars, v)
+	}
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && getPos[vars[j]] < getPos[vars[j-1]]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	for _, v := range vars {
+		_, hard := hardEscape[v]
+		if in[cfg.exit.index][v]&psOut != 0 && !deferredPut[v] && !hard &&
+			(putAnywhere[v] || !softEscape[v]) {
+			msg := "pooled value " + v.Name() + " is never returned to the pool; " +
+				"a leaked checkout defeats pooling — Put it back (defer pool.Put at the Get)"
+			if putAnywhere[v] {
+				msg = "pooled value " + v.Name() + " misses its Put on an exit path; " +
+					"defer pool.Put at the Get so every path releases it"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(getPos[v]),
+				Rule:    "poolcheck",
+				Message: msg,
+			})
+		}
+		if pos, hard := hardEscape[v]; hard && (putAnywhere[v] || deferredPut[v]) {
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(pos),
+				Rule: "poolcheck",
+				Message: "pooled value " + v.Name() + " is retained beyond this frame and " +
+					"also returned to the pool; the surviving alias races with the next Get",
+			})
+		}
+	}
+	return diags
+}
+
+// extractPoolEvents linearizes one CFG block node into pool events in source
+// order. FuncLit subtrees are separate units; a RangeStmt node contributes
+// only its head; deferred Puts are handled as exit obligations, not flow
+// events (their argument evaluation still counts as a use).
+func extractPoolEvents(info *types.Info, ea *escapeAnalysis, node ast.Node,
+	tracked func(*ast.Ident) *types.Var) []poolEvent {
+	var evs []poolEvent
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				walk(x.X)
+				return false
+			case *ast.AssignStmt:
+				// RHS first (evaluation order), then the LHS get/kill.
+				for _, rhs := range x.Rhs {
+					walk(rhs)
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						walk(lhs)
+						continue
+					}
+					if tv := tracked(id); tv != nil {
+						kind := "kill"
+						if i == 0 && len(x.Rhs) == 1 && isPoolGetExpr(info, x.Rhs[0]) {
+							kind = "get"
+						}
+						evs = append(evs, poolEvent{kind: kind, v: tv, pos: id.Pos()})
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if isPoolMethod(calleeOf(info, x), "Put") && len(x.Args) > 0 {
+					if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+						if v := tracked(id); v != nil {
+							if _, isDefer := ea.parents[x].(*ast.DeferStmt); !isDefer {
+								evs = append(evs, poolEvent{kind: "put", v: v, pos: x.Pos()})
+							}
+							return true
+						}
+					}
+				}
+			case *ast.Ident:
+				if v := tracked(x); v != nil {
+					// The Put argument is the release itself, not a use.
+					if call, ok := ea.parents[x].(*ast.CallExpr); ok &&
+						isPoolMethod(calleeOf(info, call), "Put") {
+						return true
+					}
+					evs = append(evs, poolEvent{kind: "use", v: v, pos: x.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	walk(node)
+	return evs
+}
+
+// isPoolGetExpr reports whether e is a (possibly type-asserted) pool Get.
+func isPoolGetExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isPoolMethod(calleeOf(info, call), "Get")
+}

@@ -1,0 +1,62 @@
+// Package bufpool seeds the poolcheck fixture: every sync.Pool aliasing
+// hazard the rule must catch, next to the blessed shapes it must keep quiet
+// about. The pool contract is invisible to the race detector — after Put the
+// pool may hand the value to any goroutine — so the marked lines are data
+// races in waiting, not style nits.
+package bufpool
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// UseAfterPut releases the buffer and then reads through the stale alias.
+func UseAfterPut() byte {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return (*buf)[0] // want poolcheck
+}
+
+// LeakOnError skips the Put on the early exit path; the rule reports the
+// checkout site, since that is where the defer belongs.
+func LeakOnError(fail bool) int {
+	buf := pool.Get().(*[]byte) // want poolcheck
+	if fail {
+		return -1
+	}
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// Holder retains pooled state past its Put.
+type Holder struct{ last *[]byte }
+
+// Retain stores the pooled buffer on the receiver and still returns it to
+// the pool: the surviving alias races with the next Get.
+func (h *Holder) Retain() {
+	buf := pool.Get().(*[]byte)
+	h.last = buf // want poolcheck
+	pool.Put(buf)
+}
+
+// Scoped is the blessed shape: defer the Put at the checkout, so every exit
+// path releases exactly once and no released state exists inside the body.
+func Scoped() int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	return len(*buf)
+}
+
+// Handoff transfers ownership out; the Put obligation moves to the caller.
+func Handoff() *[]byte {
+	buf := pool.Get().(*[]byte)
+	return buf
+}
+
+// ShutdownLeak abandons the buffer to the GC on a teardown path where the
+// pool itself is about to be dropped. The rule would report the missing Put;
+// the waiver suppresses it and must show up as live in the -waivers audit.
+func ShutdownLeak() int {
+	buf := pool.Get().(*[]byte) //lint:ignore poolcheck fixture: live waiver — teardown path abandons the buffer to the dying pool's GC
+	return len(*buf)
+}

@@ -1,0 +1,109 @@
+// Package hotloop seeds the hotalloc fixture: Table.Process is called from
+// the fixture sim.Run every step, so every function here is hot. The marked
+// lines are per-request garbage makers (escaping composites, non-returned
+// string building, closure environments, defer-in-loop); the unmarked
+// functions are the negative cases the escape heuristic must keep quiet —
+// constructors whose allocations only return, frame-local scratch, and
+// exit-path strings. Absorb is reachable only through the Sink interface,
+// pinning the class-hierarchy bridge.
+package hotloop
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// item is the per-object record Process admits.
+type item struct {
+	id  uint64
+	hot bool
+}
+
+// Sink is only ever called through interface dispatch; no static call site
+// names the concrete method.
+type Sink interface {
+	Absorb(id uint64)
+}
+
+// memSink is the bridge target.
+type memSink struct {
+	seen map[uint64]*item
+}
+
+// NewSink hands the concrete sink out as its interface. The composite and
+// make below escape only by returning: constructors stay quiet.
+func NewSink() Sink {
+	s := &memSink{seen: make(map[uint64]*item)}
+	return s
+}
+
+// Absorb is invisible to the plain call graph; only the interface bridge
+// makes it hot — and its stored composite must still be flagged.
+func (s *memSink) Absorb(id uint64) {
+	s.seen[id] = &item{id: id} // want hotalloc
+}
+
+// Table is the fixture hot-path state.
+type Table struct {
+	items map[uint64]*item
+	names map[string]*item
+	flush func()
+}
+
+// NewTable is the quiet constructor counterpart for Table.
+func NewTable() *Table {
+	return &Table{
+		items: make(map[uint64]*item),
+		names: make(map[string]*item),
+	}
+}
+
+// Process is the fixture hot path: one admitted object per call.
+func (t *Table) Process(s Sink, id uint64) {
+	n := &item{id: id} // want hotalloc
+	t.items[id] = n
+	key := "obj-" + strconv.FormatUint(id, 10) // want hotalloc
+	t.names[key] = n
+	s.Absorb(id)
+	t.Note(id)
+	t.Register(id)
+	_ = t.Scratch(int(id % 8))
+	_ = t.Describe(id)
+	t.Drain(nil)
+}
+
+// Note stores a fresh composite per call — a finding the fixture tree
+// deliberately waives, so the hotalloc waiver shows up as live in the
+// -waivers audit and as "waived" in the alloc-audit rendering.
+func (t *Table) Note(id uint64) {
+	t.items[id+1] = &item{id: id, hot: true} //lint:ignore hotalloc fixture: live waiver — epoch-boundary bookkeeping, one composite per epoch not per request
+}
+
+// Register stores a closure over id: one environment allocation per call.
+func (t *Table) Register(id uint64) {
+	t.flush = func() { // want hotalloc
+		delete(t.items, id)
+	}
+}
+
+// Drain defers inside the loop: one defer record per iteration, all held
+// until Drain returns.
+func (t *Table) Drain(fns []func()) {
+	for _, fn := range fns {
+		defer fn() // want hotalloc
+	}
+}
+
+// Scratch stays in the frame: the make is inventory, not a finding.
+func (t *Table) Scratch(n int) int {
+	buf := make([]int, n)
+	for i := range buf {
+		buf[i] = i
+	}
+	return len(buf)
+}
+
+// Describe builds its string on the way out: exit-path values do not gate.
+func (t *Table) Describe(id uint64) string {
+	return fmt.Sprintf("item-%d", id)
+}

@@ -9,6 +9,7 @@ type lruCache struct {
 	items    map[ObjectID]*lruNode
 	head     *lruNode // most recently used
 	tail     *lruNode // least recently used
+	free     *lruNode // recycled nodes, chained on next
 }
 
 type lruNode struct {
@@ -59,7 +60,7 @@ func (c *lruCache) Admit(id ObjectID, size int64) error {
 		c.evictUntilFits()
 		return nil
 	}
-	n := &lruNode{id: id, size: size}
+	n := c.newNode(id, size)
 	c.items[id] = n
 	c.pushFront(n)
 	c.used += size
@@ -75,6 +76,7 @@ func (c *lruCache) Remove(id ObjectID) bool {
 	c.unlink(n)
 	delete(c.items, id)
 	c.used -= n.size
+	c.recycle(n)
 	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
 	return true
 }
@@ -85,8 +87,27 @@ func (c *lruCache) evictUntilFits() {
 		c.unlink(victim)
 		delete(c.items, victim.id)
 		c.used -= victim.size
+		c.recycle(victim)
 	}
 	checkAccounting(c.Name(), c.used, c.capacity, len(c.items))
+}
+
+// newNode takes a recycled node from the free list when one is available, so
+// steady-state churn (admit+evict at capacity) allocates nothing. The cold
+// &lruNode path only runs while the cache is still filling.
+func (c *lruCache) newNode(id ObjectID, size int64) *lruNode {
+	if n := c.free; n != nil {
+		c.free = n.next
+		*n = lruNode{id: id, size: size}
+		return n
+	}
+	return &lruNode{id: id, size: size}
+}
+
+// recycle chains a detached node onto the free list for the next Admit.
+func (c *lruCache) recycle(n *lruNode) {
+	*n = lruNode{next: c.free}
+	c.free = n
 }
 
 func (c *lruCache) pushFront(n *lruNode) {

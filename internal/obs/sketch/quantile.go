@@ -166,7 +166,7 @@ func (s *Quantile) ObserveEx(x float64, ex Exemplar) {
 		idx := s.index(x)
 		b = s.buckets[idx]
 		if b == nil {
-			b = &QBucket{Index: idx}
+			b = &QBucket{Index: idx} //lint:ignore hotalloc one bucket per occupied log-scale index, bounded by the collapse cap
 			s.buckets[idx] = b
 		}
 		s.lastX, s.lastIdx, s.lastB = x, idx, b
@@ -200,7 +200,7 @@ func (s *Quantile) collapse() {
 		return
 	}
 	s.lastX, s.lastIdx, s.lastB = 0, 0, nil // the cached bucket may be folded away
-	idxs := make([]int, 0, len(s.buckets))
+	idxs := make([]int, 0, len(s.buckets))  //lint:ignore hotalloc collapse scratch; collapse fires only when the bucket cap is exceeded, amortised over many observations
 	for i := range s.buckets {
 		idxs = append(idxs, i)
 	}
@@ -255,11 +255,11 @@ func (s *Quantile) Quantile(q float64) float64 {
 // bucketsAsc returns the buckets sorted by index — the deterministic
 // iteration every consumer (quantile walk, exposition) uses. Callers hold mu.
 func (s *Quantile) bucketsAsc() []QBucket {
-	out := make([]QBucket, 0, len(s.buckets))
+	out := make([]QBucket, 0, len(s.buckets)) //lint:ignore hotalloc per-epoch snapshot for quantile exposition, bounded by the bucket cap; not on the per-request path
 	for _, b := range s.buckets {
 		out = append(out, *b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index }) //lint:ignore hotalloc sort closure on the per-epoch snapshot path, not per request
 	return out
 }
 

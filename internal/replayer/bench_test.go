@@ -42,6 +42,7 @@ func BenchmarkReplayFrame(b *testing.B) {
 		if hit, err := cl.GetCtx(addr, obj, size, sc); err != nil || !hit {
 			b.Fatalf("warmup get: hit=%v err=%v", hit, err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			hit, err := cl.GetCtx(addr, obj, size, sc)

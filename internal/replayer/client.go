@@ -153,6 +153,10 @@ type poolEntry struct {
 	// shedOK is the CapShed half of the same negotiation: true once the
 	// server granted shed responses on this connection.
 	shedOK bool
+	// scratch is the frame marshal buffer for this connection, guarded by mu
+	// like the conn it serves. Reusing it keeps the per-request exchange
+	// allocation-free (see writeFrameBuf).
+	scratch [frameSize]byte
 }
 
 // NewClient returns a fail-fast client: no deadlines, no retries — the
@@ -189,7 +193,7 @@ func (c *Client) entry(addr string) *poolEntry {
 	defer c.mu.Unlock()
 	e, ok := c.conns[addr]
 	if !ok {
-		e = &poolEntry{}
+		e = &poolEntry{} //lint:ignore hotalloc one pool entry per server address for the client's lifetime
 		c.conns[addr] = e
 	}
 	return e
@@ -291,7 +295,7 @@ func (c *Client) emitRetrySpan(sc *obs.SpanContext, attempt int, backoff time.Du
 	if c.tracer == nil || sc == nil || !sc.Sampled {
 		return
 	}
-	span := &obs.Span{
+	span := &obs.Span{ //lint:ignore hotalloc retry span is built only on the sampled retry path, which already paid a backoff sleep
 		TraceID: sc.TraceString(),
 		SpanID:  obs.SpanIDString(c.tracer.NewSpanID()),
 		Parent:  obs.SpanIDString(sc.Parent),
@@ -300,7 +304,7 @@ func (c *Client) emitRetrySpan(sc *obs.SpanContext, attempt int, backoff time.Du
 		WallMs:  float64(backoff) / float64(time.Millisecond),
 	}
 	if cause != nil {
-		span.Source = "attempt-" + strconv.Itoa(attempt)
+		span.Source = "attempt-" + strconv.Itoa(attempt) //lint:ignore hotalloc label built only for sampled retries, orders of magnitude rarer than frames
 	}
 	c.tracer.Emit(span)
 }
@@ -339,11 +343,11 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 			return StatusError, 0, 0, err
 		}
 	}
-	if err := writeRequest(e.conn, op, obj, size); err != nil {
+	if err := writeRequest(e.conn, &e.scratch, op, obj, size); err != nil {
 		e.dropLocked()
 		return StatusError, 0, 0, err
 	}
-	st, a, b, err := readResponse(e.conn)
+	st, a, b, err := readResponse(e.conn, &e.scratch)
 	if err != nil {
 		e.dropLocked()
 		return StatusError, 0, 0, err
@@ -374,10 +378,10 @@ func (c *Client) helloLocked(e *poolEntry) error {
 	if c.shed {
 		want |= CapShed
 	}
-	if err := writeFrame(e.conn, uint8(OpHello), ProtocolVersion, want); err != nil {
+	if err := writeFrameBuf(e.conn, &e.scratch, uint8(OpHello), ProtocolVersion, want); err != nil {
 		return fmt.Errorf("replayer: hello: %w", err)
 	}
-	st, _, caps, err := readResponse(e.conn)
+	st, _, caps, err := readResponse(e.conn, &e.scratch)
 	if err != nil {
 		return fmt.Errorf("replayer: hello: %w", err)
 	}

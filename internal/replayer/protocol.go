@@ -112,8 +112,13 @@ type message struct {
 	b  uint64
 }
 
-func writeFrame(w io.Writer, first uint8, a, b uint64) error {
-	var buf [frameSize]byte
+// writeFrameBuf marshals one frame into the caller-owned scratch buffer and
+// writes it. Threading the buffer from the caller keeps the per-frame hot
+// paths allocation-free: a stack array declared here would escape through the
+// io.Writer interface and cost one heap allocation per frame, whereas the
+// client's per-connection scratch and the server's per-handler scratch are
+// each allocated once and reused for every frame on the connection.
+func writeFrameBuf(w io.Writer, buf *[frameSize]byte, first uint8, a, b uint64) error {
 	buf[0] = first
 	binary.BigEndian.PutUint64(buf[1:9], a)
 	binary.BigEndian.PutUint64(buf[9:17], b)
@@ -121,8 +126,8 @@ func writeFrame(w io.Writer, first uint8, a, b uint64) error {
 	return err
 }
 
-func readFrame(r io.Reader) (message, error) {
-	var buf [frameSize]byte
+// readFrameBuf reads one frame through the caller-owned scratch buffer.
+func readFrameBuf(r io.Reader, buf *[frameSize]byte) (message, error) {
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return message{}, err
 	}
@@ -133,19 +138,33 @@ func readFrame(r io.Reader) (message, error) {
 	}, nil
 }
 
-// writeRequest sends a request frame.
-func writeRequest(w io.Writer, op Op, obj cache.ObjectID, size int64) error {
-	return writeFrame(w, uint8(op), uint64(obj), uint64(size))
+// writeFrame is the convenience form for once-per-connection and test
+// traffic; per-frame paths use writeFrameBuf with a reused buffer.
+func writeFrame(w io.Writer, first uint8, a, b uint64) error {
+	var buf [frameSize]byte
+	return writeFrameBuf(w, &buf, first, a, b)
 }
 
-// writeResponse sends a response frame.
-func writeResponse(w io.Writer, st Status, a, b uint64) error {
-	return writeFrame(w, uint8(st), a, b)
+// readFrame is the convenience form of readFrameBuf; see writeFrame.
+func readFrame(r io.Reader) (message, error) {
+	var buf [frameSize]byte
+	return readFrameBuf(r, &buf)
 }
 
-// readResponse reads and validates a response frame.
-func readResponse(r io.Reader) (Status, uint64, uint64, error) {
-	m, err := readFrame(r)
+// writeRequest sends a request frame through the caller's scratch buffer.
+func writeRequest(w io.Writer, buf *[frameSize]byte, op Op, obj cache.ObjectID, size int64) error {
+	return writeFrameBuf(w, buf, uint8(op), uint64(obj), uint64(size))
+}
+
+// writeResponse sends a response frame through the caller's scratch buffer.
+func writeResponse(w io.Writer, buf *[frameSize]byte, st Status, a, b uint64) error {
+	return writeFrameBuf(w, buf, uint8(st), a, b)
+}
+
+// readResponse reads and validates a response frame through the caller's
+// scratch buffer.
+func readResponse(r io.Reader, buf *[frameSize]byte) (Status, uint64, uint64, error) {
+	m, err := readFrameBuf(r, buf)
 	if err != nil {
 		return StatusError, 0, 0, err
 	}

@@ -18,7 +18,8 @@ import (
 // error — never a zero-value message, never a hang.
 func TestReadFrameTruncated(t *testing.T) {
 	var full bytes.Buffer
-	if err := writeRequest(&full, OpGet, 42, 100); err != nil {
+	var scratch [frameSize]byte
+	if err := writeRequest(&full, &scratch, OpGet, 42, 100); err != nil {
 		t.Fatal(err)
 	}
 	raw := full.Bytes()
@@ -40,7 +41,8 @@ func TestReadFrameTruncated(t *testing.T) {
 // next read — the protocol never over-reads or over-allocates.
 func TestReadFrameConsumesExactlyOneFrame(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeRequest(&buf, OpAdmit, 7, 64); err != nil {
+	var scratch [frameSize]byte
+	if err := writeRequest(&buf, &scratch, OpAdmit, 7, 64); err != nil {
 		t.Fatal(err)
 	}
 	buf.WriteString("trailing")
@@ -59,22 +61,23 @@ func TestReadFrameConsumesExactlyOneFrame(t *testing.T) {
 // TestReadResponseCorruptStatus: a status byte outside the defined range is
 // a protocol violation, not a silently-propagated status.
 func TestReadResponseCorruptStatus(t *testing.T) {
+	var scratch [frameSize]byte
 	for _, bad := range []uint8{uint8(StatusShed) + 1, 42, 255} {
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, bad, 1, 2); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, err := readResponse(&buf); err == nil {
+		if _, _, _, err := readResponse(&buf, &scratch); err == nil {
 			t.Errorf("status byte %d was accepted", bad)
 		}
 	}
 	// All defined statuses round-trip.
 	for _, st := range []Status{StatusMiss, StatusHit, StatusOK, StatusError, StatusShed} {
 		var buf bytes.Buffer
-		if err := writeResponse(&buf, st, 3, 4); err != nil {
+		if err := writeResponse(&buf, &scratch, st, 3, 4); err != nil {
 			t.Fatal(err)
 		}
-		got, a, b, err := readResponse(&buf)
+		got, a, b, err := readResponse(&buf, &scratch)
 		if err != nil || got != st || a != 3 || b != 4 {
 			t.Errorf("status %d: got (%d,%d,%d,%v)", st, got, a, b, err)
 		}

@@ -196,9 +196,12 @@ func (s *Server) handle(conn net.Conn) {
 	// may shed rejections use StatusShed; older peers get StatusError,
 	// their established terminal-fault path.
 	shedOK := false
+	// scratch is this handler's frame marshal buffer, reused for every frame
+	// on the connection so the serve loop allocates nothing per request.
+	var scratch [frameSize]byte
 	for {
 		//lint:ignore deadline server handlers block on the next request by design: clients arm per-frame deadlines on their side, and Server.Close severs every open conn so a stalled client cannot pin the wait group
-		m, err := readFrame(conn)
+		m, err := readFrameBuf(conn, &scratch)
 		if err != nil {
 			return // client closed, malformed/truncated frame, or broken pipe
 		}
@@ -215,7 +218,7 @@ func (s *Server) handle(conn net.Conn) {
 				shedOK = true
 			}
 			//lint:ignore deadline response writes go to the kernel socket buffer of a loopback conn; a stalled client is severed by Server.Close
-			if err := writeResponse(conn, StatusOK, ProtocolVersion, granted); err != nil {
+			if err := writeResponse(conn, &scratch, StatusOK, ProtocolVersion, granted); err != nil {
 				return
 			}
 		case OpTraceContext:
@@ -228,7 +231,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			pending = &sc
 		default:
-			if err := s.serveOne(conn, m, pending, shedOK); err != nil {
+			if err := s.serveOne(conn, &scratch, m, pending, shedOK); err != nil {
 				return
 			}
 			pending = nil
@@ -246,7 +249,7 @@ func shedStatus(shedOK bool) Status {
 	return StatusError
 }
 
-func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext, shedOK bool) error {
+func (s *Server) serveOne(conn net.Conn, buf *[frameSize]byte, m message, sc *obs.SpanContext, shedOK bool) error {
 	var opStart time.Time
 	if s.tracer != nil && sc != nil && sc.Sampled {
 		opStart = time.Now()
@@ -325,7 +328,7 @@ func (s *Server) serveOne(conn net.Conn, m message, sc *obs.SpanContext, shedOK 
 		s.emitOpSpan(m, st, sc, opStart)
 	}
 	//lint:ignore deadline response writes go to the kernel socket buffer of a loopback conn; a client that never drains is severed by Server.Close, and blocking here models a congested ISL rather than failing the frame
-	return writeResponse(conn, st, a, b)
+	return writeResponse(conn, buf, st, a, b)
 }
 
 // opName labels server-side operation spans.
@@ -352,7 +355,7 @@ func opName(op Op) string {
 // -assemble subtracts from the client hop's wall time to attribute network
 // versus serving cost.
 func (s *Server) emitOpSpan(m message, st Status, sc *obs.SpanContext, start time.Time) {
-	s.tracer.Emit(&obs.Span{
+	s.tracer.Emit(&obs.Span{ //lint:ignore hotalloc operation span is built only for sampled requests carrying a propagated trace context
 		TraceID: sc.TraceString(),
 		SpanID:  obs.SpanIDString(s.tracer.NewSpanID()),
 		Parent:  obs.SpanIDString(sc.Parent),

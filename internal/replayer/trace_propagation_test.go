@@ -187,7 +187,8 @@ func v1Server(t *testing.T) (addr string, stop func()) {
 						st = StatusError
 					}
 					mu.Unlock()
-					if err := writeResponse(conn, st, 0, 0); err != nil {
+					var scratch [frameSize]byte
+					if err := writeResponse(conn, &scratch, st, 0, 0); err != nil {
 						return
 					}
 				}

@@ -107,7 +107,7 @@ func (po *popObs) record(r *trace.Request, req int64, sat orbit.SatID, totalMs f
 		sk := po.perSat[sat]
 		if sk == nil {
 			sk = po.reg.Sketch("starcdn_sketch_sat_serve_latency_ms", 0,
-				obs.L("sat", strconv.Itoa(int(sat))))
+				obs.L("sat", strconv.Itoa(int(sat)))) //lint:ignore hotalloc per-satellite label is formatted once, at the satellite's first serve; the sketch handle is cached
 			po.perSat[sat] = sk
 		}
 		sk.ObserveEx(totalMs, lex)
@@ -177,7 +177,7 @@ func (ro *runObs) record(out *Outcome, r *trace.Request, req int64, totalMs floa
 	if sat := out.ServerSat; sat >= 0 {
 		so := ro.perSat[sat]
 		if so == nil {
-			so = &satObs{rate: ro.reg.Gauge("starcdn_sim_sat_hit_rate",
+			so = &satObs{rate: ro.reg.Gauge("starcdn_sim_sat_hit_rate", //lint:ignore hotalloc one satObs and label per satellite, created at first sight and cached
 				obs.L("sat", strconv.Itoa(int(sat))))}
 			ro.perSat[sat] = so
 		}

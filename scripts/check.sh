@@ -9,10 +9,11 @@
 # the CI output itself.
 #
 #   phase 1 (static):  gofmt, go vet, starcdn-lint (with a wall-clock
-#                      budget), starcdn-lint -waivers, shard-audit drift
+#                      budget), starcdn-lint -waivers, shard-audit drift,
+#                      alloc-audit drift
 #   phase 2 (build):   go build (release), go build (starcdn_debug)
 #   phase 3 (test):    go test -race, go test -tags starcdn_debug
-#   phase 4 (smoke):   chaos pass, obs smoke, bench smoke
+#   phase 4 (smoke):   chaos pass, obs smoke, bench smoke, allocs/op budgets
 #
 # Usage: scripts/check.sh   (or `make check`)
 set -eu
@@ -54,10 +55,24 @@ step_shardaudit() {
 	}
 }
 
+# The hot-path allocation inventory must match its committed golden: a new
+# allocation reachable from the hot-path roots cannot land without
+# regenerating ALLOC_AUDIT.md (`make allocaudit`) and showing up in its
+# diff — even audit-only sites the hotalloc rule stays quiet about.
+step_allocaudit() {
+	go run ./cmd/starcdn-lint -allocaudit >"$TMP/alloc_audit.md"
+	diff -u ALLOC_AUDIT.md "$TMP/alloc_audit.md" || {
+		echo "ALLOC_AUDIT.md is stale; regenerate with \`make allocaudit\` and audit the diff"
+		return 1
+	}
+}
+
 # LINT_BUDGET caps the whole-tree lint run's wall-clock seconds. The
-# dataflow rules (CFG + lockset fixpoints) are the costliest analyses in
-# the suite; a pathological regression should fail CI, not creep.
-LINT_BUDGET=${LINT_BUDGET:-90}
+# dataflow rules (CFG + lockset fixpoints) and the hotalloc reachability
+# sweep are the costliest analyses in the suite; a pathological regression
+# should fail CI, not creep. Retimed for v4: the full suite (allocation
+# rules included) measures ~16s, so 60s is ~4x headroom.
+LINT_BUDGET=${LINT_BUDGET:-60}
 
 # assert_lint_budget: read the lint step's recorded wall-clock time and
 # fail the static phase if it blew the budget.
@@ -97,6 +112,57 @@ step_chaos() {
 step_obs() { sh scripts/obs_smoke.sh; }
 
 step_bench() { go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null; }
+
+# alloc_budget_of <benchmark>: read the allocs_per_op_budget recorded for a
+# benchmark entry in BENCH_core.json (the first budget key after the entry's
+# "benchmark" line).
+alloc_budget_of() {
+	awk -v name="\"$1\"" -F': *' '
+		$1 ~ /"benchmark"/ && index($2, name) { found = 1 }
+		found && $1 ~ /"allocs_per_op_budget"/ { gsub(/[ ,]/, "", $2); print $2; exit }
+	' BENCH_core.json
+}
+
+# allocs_of <output> <benchmark-prefix>: extract the allocs/op a -benchmem
+# run reported for the first benchmark line matching the prefix.
+allocs_of() {
+	awk -v name="$2" '
+		index($1, name) == 1 {
+			for (i = 1; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit }
+		}
+	' "$1"
+}
+
+# The allocs/op budgets from BENCH_core.json are a hard gate, not advisory
+# telemetry: the seeded sim hot path and the steady-state replay frame
+# exchange have pinned allocation counts, so a per-request allocation
+# regression fails CI here even when wall-clock noise would hide it.
+step_allocbudget() {
+	go test -run='^$' -bench '^BenchmarkSimHotPath$' -benchtime=1x -benchmem . >"$TMP/alloc_sim.bench"
+	go test -run='^$' -bench '^BenchmarkReplayFrame$/^get$/^hit$' -benchtime=2000x -benchmem ./internal/replayer/ >"$TMP/alloc_frame.bench"
+	rc=0
+	for spec in "BenchmarkSimHotPath:$TMP/alloc_sim.bench:BenchmarkSimHotPath" \
+		"BenchmarkReplayFrame:$TMP/alloc_frame.bench:BenchmarkReplayFrame/get/hit"; do
+		entry=${spec%%:*}
+		rest=${spec#*:}
+		out=${rest%%:*}
+		bench=${rest#*:}
+		budget=$(alloc_budget_of "$entry")
+		got=$(allocs_of "$out" "$bench")
+		if [ -z "$budget" ] || [ -z "$got" ]; then
+			echo "alloc budget: could not resolve $bench (budget='$budget' got='$got')"
+			rc=1
+			continue
+		fi
+		if [ "$got" -gt "$budget" ]; then
+			echo "alloc budget: $bench allocated $got allocs/op, budget is $budget (BENCH_core.json)"
+			rc=1
+		else
+			echo "alloc budget: $bench $got allocs/op <= $budget"
+		fi
+	done
+	return "$rc"
+}
 
 # --- phase driver -----------------------------------------------------
 
@@ -149,12 +215,14 @@ spawn vet step_vet
 spawn lint step_lint
 spawn waivers step_waivers
 spawn shardaudit step_shardaudit
+spawn allocaudit step_allocaudit
 reap fmt "gofmt"
 reap vet "go vet ./..."
 reap lint "starcdn-lint ./..."
 assert_lint_budget
 reap waivers "starcdn-lint -waivers ./... (waiver audit)"
 reap shardaudit "shard-audit drift (SHARD_AUDIT.md vs -shardaudit)"
+reap allocaudit "alloc-audit drift (ALLOC_AUDIT.md vs -allocaudit)"
 gate static
 
 spawn brel step_build_release
@@ -172,9 +240,11 @@ gate test
 spawn chaos step_chaos
 spawn obs step_obs
 spawn bench step_bench
+spawn allocbudget step_allocbudget
 reap chaos "chaos pass (-race -tags starcdn_debug)"
 reap obs "obs smoke (metrics endpoint + span tracing)"
 reap bench "bench smoke (-bench=. -benchtime=1x)"
+reap allocbudget "allocs/op budgets (BENCH_core.json)"
 gate smoke
 
 TOTAL_END=$(date +%s.%N)

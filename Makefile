@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint waivers shardaudit allocaudit fmt bench debug-test race chaos obs clean
+.PHONY: all build test check lint waivers shardaudit allocaudit fmt bench bench-check bench-update debug-test race chaos obs clean
 
 all: build
 
@@ -15,8 +15,9 @@ test:
 
 ## check: the repository's CI gate — fmt, vet, starcdn-lint + waiver audit,
 ## build (both tag sets), race tests, debug-invariant tests, a chaos pass,
-## an obs smoke, and a bench smoke. Independent steps run concurrently and
-## each reports its wall-clock time (see scripts/check.sh).
+## an obs smoke, a bench smoke, and the starcdn-bench regression gate
+## (alloc budgets + wall bound, alone in its own phase). Independent steps
+## run concurrently and each reports its wall-clock time (scripts/check.sh).
 check:
 	sh scripts/check.sh
 
@@ -50,6 +51,18 @@ fmt:
 ## bench: full benchmark run (figures regenerate; see bench_test.go).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+## bench-check: the statistical regression harness — rerun the recorded
+## suite at -count=8 and compare against the committed BENCH_*.json with
+## Mann-Whitney U at the medians (~15 minutes; DESIGN.md §11). `make check`
+## runs the cheap smoke mode of the same gate.
+bench-check:
+	$(GO) run ./cmd/starcdn-bench -check
+
+## bench-update: refresh the BENCH_*.json baselines in place from a full
+## statistical run; commit the diff alongside the change that explains it.
+bench-update:
+	$(GO) run ./cmd/starcdn-bench -update
 
 ## debug-test: test with the starcdn_debug invariant sanitizers armed.
 debug-test:

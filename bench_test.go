@@ -132,9 +132,14 @@ func BenchmarkSimHotPath(b *testing.B) {
 //	          io.Discard (the worst case: JSON encode per request)
 //	recorder — registry plus a flight recorder snapshotting every series on
 //	          a 15s simulated epoch (the /timeseries.json + SLO data source)
+//	phases+runtime — registry, recorder, the hot-path phase profiler
+//	          (obs.NewSimPhases marking every stage boundary) and the
+//	          runtime-metrics bridge, both flushing per recorder epoch —
+//	          the full performance-observability deployment
 //
-// The acceptance bar is ≤5% slowdown for the metrics variant and ≤2% extra
-// for the recorder on top of metrics.
+// The acceptance bar is ≤5% slowdown for the metrics variant, ≤2% extra for
+// the recorder on top of metrics, and ≤2% extra for phases+runtime on top of
+// metrics.
 func BenchmarkObsOverhead(b *testing.B) {
 	e := env()
 	tr, err := e.ProductionTrace("video")
@@ -177,6 +182,27 @@ func BenchmarkObsOverhead(b *testing.B) {
 				Recorder: obs.NewRecorder(reg, obs.RecorderOptions{
 					EpochSec: 15, Capacity: 1024,
 				}),
+			}
+		}},
+		{"metrics+phases+runtime", func() sim.Config {
+			// The full performance-observability stack: phase profiler marking
+			// every stage boundary on every request, runtime bridge sampling
+			// runtime/metrics, both flushed inside each recorder epoch. The
+			// byte-identical assertion below is the proof the timers cannot
+			// change results.
+			reg := obs.NewRegistry()
+			rec := obs.NewRecorder(reg, obs.RecorderOptions{
+				EpochSec: 15, Capacity: 1024,
+			})
+			ph := obs.NewSimPhases(reg)
+			ph.BindRecorder(rec)
+			rt := obs.NewRuntimeBridge(reg)
+			rt.BindRecorder(rec)
+			return sim.Config{
+				Seed:     e.Scale.Seed,
+				Metrics:  reg,
+				Recorder: rec,
+				Phases:   ph,
 			}
 		}},
 	}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureBaseline builds an in-memory baseline with one multi-variant
+// benchmark and one bare-name benchmark carrying an allocs/op budget.
+func fixtureBaseline() *baselineFile {
+	budget := int64(76000)
+	allocs := int64(74829)
+	return &baselineFile{
+		Benchmarks: []*baselineBench{
+			{
+				Benchmark:   "BenchmarkObsOverhead",
+				Description: "fixture",
+				Results: []*baselineResult{
+					{Variant: "off",
+						NsPerOpRuns:   []int64{2390, 2395, 2400, 2405, 2410, 2415, 2420, 2425},
+						NsPerOpMedian: 2407},
+					{Variant: "metrics",
+						NsPerOpRuns:   []int64{2500, 2505, 2510, 2515, 2520, 2525, 2530, 2535},
+						NsPerOpMedian: 2517},
+				},
+			},
+			{
+				Benchmark:    "BenchmarkSimHotPath",
+				AllocsBudget: &budget,
+				Results: []*baselineResult{
+					{Variant: "hashing+relay/LRU",
+						NsPerOpRuns:   []int64{2600, 2610, 2620, 2630, 2640, 2650, 2660, 2670},
+						NsPerOpMedian: 2635,
+						RequestsPerOp: 150000,
+						AllocsPerOp:   &allocs},
+				},
+			},
+		},
+	}
+}
+
+// mkRuns fabricates count parsed runs spread symmetrically (±0.7%) around a
+// base ns/op, so the fabricated median sits at the base.
+func mkRuns(name string, base float64, count int, allocs int64, hasAllocs bool) []benchRun {
+	out := make([]benchRun, count)
+	for i := range out {
+		off := (float64(i) - float64(count-1)/2) * 0.002
+		out[i] = benchRun{Name: name, N: 5,
+			NsPerOp: base * (1 + off), AllocsPerOp: allocs, HasAllocs: hasAllocs}
+	}
+	return out
+}
+
+// TestEvalFullFlagsInjectedRegression is the harness's own acceptance check:
+// a synthetic 1.3x slowdown on one variant must come back "regressed" at
+// significance while an unchanged variant stays indistinguishable.
+func TestEvalFullFlagsInjectedRegression(t *testing.T) {
+	f := fixtureBaseline()
+	groups := map[string][]benchRun{}
+	for _, r := range mkRuns("BenchmarkObsOverhead/off", 2407, 8, 0, false) {
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	for _, r := range mkRuns("BenchmarkObsOverhead/metrics", 2517*1.3, 8, 0, false) {
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	vs := evalFull(&baselineFile{Benchmarks: f.Benchmarks[:1]}, groups)
+	byVariant := map[string]Verdict{}
+	for _, v := range vs {
+		byVariant[v.Variant] = v
+	}
+	if got := byVariant["metrics"]; got.Verdict != verdictRegressed {
+		t.Errorf("injected 1.3x regression: verdict %q (p=%v), want %q", got.Verdict, got.P, verdictRegressed)
+	}
+	if got := byVariant["metrics"]; got.EffectPct < 25 || got.EffectPct > 35 {
+		t.Errorf("effect size %v%%, want ~30%%", got.EffectPct)
+	}
+	if got := byVariant["off"]; got.Verdict != verdictIndist {
+		t.Errorf("unchanged variant: verdict %q (p=%v), want %q", got.Verdict, got.P, verdictIndist)
+	}
+	if !anyFailure(vs) {
+		t.Error("verdict set with a regression must fail the gate")
+	}
+}
+
+// TestEvalFullImprovement: a clear speedup comes back "improved" and passes.
+func TestEvalFullImprovement(t *testing.T) {
+	f := fixtureBaseline()
+	groups := map[string][]benchRun{}
+	for _, r := range mkRuns("BenchmarkObsOverhead/off", 2407*0.7, 8, 0, false) {
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	for _, r := range mkRuns("BenchmarkObsOverhead/metrics", 2517, 8, 0, false) {
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	vs := evalFull(&baselineFile{Benchmarks: f.Benchmarks[:1]}, groups)
+	for _, v := range vs {
+		if v.Variant == "off" && v.Verdict != verdictImproved {
+			t.Errorf("0.7x runs: verdict %q, want %q", v.Verdict, verdictImproved)
+		}
+	}
+	if anyFailure(vs) {
+		t.Error("improvement must not fail the gate")
+	}
+}
+
+// TestEvalFullMissingVariant: a baseline variant absent from fresh output
+// fails (a renamed benchmark must not silently drop out of the gate).
+func TestEvalFullMissingVariant(t *testing.T) {
+	f := fixtureBaseline()
+	groups := map[string][]benchRun{}
+	for _, r := range mkRuns("BenchmarkObsOverhead/off", 2407, 8, 0, false) {
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	vs := evalFull(&baselineFile{Benchmarks: f.Benchmarks[:1]}, groups)
+	found := false
+	for _, v := range vs {
+		if v.Variant == "metrics" && v.Verdict == verdictMissing {
+			found = true
+		}
+	}
+	if !found || !anyFailure(vs) {
+		t.Errorf("missing variant not flagged: %+v", vs)
+	}
+}
+
+// TestEvalAllocBudget: bare-name benchmark resolution plus the hard
+// allocs/op ceiling, in both full and smoke modes.
+func TestEvalAllocBudget(t *testing.T) {
+	f := fixtureBaseline()
+	over := map[string][]benchRun{
+		"BenchmarkSimHotPath": mkRuns("BenchmarkSimHotPath", 2635, 8, 80000, true),
+	}
+	sub := &baselineFile{Benchmarks: f.Benchmarks[1:]}
+	for name, eval := range map[string]func(*baselineFile, map[string][]benchRun) []Verdict{
+		"full": evalFull, "smoke": evalSmoke,
+	} {
+		vs := eval(sub, over)
+		if len(vs) != 1 || vs[0].Verdict != verdictAllocs {
+			t.Errorf("%s: 80000 allocs vs 76000 budget: %+v", name, vs)
+		}
+	}
+	within := map[string][]benchRun{
+		"BenchmarkSimHotPath": mkRuns("BenchmarkSimHotPath", 2635, 8, 74829, true),
+	}
+	vs := evalFull(sub, within)
+	if len(vs) != 1 || vs[0].fails() {
+		t.Errorf("within budget: %+v", vs)
+	}
+}
+
+// TestEvalSmokeWallBound: smoke mode tolerates noise up to the slack bound
+// and fails beyond it.
+func TestEvalSmokeWallBound(t *testing.T) {
+	f := fixtureBaseline()
+	sub := &baselineFile{Benchmarks: f.Benchmarks[1:]}
+	ok := map[string][]benchRun{
+		"BenchmarkSimHotPath": mkRuns("BenchmarkSimHotPath", 2635*1.3, 1, 74829, true),
+	}
+	if vs := evalSmoke(sub, ok); len(vs) != 1 || vs[0].Verdict != verdictSmokeOK {
+		t.Errorf("1.3x smoke run within 1.5x slack: %+v", vs)
+	}
+	slow := map[string][]benchRun{
+		"BenchmarkSimHotPath": mkRuns("BenchmarkSimHotPath", 2635*2, 1, 74829, true),
+	}
+	if vs := evalSmoke(sub, slow); len(vs) != 1 || vs[0].Verdict != verdictRegressed {
+		t.Errorf("2x smoke run past slack: %+v", vs)
+	}
+	// Variants with no fresh runs are skipped, not failed.
+	if vs := evalSmoke(sub, map[string][]benchRun{}); len(vs) != 1 || vs[0].Verdict != verdictSkipped || vs[0].fails() {
+		t.Errorf("absent smoke runs: %+v", vs)
+	}
+}
+
+// TestUpdateRoundTrip: -update rewrites runs/medians/derived figures in a
+// temp file while preserving prose fields, budgets, and host strings, and
+// appends newly appearing sub-bench variants.
+func TestUpdateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fixture.json")
+	f := fixtureBaseline()
+	f.Benchmarks[0].Host = "fixture-host"
+	note := "cold-start amortization"
+	f.Benchmarks[1].AllocsBudgetNote = note
+	if err := saveBaseline(path, f); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var runs []benchRun
+	runs = append(runs, mkRuns("BenchmarkObsOverhead/off", 3000, 8, 0, false)...)
+	runs = append(runs, mkRuns("BenchmarkObsOverhead/metrics", 3300, 8, 0, false)...)
+	runs = append(runs, mkRuns("BenchmarkObsOverhead/metrics+phases+runtime", 3350, 8, 0, false)...)
+	spec := benchSpecs[2] // BenchmarkObsOverhead
+	if err := applyUpdate(loaded, spec, runs); err != nil {
+		t.Fatal(err)
+	}
+	simRuns := mkRuns("BenchmarkSimHotPath", 2700, 8, 74500, true)
+	if err := applyUpdate(loaded, benchSpecs[0], simRuns); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveBaseline(path, loaded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := got.findBench("BenchmarkObsOverhead")
+	if obs == nil || obs.Host != "fixture-host" || obs.Description != "fixture" {
+		t.Fatalf("prose fields not preserved: %+v", obs)
+	}
+	if obs.Command != benchSpecs[2].commandString() {
+		t.Errorf("command not rewritten: %q", obs.Command)
+	}
+	off := obs.findResult("off")
+	if off == nil || len(off.NsPerOpRuns) != 8 || off.NsPerOpMedian < 3000 {
+		t.Fatalf("off runs not rewritten: %+v", off)
+	}
+	met := obs.findResult("metrics")
+	if met == nil || met.OverheadOff == nil || *met.OverheadOff < 5 || *met.OverheadOff > 15 {
+		t.Errorf("metrics overhead_vs_off not recomputed: %+v", met)
+	}
+	pr := obs.findResult("metrics+phases+runtime")
+	if pr == nil {
+		t.Fatal("new variant not appended")
+	}
+	if pr.OverheadMet == nil || *pr.OverheadMet < 0.5 || *pr.OverheadMet > 3 {
+		t.Errorf("phases+runtime overhead_vs_metrics not derived: %+v", pr)
+	}
+
+	sim := got.findBench("BenchmarkSimHotPath")
+	if sim.AllocsBudgetNote != note || sim.AllocsBudget == nil || *sim.AllocsBudget != 76000 {
+		t.Errorf("budget fields not preserved: %+v", sim)
+	}
+	r := sim.Results[0]
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 74500 {
+		t.Errorf("allocs/op not rewritten: %+v", r)
+	}
+	if r.RequestsPerSec == 0 || r.RequestsPerOp != 150000 {
+		t.Errorf("throughput not recomputed: %+v", r)
+	}
+
+	// The rewritten file stays loadable under DisallowUnknownFields and ends
+	// with a newline (committed-file hygiene).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		t.Error("saved baseline missing trailing newline")
+	}
+}
+
+// TestLoadCommittedBaselines: the real committed files parse under the strict
+// decoder and every spec has its entry.
+func TestLoadCommittedBaselines(t *testing.T) {
+	root := "../.."
+	for _, spec := range benchSpecs {
+		f, err := loadBaseline(filepath.Join(root, spec.file))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.file, err)
+		}
+		b := f.findBench(spec.name)
+		if b == nil {
+			t.Fatalf("%s: no %s entry", spec.file, spec.name)
+		}
+		for _, r := range b.Results {
+			if len(r.NsPerOpRuns) == 0 || r.NsPerOpMedian == 0 {
+				t.Errorf("%s/%s: empty runs in committed baseline", spec.name, r.Variant)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// alpha is the two-sided significance level for the Mann–Whitney verdicts.
+const alpha = 0.05
+
+// median returns the sample median (0 on empty input).
+func median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP runs the two-sided Mann–Whitney U test (benchstat-style) on
+// two samples and returns the p-value under the normal approximation with
+// tie-corrected variance and continuity correction. Degenerate inputs —
+// either sample smaller than minSamples, or zero variance (all observations
+// identical) — return 1: no evidence of a difference.
+//
+// The normal approximation is what benchstat uses for n ≥ 8 and is
+// conservative below that; with the suite's 8-run baselines it matches the
+// exact test to well within the alpha used here.
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if len(a) < minSamples || len(b) < minSamples {
+		return 1
+	}
+
+	// Rank the pooled sample, averaging ranks across ties.
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	pool := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		pool = append(pool, obs{v, 0})
+	}
+	for _, v := range b {
+		pool = append(pool, obs{v, 1})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	ranks := make([]float64, len(pool))
+	tieTerm := 0.0 // sum of t^3 - t over tie groups
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	r1 := 0.0
+	for i, o := range pool {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u := math.Min(u1, u2)
+
+	n := n1 + n2
+	mean := n1 * n2 / 2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		return 1 // every pooled observation identical
+	}
+	// Continuity correction pulls |U - mean| toward zero by 0.5.
+	z := math.Abs(u-mean) - 0.5
+	if z < 0 {
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2) // two-sided
+}
+
+// minSamples is the fewest observations per side worth testing: below three
+// the test cannot reach alpha=0.05 anyway.
+const minSamples = 3
+
+// effectPct is the median-delta effect size: how far the fresh median moved
+// from the baseline median, in percent (positive = slower).
+func effectPct(baseMedian, freshMedian float64) float64 {
+	if baseMedian == 0 {
+		return 0
+	}
+	return (freshMedian - baseMedian) / baseMedian * 100
+}
+
+// round1 rounds to one decimal, the precision the BENCH_*.json overhead
+// fields carry.
+func round1(x float64) float64 { return math.Round(x*10) / 10 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// median must not mutate its input.
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("median mutated its input: %v", in)
+	}
+}
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{100, 101, 102, 103, 104, 105, 106, 107}
+	p := mannWhitneyP(a, a)
+	if p < 0.9 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+}
+
+func TestMannWhitneyShifted(t *testing.T) {
+	// 8 noisy runs vs the same set scaled by 1.3x — a clear regression that
+	// must cross alpha with completely disjoint supports.
+	a := []float64{2990, 3010, 3050, 3100, 3150, 3200, 3230, 3260}
+	b := make([]float64, len(a))
+	for i, v := range a {
+		b[i] = v * 1.3
+	}
+	p := mannWhitneyP(a, b)
+	if p >= alpha {
+		t.Errorf("1.3x-shifted samples: p = %v, want < %v", p, alpha)
+	}
+}
+
+func TestMannWhitneySmallSamples(t *testing.T) {
+	// Below minSamples the test declines to judge.
+	if p := mannWhitneyP([]float64{1, 2}, []float64{100, 200, 300}); p != 1 {
+		t.Errorf("undersized sample: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	if p := mannWhitneyP(a, a); p != 1 {
+		t.Errorf("zero-variance pool: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyOverlapIndistinguishable(t *testing.T) {
+	// Interleaved samples from the same distribution should not reach alpha.
+	a := []float64{100, 104, 98, 103, 101, 99, 102, 105}
+	b := []float64{101, 99, 103, 100, 104, 98, 105, 102}
+	if p := mannWhitneyP(a, b); p < alpha {
+		t.Errorf("interleaved samples: p = %v, want >= %v", p, alpha)
+	}
+}
+
+func TestEffectPct(t *testing.T) {
+	if got := effectPct(100, 130); math.Abs(got-30) > 1e-9 {
+		t.Errorf("effectPct(100, 130) = %v, want 30", got)
+	}
+	if got := effectPct(100, 90); math.Abs(got+10) > 1e-9 {
+		t.Errorf("effectPct(100, 90) = %v, want -10", got)
+	}
+	if got := effectPct(0, 50); got != 0 {
+		t.Errorf("effectPct(0, 50) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,200 @@
+package main
+
+import "fmt"
+
+// Verdict is one machine-readable comparison of a fresh run against its
+// committed baseline — the harness's output schema (DESIGN.md §11).
+type Verdict struct {
+	Benchmark        string  `json:"benchmark"`
+	Variant          string  `json:"variant"`
+	Verdict          string  `json:"verdict"`
+	P                float64 `json:"p,omitempty"`
+	BaselineMedianNs int64   `json:"baseline_median_ns,omitempty"`
+	MedianNs         int64   `json:"median_ns,omitempty"`
+	EffectPct        float64 `json:"effect_pct,omitempty"`
+	AllocsPerOp      *int64  `json:"allocs_per_op,omitempty"`
+	AllocsBudget     *int64  `json:"allocs_per_op_budget,omitempty"`
+	Detail           string  `json:"detail,omitempty"`
+}
+
+// Verdict values. Only regressed/alloc-regressed/missing fail the gate:
+// improved means faster at significance (refresh the baseline when it
+// sticks), indistinguishable means the difference is inside the noise.
+const (
+	verdictImproved   = "improved"
+	verdictRegressed  = "regressed"
+	verdictIndist     = "indistinguishable"
+	verdictAllocs     = "alloc-regressed"
+	verdictSmokeOK    = "smoke-ok"
+	verdictMissing    = "missing"
+	verdictNew        = "new-variant"
+	verdictSkipped    = "skipped"
+	verdictSmokeSlack = 1.5 // smoke wall bound: single run vs baseline median
+)
+
+// fails reports whether a verdict fails the CI gate.
+func (v Verdict) fails() bool {
+	switch v.Verdict {
+	case verdictRegressed, verdictAllocs, verdictMissing:
+		return true
+	}
+	return false
+}
+
+// freshRuns resolves the output runs for a baseline (benchmark, variant)
+// pair. Sub-benchmarks report as "Benchmark/variant"; a benchmark with a
+// single decorative variant ("hashing+relay/LRU") reports under its bare
+// name.
+func freshRuns(groups map[string][]benchRun, bench, variant string, nResults int) []benchRun {
+	if rs := groups[bench+"/"+variant]; len(rs) > 0 {
+		return rs
+	}
+	if nResults == 1 {
+		return groups[bench]
+	}
+	return nil
+}
+
+// nsValues extracts the ns/op samples.
+func nsValues(runs []benchRun) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.NsPerOp
+	}
+	return out
+}
+
+// lastAllocs returns the final reported allocs/op (benchmem runs repeat the
+// figure per -count run; they are identical for seeded benchmarks).
+func lastAllocs(runs []benchRun) (int64, bool) {
+	for i := len(runs) - 1; i >= 0; i-- {
+		if runs[i].HasAllocs {
+			return runs[i].AllocsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+// evalFull compares every recorded variant of a baseline file against fresh
+// full-mode runs: Mann–Whitney on the run sets for the wall-clock verdict,
+// plus the hard allocs/op budget where the baseline records one.
+func evalFull(f *baselineFile, groups map[string][]benchRun) []Verdict {
+	var out []Verdict
+	for _, b := range f.Benchmarks {
+		for _, r := range b.Results {
+			v := Verdict{Benchmark: b.Benchmark, Variant: r.Variant,
+				BaselineMedianNs: r.NsPerOpMedian}
+			runs := freshRuns(groups, b.Benchmark, r.Variant, len(b.Results))
+			if len(runs) == 0 {
+				v.Verdict = verdictMissing
+				v.Detail = "variant produced no fresh runs (renamed or deleted benchmark?)"
+				out = append(out, v)
+				continue
+			}
+			fresh := nsValues(runs)
+			v.MedianNs = int64(median(fresh))
+			v.P = mannWhitneyP(r.runsFloat(), fresh)
+			v.EffectPct = round1(effectPct(float64(r.NsPerOpMedian), median(fresh)))
+			switch {
+			case v.P < alpha && v.MedianNs > r.NsPerOpMedian:
+				v.Verdict = verdictRegressed
+			case v.P < alpha:
+				v.Verdict = verdictImproved
+			default:
+				v.Verdict = verdictIndist
+			}
+			if av := allocVerdict(b, r, runs); av != "" {
+				v.Verdict = verdictAllocs
+				v.Detail = av
+				a, _ := lastAllocs(runs)
+				v.AllocsPerOp = &a
+				v.AllocsBudget = b.AllocsBudget
+			}
+			out = append(out, v)
+		}
+		// Fresh sub-bench variants the baseline does not know yet: surfaced
+		// so -update can be run to record them, but not a failure.
+		for name := range groups {
+			if !hasPrefixVariant(name, b.Benchmark) {
+				continue
+			}
+			variant := name[len(b.Benchmark)+1:]
+			if b.findResult(variant) == nil {
+				out = append(out, Verdict{Benchmark: b.Benchmark, Variant: variant,
+					Verdict: verdictNew, Detail: "not in baseline; run -update to record it"})
+			}
+		}
+	}
+	return out
+}
+
+// evalSmoke is the CI gate's cheap mode: one run per smoke benchmark, hard
+// allocs/op budgets (seeded, so deterministic), and a widened wall-clock
+// bound — fail only when the single run lands more than verdictSmokeSlack
+// times the committed median (the statistical comparison needs the full
+// 8-run mode). Variants outside the smoke set are skipped, not failed.
+func evalSmoke(f *baselineFile, groups map[string][]benchRun) []Verdict {
+	var out []Verdict
+	for _, b := range f.Benchmarks {
+		for _, r := range b.Results {
+			v := Verdict{Benchmark: b.Benchmark, Variant: r.Variant,
+				BaselineMedianNs: r.NsPerOpMedian}
+			runs := freshRuns(groups, b.Benchmark, r.Variant, len(b.Results))
+			if len(runs) == 0 {
+				v.Verdict = verdictSkipped
+				out = append(out, v)
+				continue
+			}
+			fresh := median(nsValues(runs))
+			v.MedianNs = int64(fresh)
+			v.EffectPct = round1(effectPct(float64(r.NsPerOpMedian), fresh))
+			v.Verdict = verdictSmokeOK
+			if fresh > verdictSmokeSlack*float64(r.NsPerOpMedian) {
+				v.Verdict = verdictRegressed
+				v.Detail = fmt.Sprintf("single smoke run %.1fx the committed median (bound %.1fx)",
+					fresh/float64(r.NsPerOpMedian), verdictSmokeSlack)
+			}
+			if av := allocVerdict(b, r, runs); av != "" {
+				v.Verdict = verdictAllocs
+				v.Detail = av
+				a, _ := lastAllocs(runs)
+				v.AllocsPerOp = &a
+				v.AllocsBudget = b.AllocsBudget
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// allocVerdict enforces the benchmark's hard allocs/op ceiling. The budget
+// applies to the variants whose baseline entry records an allocs_per_op
+// figure (the budgeted hot paths); "" means within budget or not applicable.
+func allocVerdict(b *baselineBench, r *baselineResult, runs []benchRun) string {
+	if b.AllocsBudget == nil || r.AllocsPerOp == nil {
+		return ""
+	}
+	got, ok := lastAllocs(runs)
+	if !ok {
+		return "baseline records allocs/op but the fresh run carried none (-benchmem missing?)"
+	}
+	if got > *b.AllocsBudget {
+		return fmt.Sprintf("%d allocs/op over the %d budget", got, *b.AllocsBudget)
+	}
+	return ""
+}
+
+// hasPrefixVariant reports whether name is a sub-benchmark of bench.
+func hasPrefixVariant(name, bench string) bool {
+	return len(name) > len(bench)+1 && name[:len(bench)] == bench && name[len(bench)] == '/'
+}
+
+// anyFailure reports whether a verdict set fails the gate.
+func anyFailure(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.fails() {
+			return true
+		}
+	}
+	return false
+}

@@ -52,9 +52,15 @@ func (ruleMetricName) Applies(relPath string) bool { return true }
 // dashboard group. A new subsystem earns its entry here in the same PR that
 // introduces its first metric ("shed" arrived with the overload controller).
 var metricFamilies = []string{
-	"cache", "client", "cluster", "fixture", "popularity", "replay",
-	"server", "shed", "sim", "sketch", "slo", "test",
+	"cache", "client", "cluster", "fixture", "go", "phase", "popularity",
+	"replay", "server", "shed", "sim", "sketch", "slo", "test",
 }
+
+// metricGoUnitless are the suffixes the runtime-bridge family may carry
+// without a unit: inherently countable quantities sampled from
+// runtime/metrics. Everything else under starcdn_go_* needs a unit suffix so
+// the dashboard can format it.
+var metricGoUnitless = []string{"_goroutines", "_cycles"}
 
 // metricFamily extracts the component after the starcdn_ prefix, up to the
 // next underscore. Call only on well-formed names.
@@ -179,6 +185,37 @@ func (r ruleMetricName) Check(tree *Tree, pkg *Package) []Diagnostic {
 			for _, s := range metricReservedSuffixes {
 				if strings.HasSuffix(name, s) {
 					flag(call, fmt.Sprintf("metric name %q ends in %s, reserved for the recorder's histogram fan-out", name, s))
+					return true
+				}
+			}
+			// Family-specific unit discipline. Phase timers are always
+			// seconds-histograms (the profiler's exposition contract);
+			// runtime-bridge series carry a unit suffix unless they count an
+			// inherently unitless runtime quantity.
+			switch fam {
+			case "phase":
+				if !strings.HasSuffix(name, "_seconds") {
+					flag(call, fmt.Sprintf("phase-family series %q must end in _seconds (phase timers are seconds-histograms)", name))
+					return true
+				}
+			case "go":
+				unitless := false
+				for _, s := range metricGoUnitless {
+					if strings.HasSuffix(name, s) {
+						unitless = true
+						break
+					}
+				}
+				unit := false
+				for _, s := range metricUnitSuffixes {
+					if strings.HasSuffix(name, s) {
+						unit = true
+						break
+					}
+				}
+				if !unitless && !unit {
+					flag(call, fmt.Sprintf("go-family series %q must end in a unit suffix (%s) or a unitless runtime count (%s)",
+						name, strings.Join(metricUnitSuffixes, ", "), strings.Join(metricGoUnitless, ", ")))
 					return true
 				}
 			}

@@ -92,4 +92,16 @@ func register(r *Registry, shard string) {
 	r.Counter("starcdn_fixture_events_total", L("object_id", "42")) // want metricname
 	r.Gauge("starcdn_fixture_depth", L("user", "u-1934"))           // want metricname
 	r.Counter("starcdn_fixture_events_total", L(shard, "x"))
+
+	// Performance-observability families: phase timers are seconds-histograms
+	// by contract; runtime-bridge gauges carry a unit suffix or name a
+	// unitless runtime count.
+	r.Histogram("starcdn_phase_stage_seconds", nil, L("pipeline", "sim"), L("stage", "cache"))
+	r.Gauge("starcdn_go_goroutines")
+	r.Gauge("starcdn_go_gc_cycles")
+	r.Gauge("starcdn_go_heap_objects_bytes")
+	r.Gauge("starcdn_go_gc_pause_last_seconds")
+	r.Histogram("starcdn_phase_stage_ms", nil) // want metricname
+	r.Counter("starcdn_phase_flushes_total")   // want metricname
+	r.Gauge("starcdn_go_sched_latency")        // want metricname
 }

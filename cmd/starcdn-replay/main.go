@@ -76,6 +76,7 @@ func main() {
 
 		sketches = flag.Bool("sketches", false, "streaming sketch telemetry: top-K object/satellite/bucket popularity and a wall-latency quantile sketch with trace exemplars (exposed on /popularity.json with -metrics-addr)")
 
+		phasesOn    = flag.Bool("phases", false, "attribute round-trip time to pipeline stages (starcdn_phase_* histograms with -metrics-addr, end-of-run breakdown always); never changes results")
 		recordEpoch = flag.Duration("record-epoch", 0, "flight-recorder snapshot interval (wall clock; 0 disables; e.g. 1s)")
 		sloP99Ms    = flag.Float64("slo-p99-ms", 0, "SLO: p99 client frame latency <= this many ms over -slo-window (0 disables; requires -record-epoch)")
 		sloHitRate  = flag.Float64("slo-hit-rate", 0, "SLO: request hit rate >= this fraction over -slo-window (0 disables; requires -record-epoch)")
@@ -260,6 +261,17 @@ func main() {
 		log.Fatal("SLO flags require -record-epoch (objectives evaluate per recorder epoch)")
 	}
 
+	// Phase profiler: attributes round-trip wall time to the dial /
+	// frame-write / frame-read / retry stages. Works without a registry
+	// (breakdown only); with a recorder the per-epoch stage costs land in
+	// the rings.
+	var phases *obs.PhaseProfiler
+	if *phasesOn {
+		phases = obs.NewReplayPhases(reg)
+		phases.BindRecorder(recorder)
+		opts.Phases = phases
+	}
+
 	// Overload control: one controller closes the loop on both sides — the
 	// client pipeline consults it per request (Options.Shedder) and every
 	// satellite server enforces its stage at the wire (ServerOptions.Shedder),
@@ -290,11 +302,14 @@ func main() {
 
 	if *metricsAddr != "" {
 		health := sloEngine.Health(cluster.Health)
+		runtimeBridge := obs.NewRuntimeBridge(reg)
+		runtimeBridge.BindRecorder(recorder)
 		serveOpts := obs.ServeOptions{
 			Registry: reg,
 			Health:   health,
 			Recorder: recorder,
 			SLOs:     sloEngine,
+			Runtime:  runtimeBridge,
 		}
 		if shedCtrl != nil {
 			serveOpts.Health = shedCtrl.Health(health)
@@ -339,6 +354,10 @@ func main() {
 			st.Refused, st.Resets, st.Stalls, st.Truncations, st.Dials)
 	}
 	fmt.Printf("wall time:        %s\n", elapsed.Round(time.Millisecond))
+	if phases != nil {
+		phases.FlushEpoch()
+		fmt.Print(phases.String())
+	}
 	if opts.Tracer != nil {
 		// Flush spans before any linger so killing the process mid-linger
 		// cannot lose trace data.

@@ -41,6 +41,7 @@ func main() {
 		traceSample   = flag.Float64("trace-sample", 1, "fraction of requests to trace (deterministic per-request hash)")
 		traceSeed     = flag.Int64("trace-seed", 1, "seed for the trace sampling hash")
 		recordEpoch   = flag.Float64("record-epoch", 0, "flight-recorder epoch in simulated seconds (0 disables; requires -metrics-addr); enables /timeseries.json and /dashboard")
+		phasesOn      = flag.Bool("phases", false, "attribute hot-path time to pipeline stages (starcdn_phase_* histograms with -metrics-addr, end-of-run breakdown always); never changes results")
 
 		shedOn    = flag.Bool("shed", false, "wire a fresh overload controller into every run (graded load shedding under §3.4 degradation; changes results by design)")
 		shedEpoch = flag.Float64("shed-epoch-sec", 15, "overload-controller epoch in simulated seconds (with -shed)")
@@ -97,11 +98,16 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		env.Obs = obs.NewRegistry()
+		var runtimeBridge *obs.RuntimeBridge
 		if *recordEpoch > 0 {
 			// The recorder ticks on simulated time: sim.Run advances it per
 			// request, so epochs line up with the trace clock, not wall time.
 			env.Recorder = obs.NewRecorder(env.Obs, obs.RecorderOptions{EpochSec: *recordEpoch})
 		}
+		// The runtime bridge rides the recorder's epochs when there is one;
+		// otherwise /healthz and the dashboard sample it on demand.
+		runtimeBridge = obs.NewRuntimeBridge(env.Obs)
+		runtimeBridge.BindRecorder(env.Recorder)
 		srv, err := obs.ServeWith(*metricsAddr, obs.ServeOptions{
 			Registry: env.Obs,
 			Health: func() obs.Health {
@@ -110,6 +116,7 @@ func main() {
 				return obs.Health{OK: true, Note: "in-process simulator"}
 			},
 			Recorder: env.Recorder,
+			Runtime:  runtimeBridge,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
@@ -117,6 +124,13 @@ func main() {
 		}
 		defer func() { _ = srv.Close() }()
 		fmt.Printf("metrics: listening on %s\n", srv.Addr())
+	}
+	if *phasesOn {
+		// With a registry the per-epoch stage costs also land in
+		// starcdn_phase_* histograms (and, via the recorder, in
+		// /timeseries.json); without one only the breakdown accumulates.
+		env.Phases = obs.NewSimPhases(env.Obs)
+		env.Phases.BindRecorder(env.Recorder)
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -158,6 +172,10 @@ func main() {
 	if env.Recorder != nil {
 		fmt.Printf("recorder: %d epochs at %gs (simulated time)\n",
 			env.Recorder.Epochs(), env.Recorder.EpochSec())
+	}
+	if env.Phases != nil {
+		env.Phases.FlushEpoch()
+		fmt.Print(env.Phases.String())
 	}
 	if *metricsAddr != "" && *metricsLinger > 0 {
 		fmt.Printf("metrics: lingering %s for scrapes\n", *metricsLinger)

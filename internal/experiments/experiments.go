@@ -93,6 +93,11 @@ type Env struct {
 	// Recorder, when non-nil, ticks on simulated time through every run,
 	// turning Obs into a flight-recorder time series (sim.Config.Recorder).
 	Recorder *obs.Recorder
+	// Phases, when non-nil, attributes every run's hot-path wall-clock cost
+	// to the sim pipeline stages (sim.Config.Phases; build with
+	// obs.NewSimPhases). Like Obs/Tracer it cannot alter results — reports
+	// are byte-identical with phases on or off.
+	Phases *obs.PhaseProfiler
 	// ShedConfig, when non-nil, wires a fresh overload controller into every
 	// simulation run (sim.Config.Shedder). Fresh per run: the controller's
 	// stage machine and session table are stateful, and sharing one across
@@ -248,6 +253,7 @@ func (e *Env) runSchemeUncached(constKey, scheme string, l int, cacheBytes int64
 	cfg.Tracer = e.Tracer
 	cfg.Sketches = e.Sketches
 	cfg.Recorder = e.Recorder
+	cfg.Phases = e.Phases
 	if e.ShedConfig != nil {
 		shedCfg := *e.ShedConfig
 		shedCfg.Metrics = e.Obs

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"starcdn/internal/obs"
+)
+
+// TestPhasesDoNotChangeReports extends the byte-identical-reports contract
+// to the phase profiler and runtime bridge: a full profiling stack (phases
+// bound to a flight recorder, runtime bridge sampling each epoch) must leave
+// every emitted report byte-identical to an uninstrumented run — the
+// ISSUE 10 acceptance criterion for the hot-path timers.
+func TestPhasesDoNotChangeReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented sweep in short mode")
+	}
+	names := []string{"fig6", "fig10-l4"}
+
+	run := func(instrument bool) (map[string]string, *obs.PhaseProfiler) {
+		e := NewEnv(tinyScale())
+		var phases *obs.PhaseProfiler
+		if instrument {
+			reg := obs.NewRegistry()
+			rec := obs.NewRecorder(reg, obs.RecorderOptions{EpochSec: 15})
+			phases = obs.NewSimPhases(reg)
+			phases.BindRecorder(rec)
+			rt := obs.NewRuntimeBridge(reg)
+			rt.BindRecorder(rec)
+			e.Obs = reg
+			e.Recorder = rec
+			e.Phases = phases
+		}
+		out := make(map[string]string, len(names))
+		for _, name := range names {
+			s, err := Run(e, name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out[name] = s
+		}
+		return out, phases
+	}
+
+	plain, _ := run(false)
+	profiled, phases := run(true)
+
+	for _, name := range names {
+		if plain[name] != profiled[name] {
+			t.Errorf("%s: phases+runtime changed the report\n--- plain ---\n%s\n--- profiled ---\n%s",
+				name, plain[name], profiled[name])
+		}
+	}
+
+	// The profiler actually measured the sweeps: every sim stage carries
+	// attributed time.
+	phases.FlushEpoch()
+	for _, s := range phases.Breakdown() {
+		if s.Seconds <= 0 {
+			t.Errorf("stage %q attributed no time across the sweeps", s.Stage)
+		}
+	}
+}

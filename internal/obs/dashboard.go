@@ -52,13 +52,16 @@ type dashboardData struct {
 	Match     string
 	SLOs      []SLOStatus
 	Shed      *ShedStatus
+	Runtime   *RuntimeStatus
 	TopKs     []dashboardTopK
 	Quantiles []dashboardQuantileRow
 	Charts    []dashboardChart
 }
 
 var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
-	"rank": func(i int) int { return i + 1 },
+	"rank":  func(i int) int { return i + 1 },
+	"bytes": fmtBytes,
+	"secs":  fmtSeconds,
 }).Parse(`<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <meta http-equiv="refresh" content="2">
@@ -94,6 +97,11 @@ svg polyline { fill: none; stroke: #5fb3ff; stroke-width: 1.5; }
 <td>{{if .Exit}}{{printf "%.3g" .Exit}}{{else}}–{{end}}</td>
 <td>{{.Dwell}}/{{.DwellEpochs}}</td><td>{{.SessionsOpen}}</td></tr>
 </table>{{end}}
+{{with .Runtime}}<h2>go runtime</h2>
+<table><tr><th>goroutines</th><th>heap</th><th>total</th><th>gc cycles</th><th>last pause</th><th>sched p99</th></tr>
+<tr><td>{{.Goroutines}}</td><td>{{bytes .HeapBytes}}</td><td>{{bytes .TotalBytes}}</td>
+<td>{{.GCCycles}}</td><td>{{secs .LastGCPauseSec}}</td><td>{{secs .SchedP99Sec}}</td></tr>
+</table>{{end}}
 {{if .TopKs}}<h2>popularity (top-K) · <a href="/popularity.json">/popularity.json</a></h2>
 {{range .TopKs}}<h3 style="font-size:0.9em">{{.Name}} · n={{.N}}</h3>
 <table><tr><th>#</th><th>key</th><th>count</th><th>±err</th><th>refined</th><th>exemplar trace</th></tr>
@@ -122,11 +130,12 @@ const dashboardMaxTopKs = 6
 
 // handleDashboard renders the live flight-recorder page: SLO table, the
 // overload-controller panel when a shed status source is wired in, the
-// popularity top-K tables and quantile-sketch rows when the registry holds
-// sketch instruments, plus one inline-SVG sparkline per recorded series
-// (sorted; ?match= filters by substring). Everything is stdlib —
-// html/template and hand-rolled SVG.
-func (r *Recorder) handleDashboard(reg *Registry, slos *SLOEngine, shed ShedStatusFunc) http.HandlerFunc {
+// go-runtime panel when a runtime bridge is wired in, the popularity top-K
+// tables and quantile-sketch rows when the registry holds sketch
+// instruments, plus one inline-SVG sparkline per recorded series (sorted;
+// ?match= filters by substring). Everything is stdlib — html/template and
+// hand-rolled SVG.
+func (r *Recorder) handleDashboard(reg *Registry, slos *SLOEngine, shed ShedStatusFunc, rt *RuntimeBridge) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		match := req.URL.Query().Get("match")
 		keys := r.Series()
@@ -139,6 +148,10 @@ func (r *Recorder) handleDashboard(reg *Registry, slos *SLOEngine, shed ShedStat
 		if shed != nil {
 			st := shed()
 			data.Shed = &st
+		}
+		if rt != nil {
+			st := rt.Sample()
+			data.Runtime = &st
 		}
 		for _, s := range reg.Snapshot() {
 			switch s.Kind {

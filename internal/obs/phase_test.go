@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPhaseClockMarkChain: each Mark credits the time since the previous
+// mark to its stage and advances the chain. The elapsed intervals are
+// injected by rewinding the chain's last stamp, keeping the test
+// deterministic on any machine.
+func TestPhaseClockMarkChain(t *testing.T) {
+	p := NewSimPhases(NewRegistry())
+	c := p.Clock()
+	c.Begin()
+	c.last -= 5e6 // pretend 5ms elapsed in the hash stage
+	c.Mark(PhaseSimHash)
+	if got := p.accum[PhaseSimHash].Load(); got < 5e6 {
+		t.Errorf("hash accum = %dns, want >= 5e6", got)
+	}
+	c.last -= 2e6
+	c.Mark(PhaseSimCache)
+	if got := p.accum[PhaseSimCache].Load(); got < 2e6 {
+		t.Errorf("cache accum = %dns, want >= 2e6", got)
+	}
+	// An out-of-range stage advances the chain without crediting or panicking.
+	c.last -= 1e6
+	c.Mark(97)
+	before := p.accum[PhaseSimRelay].Load()
+	c.Mark(PhaseSimRelay) // immediate: the lost 1ms went nowhere
+	if got := p.accum[PhaseSimRelay].Load() - before; got >= 1e6 {
+		t.Errorf("out-of-range mark leaked %dns into the next stage", got)
+	}
+}
+
+// TestPhaseFlushEpoch: flushes drain accumulators into the histograms as one
+// observation per active stage, skip idle stages, and count epochs only when
+// something flushed.
+func TestPhaseFlushEpoch(t *testing.T) {
+	reg := NewRegistry()
+	p := NewSimPhases(reg)
+	p.accum[PhaseSimCache].Store(2e9) // 2s in cache this epoch
+	p.FlushEpoch()
+	h := reg.Histogram("starcdn_phase_stage_seconds", DefPhaseBucketsSec,
+		L("pipeline", "sim"), L("stage", "cache"))
+	if h.Count() != 1 || h.Sum() != 2 {
+		t.Errorf("cache hist after flush: count=%d sum=%v, want 1 observation of 2s", h.Count(), h.Sum())
+	}
+	idle := reg.Histogram("starcdn_phase_stage_seconds", DefPhaseBucketsSec,
+		L("pipeline", "sim"), L("stage", "shed"))
+	if idle.Count() != 0 {
+		t.Errorf("idle stage observed %d times, want 0", idle.Count())
+	}
+	if p.Epochs() != 1 {
+		t.Errorf("epochs = %d, want 1", p.Epochs())
+	}
+	// An all-idle flush records nothing and does not count as an epoch.
+	p.FlushEpoch()
+	if h.Count() != 1 || p.Epochs() != 1 {
+		t.Errorf("idle flush changed state: count=%d epochs=%d", h.Count(), p.Epochs())
+	}
+}
+
+// TestPhaseBreakdown: Breakdown sums flushed epochs plus un-flushed residue
+// and computes pipeline fractions; String leads with the dominant stage.
+func TestPhaseBreakdown(t *testing.T) {
+	p := NewSimPhases(nil) // nil registry: accumulation without exposition
+	p.accum[PhaseSimCache].Store(3e9)
+	p.FlushEpoch()
+	p.accum[PhaseSimRelay].Store(1e9) // residue, not yet flushed
+	bd := p.Breakdown()
+	if len(bd) != len(SimPhaseStages) {
+		t.Fatalf("breakdown has %d stages, want %d", len(bd), len(SimPhaseStages))
+	}
+	byStage := map[string]PhaseStageSeconds{}
+	total := 0.0
+	for _, s := range bd {
+		byStage[s.Stage] = s
+		total += s.Fraction
+	}
+	if byStage["cache"].Seconds != 3 || byStage["relay"].Seconds != 1 {
+		t.Errorf("cache=%v relay=%v, want 3s and 1s", byStage["cache"].Seconds, byStage["relay"].Seconds)
+	}
+	if byStage["cache"].Fraction != 0.75 {
+		t.Errorf("cache fraction = %v, want 0.75", byStage["cache"].Fraction)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("fractions sum to %v, want 1", total)
+	}
+	s := p.String()
+	if !strings.HasPrefix(s, "phase breakdown (sim):") {
+		t.Errorf("String header wrong: %q", s)
+	}
+	cacheIdx := strings.Index(s, "cache")
+	relayIdx := strings.Index(s, "relay")
+	if cacheIdx < 0 || relayIdx < 0 || cacheIdx > relayIdx {
+		t.Errorf("dominant stage not first in:\n%s", s)
+	}
+	if !strings.Contains(s, "75.0%") {
+		t.Errorf("String missing share column:\n%s", s)
+	}
+}
+
+// TestPhaseNilDiscipline: every method on a nil profiler (and the clock it
+// hands out) is an inert no-op — the obs-off configuration.
+func TestPhaseNilDiscipline(t *testing.T) {
+	var p *PhaseProfiler
+	c := p.Clock()
+	c.Begin()
+	c.Mark(PhaseSimCache)
+	p.FlushEpoch()
+	p.BindRecorder(nil)
+	if p.Breakdown() != nil || p.String() != "" || p.Epochs() != 0 {
+		t.Error("nil profiler leaked state")
+	}
+	if p.Pipeline() != "" || p.Stages() != nil {
+		t.Error("nil profiler reported a pipeline")
+	}
+	if c.last != 0 {
+		t.Error("inert clock read the clock")
+	}
+}
+
+// TestPhaseBindRecorder: a bound profiler flushes inside the recorder's
+// snapshot, so the epoch's stage seconds land in that epoch's ring slot
+// (visible through the histogram fan-out's _sum series).
+func TestPhaseBindRecorder(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, RecorderOptions{EpochSec: 1})
+	p := NewSimPhases(reg)
+	p.BindRecorder(rec)
+
+	p.accum[PhaseSimCache].Store(1e9)
+	rec.TickAt(1)
+	if p.Epochs() != 1 {
+		t.Fatalf("bound profiler did not flush on the recorder epoch: epochs=%d", p.Epochs())
+	}
+	key := `starcdn_phase_stage_seconds{pipeline="sim",stage="cache"}_sum`
+	pts := rec.Window(key, 0)
+	if len(pts) != 1 || pts[0].T != 1 || pts[0].V != 1 {
+		t.Fatalf("ring slot for epoch 1 = %v, want one point (t=1, v=1); series=%v", pts, rec.Series())
+	}
+
+	// The next epoch's flush is cumulative in the fan-out (histogram sums
+	// grow), and the ring records the post-flush value per epoch.
+	p.accum[PhaseSimCache].Store(2e9)
+	rec.TickAt(2)
+	pts = rec.Window(key, 0)
+	if len(pts) != 2 || pts[1].V != 3 {
+		t.Fatalf("epoch 2 cumulative sum = %v, want 3", pts)
+	}
+}

@@ -46,7 +46,8 @@ type Recorder struct {
 	plan    []recSeries
 	planGen uint64
 
-	onEpoch []func(epochSec float64) // hooks (SLO evaluation), run unlocked
+	onEpoch  []func(epochSec float64) // hooks (SLO evaluation), run unlocked
+	preEpoch []func(epochSec float64) // pre-snapshot hooks, run under r.mu
 }
 
 // recSeries is one plan entry: where a series' epoch samples land.
@@ -118,6 +119,26 @@ func (r *Recorder) OnEpoch(fn func(t float64)) {
 	}
 	r.mu.Lock()
 	r.onEpoch = append(r.onEpoch, fn)
+	r.mu.Unlock()
+}
+
+// OnEpochPre registers a hook invoked at the start of every snapshot, while
+// the recorder lock is held and *before* the registry plan walk — so values
+// the hook pushes into the registry (a runtime-bridge sample, a phase-timer
+// flush) land in the very epoch being snapshotted rather than the next one.
+//
+// Pre-hooks run under r.mu: they must not call back into the recorder (that
+// would deadlock) and should only read external state and store into
+// registry instruments. Series a hook writes to must be registered before
+// the first snapshot if they are to appear in that snapshot's plan (the
+// generation check runs after the pre-hooks, so same-call registrations are
+// still picked up — but keep hooks allocation-free by pre-registering).
+func (r *Recorder) OnEpochPre(fn func(t float64)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.preEpoch = append(r.preEpoch, fn)
 	r.mu.Unlock()
 }
 
@@ -201,6 +222,9 @@ func (r *Recorder) StartWall() (stop func()) {
 // Registry series are append-only, so every ring in r.vals is covered by the
 // plan and no NaN back-padding pass is needed.
 func (r *Recorder) snapshotLocked(t float64) {
+	for _, fn := range r.preEpoch {
+		fn(t)
+	}
 	slot := r.head
 	r.times[slot] = t
 	if gen := r.reg.generation(); gen != r.planGen {

@@ -138,7 +138,7 @@ func TestDashboardDegenerateSeries(t *testing.T) {
 		t.Helper()
 		req := httptest.NewRequest(http.MethodGet, "/dashboard", nil)
 		w := httptest.NewRecorder()
-		rec.handleDashboard(reg, nil, nil)(w, req)
+		rec.handleDashboard(reg, nil, nil, nil)(w, req)
 		if w.Code != http.StatusOK {
 			t.Fatalf("dashboard status = %d", w.Code)
 		}

@@ -346,7 +346,7 @@ func TestDashboardHandler(t *testing.T) {
 	shedFn := func() ShedStatus {
 		return ShedStatus{Stage: 2, StageName: "stage-2", Burn: 2.5, Enter: 4, Exit: 1, DwellEpochs: 2, Dwell: 1}
 	}
-	rec.handleDashboard(reg, eng, shedFn)(w, req)
+	rec.handleDashboard(reg, eng, shedFn, nil)(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("dashboard status = %d", w.Code)
 	}

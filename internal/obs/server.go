@@ -24,6 +24,10 @@ type Health struct {
 	// when a shed controller is wired in; empty otherwise. Shedding does
 	// not flip OK — it is the system protecting itself, not an outage.
 	Shed string `json:"shed,omitempty"`
+	// Runtime is the compact runtime-bridge line (goroutines, heap bytes,
+	// last GC pause, sched latency), filled from ServeOptions.Runtime when
+	// the health source leaves it empty.
+	Runtime string `json:"runtime,omitempty"`
 }
 
 // ShedStatus is a snapshot of the overload controller for dashboards and
@@ -74,6 +78,9 @@ type ServeOptions struct {
 	SLOs *SLOEngine
 	// Shed feeds the dashboard's overload-controller panel (nil hides it).
 	Shed ShedStatusFunc
+	// Runtime, when non-nil, feeds the /healthz runtime line and the
+	// dashboard's go-runtime panel from the runtime-metrics bridge.
+	Runtime *RuntimeBridge
 }
 
 // Serve starts the observability listener on addr (host:port; port 0 picks a
@@ -107,6 +114,9 @@ func ServeWith(addr string, opts ServeOptions) (*Server, error) {
 		if health != nil {
 			h = health()
 		}
+		if h.Runtime == "" {
+			h.Runtime = opts.Runtime.HealthLine()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if !h.OK {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -118,7 +128,7 @@ func ServeWith(addr string, opts ServeOptions) (*Server, error) {
 	}
 	if opts.Recorder != nil {
 		mux.HandleFunc("/timeseries.json", opts.Recorder.handleTimeseries)
-		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(reg, opts.SLOs, opts.Shed))
+		mux.HandleFunc("/dashboard", opts.Recorder.handleDashboard(reg, opts.SLOs, opts.Shed, opts.Runtime))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

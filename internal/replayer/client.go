@@ -63,6 +63,12 @@ type ClientOptions struct {
 	// hello degrades gracefully and shed rejections arrive as the familiar
 	// StatusError terminal faults.
 	Shed bool
+	// Phases, when non-nil, attributes each round trip's wall-clock cost to
+	// the replay stages (dial+hello, frame write, frame read, retry
+	// backoff). Build it with obs.NewReplayPhases — the client marks the
+	// obs.PhaseReplay* stage indices. Like Obs, enabling it cannot change
+	// replay behaviour.
+	Phases *obs.PhaseProfiler
 }
 
 // clientObs holds the client's pre-resolved instruments. A nil *clientObs is
@@ -137,6 +143,7 @@ type Client struct {
 	tracer      *obs.Tracer
 	propagate   bool
 	shed        bool
+	phases      *obs.PhaseProfiler
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
@@ -182,6 +189,7 @@ func NewClientOpts(o ClientOptions) *Client {
 		tracer:      o.Tracer,
 		propagate:   o.Propagate,
 		shed:        o.Shed,
+		phases:      o.Phases,
 		rng:         rand.New(rand.NewSource(o.Seed)),
 	}
 }
@@ -270,7 +278,10 @@ func (c *Client) roundTrip(addr string, op Op, obj cache.ObjectID, size int64, s
 				c.obs.backoffMs.Observe(float64(d) / float64(time.Millisecond))
 			}
 			c.emitRetrySpan(sc, attempt, d, lastErr)
+			rc := c.phases.Clock()
+			rc.Begin()
 			time.Sleep(d)
+			rc.Mark(obs.PhaseReplayRetry)
 		}
 		if c.obs != nil {
 			c.obs.attempts.Inc()
@@ -314,6 +325,10 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 	e := c.entry(addr)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// The mark chain is a stack value per attempt: tryOnce runs concurrently
+	// across addresses, and the clocks only meet at the profiler's atomics.
+	pc := c.phases.Clock()
+	pc.Begin()
 	if e.conn == nil {
 		conn, err := c.dial(addr, c.dialTimeout)
 		if err != nil {
@@ -326,6 +341,7 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 				return StatusError, 0, 0, err
 			}
 		}
+		pc.Mark(obs.PhaseReplayDial)
 	}
 	if c.ioTimeout > 0 {
 		if err := e.conn.SetDeadline(time.Now().Add(c.ioTimeout)); err != nil {
@@ -347,11 +363,13 @@ func (c *Client) tryOnce(addr string, op Op, obj cache.ObjectID, size int64, sc 
 		e.dropLocked()
 		return StatusError, 0, 0, err
 	}
+	pc.Mark(obs.PhaseReplayWrite)
 	st, a, b, err := readResponse(e.conn, &e.scratch)
 	if err != nil {
 		e.dropLocked()
 		return StatusError, 0, 0, err
 	}
+	pc.Mark(obs.PhaseReplayRead)
 	if c.obs != nil {
 		c.obs.frameMs.Observe(float64(time.Since(frameStart)) / float64(time.Millisecond))
 	}

@@ -1,0 +1,60 @@
+package replayer
+
+import (
+	"testing"
+
+	"starcdn/internal/cache"
+	"starcdn/internal/obs"
+)
+
+// TestReplayPhases: a sequential replay with a phase profiler attributes
+// time to the round-trip stages — dial (once per connection), frame-write
+// and frame-read (per request) — without changing the replay's results.
+func TestReplayPhases(t *testing.T) {
+	h, users, tr := obsEnv(t, 2000, 17)
+
+	run := func(phases *obs.PhaseProfiler) cache.Meter {
+		t.Helper()
+		cluster, err := NewClusterOpts(cache.LRU, 64<<20, ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		m, err := Replay(h, cluster, users, tr, Options{
+			Hashing: true, Relay: true, Seed: 23, Phases: phases,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	plain := run(nil)
+	phases := obs.NewReplayPhases(obs.NewRegistry())
+	profiled := run(phases)
+
+	if plain != profiled {
+		t.Errorf("meters diverged: plain=%+v profiled=%+v", plain, profiled)
+	}
+
+	phases.FlushEpoch() // drain the tail; Replay has no recorder here
+	bd := phases.Breakdown()
+	byStage := map[string]obs.PhaseStageSeconds{}
+	for _, s := range bd {
+		byStage[s.Stage] = s
+	}
+	for _, stage := range []string{"dial", "frame-write", "frame-read"} {
+		if byStage[stage].Seconds <= 0 {
+			t.Errorf("stage %q attributed no time: %+v", stage, bd)
+		}
+	}
+	// A clean replay performs no retries; the stage exists but stays idle.
+	if byStage["retry"].Seconds != 0 {
+		t.Errorf("retry stage charged %v seconds on a clean replay", byStage["retry"].Seconds)
+	}
+	// Per-request frame time dominates one-time dials on a 2000-request run.
+	if byStage["frame-read"].Seconds < byStage["dial"].Seconds {
+		t.Errorf("frame-read (%vs) should dominate dial (%vs) over 2000 requests",
+			byStage["frame-read"].Seconds, byStage["dial"].Seconds)
+	}
+}

@@ -122,6 +122,12 @@ type Options struct {
 	// duration of the replay, turning the Obs registry into a queryable
 	// flight-recorder time series (see obs.Recorder).
 	Recorder *obs.Recorder
+	// Phases, when non-nil, attributes each round trip's wall-clock cost to
+	// the replay stages (dial+hello, frame write, frame read, retry
+	// backoff) as starcdn_phase_stage_seconds{pipeline="replay"} histograms.
+	// Build it with obs.NewReplayPhases; bind it to Recorder (BindRecorder)
+	// to flush per wall-clock epoch. Like Obs, it cannot change behaviour.
+	Phases *obs.PhaseProfiler
 	// Shedder, when non-nil, closes the overload-control loop on the client
 	// side of the wire: ticked on trace time before each request, consulted
 	// for session admission and the active stage, and fed each outcome —
@@ -139,6 +145,7 @@ func newReplayClient(opts Options) *Client {
 	co.Tracer = opts.Tracer
 	co.Propagate = opts.Propagate
 	co.Shed = opts.Shedder != nil
+	co.Phases = opts.Phases
 	return NewClientOpts(co)
 }
 

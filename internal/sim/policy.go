@@ -33,6 +33,14 @@ type ServeContext struct {
 	// through Stage.Sheds to drop value classes; the runner handles
 	// session admission before Serve is reached.
 	ShedStage shed.Stage
+	// Phase is the request's phase-timer mark chain (obs.PhaseProfiler):
+	// policies mark the obs.PhaseSim* stage boundaries (hash ownership,
+	// cache op, relay/ground) as the request traverses them. Mark is
+	// nil-safe and free when profiling is off; policies without internal
+	// marks leave their serve time attributed to the obs stage. Rare early
+	// exits (no coverage, degraded owner, shed short-circuits) skip marking
+	// and likewise fall into the obs residue.
+	Phase *obs.PhaseClock
 }
 
 // Outcome is a policy's answer: where the request was served and the
@@ -300,8 +308,11 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	routeISLBytes := ctx.Req.Size * int64(routeHops)
 	ctx.Span.AddHop(obs.Hop{Kind: "owner", Sat: int(home),
 		ISLHops: routeHops, SimMs: routeMs})
+	ctx.Phase.Mark(obs.PhaseSimHash)
 	c := p.caches.at(home)
-	if c.Get(ctx.Req.Object) {
+	hit := c.Get(ctx.Req.Object)
+	ctx.Phase.Mark(obs.PhaseSimCache)
+	if hit {
 		if p.prefetch != nil {
 			p.prefetch.recordHit(home, ctx.Req.Object)
 		}
@@ -356,6 +367,7 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 			relayISLBytes := ctx.Req.Size * int64(p.relayHops())
 			ctx.Span.AddHop(obs.Hop{Kind: src.String(), Sat: int(nb),
 				ISLHops: p.relayHops(), SimMs: relayMs})
+			ctx.Phase.Mark(obs.PhaseSimRelay)
 			return Outcome{Source: src, ServerSat: home, SpaceMs: routeMs + relayMs,
 				ISLBytes: routeISLBytes + relayISLBytes}
 		}
@@ -369,6 +381,7 @@ func (p *StarCDN) Serve(ctx *ServeContext) Outcome {
 	admit(c, ctx.Req.Object, ctx.Req.Size)
 	groundMs := ctx.Latency.GroundFetchRTTMs(ctx.Rng)
 	ctx.Span.AddHop(obs.Hop{Kind: "ground", Sat: int(home), SimMs: groundMs})
+	ctx.Phase.Mark(obs.PhaseSimRelay)
 	return Outcome{Source: SourceGround, ServerSat: home,
 		SpaceMs:  routeMs + groundMs,
 		ISLBytes: routeISLBytes,

@@ -78,6 +78,15 @@ type Config struct {
 	// time series. Like Metrics and Tracer it only reads run state — results
 	// are byte-identical with the recorder on or off.
 	Recorder *obs.Recorder
+	// Phases, when non-nil, attributes the run's wall-clock cost to the
+	// pipeline stages (shed tick, scheduler lookup, hash ownership, cache op,
+	// relay/ground path, obs emit). Build it with obs.NewSimPhases — the
+	// runner and the StarCDN policy mark the obs.PhaseSim* stage indices.
+	// Marks only read the monotonic clock into write-only accumulators — no
+	// RNG, no simulation state — so results are byte-identical with phases on
+	// or off. Bind the profiler to Recorder (BindRecorder) to flush stage
+	// seconds per recorder epoch; Run always flushes the tail at the end.
+	Phases *obs.PhaseProfiler
 	// Shedder, when non-nil, closes the overload-control loop: it is ticked
 	// on simulated time before each request, consulted for session
 	// admission and the active shed stage, and fed the request's outcome.
@@ -149,6 +158,10 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 	if len(cfg.Failures) > 0 {
 		ctx.TransientDown = failures.TransientDown
 	}
+	// One mark-chain clock for the whole run; with phases off its marks are a
+	// single pointer test and never read the clock.
+	pc := cfg.Phases.Clock()
+	ctx.Phase = &pc
 	// Rolling uplink demand for congestion modelling (15 s window).
 	const demandWindowSec = 15.0
 	var demandWindowStart float64
@@ -166,6 +179,7 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 				i, r.TimeSec, prevTimeSec)
 			prevTimeSec = r.TimeSec
 		}
+		pc.Begin()
 		// Advance cannot fail here: the only hook ever registered (the obs
 		// failure counters) never returns an error.
 		_ = failures.Advance(r.TimeSec)
@@ -177,6 +191,7 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 			cfg.Shedder.Tick(r.TimeSec)
 		}
 		cfg.Recorder.TickAt(r.TimeSec)
+		pc.Mark(obs.PhaseSimShed)
 		first, visible := scheduler.FirstContact(r.Location, r.TimeSec)
 		if !visible {
 			first = -1
@@ -210,6 +225,7 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 		if cfg.Shedder != nil {
 			ctx.ShedStage = cfg.Shedder.Stage()
 		}
+		pc.Mark(obs.PhaseSimSched)
 		var out Outcome
 		if cfg.Shedder != nil && first >= 0 && !cfg.Shedder.AdmitSession(r.Location, r.TimeSec) {
 			// Stage ≥ 2 turned the session away: no cache touch, no
@@ -283,10 +299,14 @@ func Run(c *orbit.Constellation, users []geo.Point, tr *trace.Trace, p Policy, c
 			}
 			metrics.UplinkWindows[w] += r.Size
 		}
+		pc.Mark(obs.PhaseSimObs)
 	}
 	if cfg.Recorder != nil && len(tr.Requests) > 0 {
 		cfg.Recorder.Seal(tr.Requests[len(tr.Requests)-1].TimeSec)
 	}
+	// Drain the tail into the histograms; a no-op when the recorder's Seal
+	// (with a bound profiler) already flushed it.
+	cfg.Phases.FlushEpoch()
 	return metrics, nil
 }
 

@@ -13,7 +13,10 @@
 #                      alloc-audit drift
 #   phase 2 (build):   go build (release), go build (starcdn_debug)
 #   phase 3 (test):    go test -race, go test -tags starcdn_debug
-#   phase 4 (smoke):   chaos pass, obs smoke, bench smoke, allocs/op budgets
+#   phase 4 (smoke):   chaos pass, obs smoke, bench smoke
+#   phase 5 (perf):    starcdn-bench regression gate (alloc budgets +
+#                      wall-clock bound) — alone, so its timing bound
+#                      measures the benchmark and not phase-4 contention
 #
 # Usage: scripts/check.sh   (or `make check`)
 set -eu
@@ -113,56 +116,15 @@ step_obs() { sh scripts/obs_smoke.sh; }
 
 step_bench() { go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null; }
 
-# alloc_budget_of <benchmark>: read the allocs_per_op_budget recorded for a
-# benchmark entry in BENCH_core.json (the first budget key after the entry's
-# "benchmark" line).
-alloc_budget_of() {
-	awk -v name="\"$1\"" -F': *' '
-		$1 ~ /"benchmark"/ && index($2, name) { found = 1 }
-		found && $1 ~ /"allocs_per_op_budget"/ { gsub(/[ ,]/, "", $2); print $2; exit }
-	' BENCH_core.json
-}
-
-# allocs_of <output> <benchmark-prefix>: extract the allocs/op a -benchmem
-# run reported for the first benchmark line matching the prefix.
-allocs_of() {
-	awk -v name="$2" '
-		index($1, name) == 1 {
-			for (i = 1; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit }
-		}
-	' "$1"
-}
-
-# The allocs/op budgets from BENCH_core.json are a hard gate, not advisory
-# telemetry: the seeded sim hot path and the steady-state replay frame
-# exchange have pinned allocation counts, so a per-request allocation
-# regression fails CI here even when wall-clock noise would hide it.
-step_allocbudget() {
-	go test -run='^$' -bench '^BenchmarkSimHotPath$' -benchtime=1x -benchmem . >"$TMP/alloc_sim.bench"
-	go test -run='^$' -bench '^BenchmarkReplayFrame$/^get$/^hit$' -benchtime=2000x -benchmem ./internal/replayer/ >"$TMP/alloc_frame.bench"
-	rc=0
-	for spec in "BenchmarkSimHotPath:$TMP/alloc_sim.bench:BenchmarkSimHotPath" \
-		"BenchmarkReplayFrame:$TMP/alloc_frame.bench:BenchmarkReplayFrame/get/hit"; do
-		entry=${spec%%:*}
-		rest=${spec#*:}
-		out=${rest%%:*}
-		bench=${rest#*:}
-		budget=$(alloc_budget_of "$entry")
-		got=$(allocs_of "$out" "$bench")
-		if [ -z "$budget" ] || [ -z "$got" ]; then
-			echo "alloc budget: could not resolve $bench (budget='$budget' got='$got')"
-			rc=1
-			continue
-		fi
-		if [ "$got" -gt "$budget" ]; then
-			echo "alloc budget: $bench allocated $got allocs/op, budget is $budget (BENCH_core.json)"
-			rc=1
-		else
-			echo "alloc budget: $bench $got allocs/op <= $budget"
-		fi
-	done
-	return "$rc"
-}
+# The statistical benchmark harness in CI smoke mode: one cheap run per
+# smoke-capable benchmark against the committed BENCH_core.json baselines,
+# enforcing the hard allocs/op budgets (seeded, so deterministic at 1x) and
+# a widened 1.5x wall-clock bound. Full Mann-Whitney comparisons need the
+# 8-run mode (`make bench-check`); this gate catches allocation regressions
+# and gross slowdowns without the 10-minute suite (DESIGN.md §11). It runs
+# as its own serial phase: the wall bound is meaningless while the chaos/
+# obs/bench smokes are saturating the host.
+step_benchgate() { go run ./cmd/starcdn-bench -check -smoke; }
 
 # --- phase driver -----------------------------------------------------
 
@@ -240,12 +202,14 @@ gate test
 spawn chaos step_chaos
 spawn obs step_obs
 spawn bench step_bench
-spawn allocbudget step_allocbudget
 reap chaos "chaos pass (-race -tags starcdn_debug)"
 reap obs "obs smoke (metrics endpoint + span tracing)"
 reap bench "bench smoke (-bench=. -benchtime=1x)"
-reap allocbudget "allocs/op budgets (BENCH_core.json)"
 gate smoke
+
+spawn benchgate step_benchgate
+reap benchgate "starcdn-bench -check -smoke (BENCH_core.json gate)"
+gate perf
 
 TOTAL_END=$(date +%s.%N)
 awk -v s="$TOTAL_START" -v e="$TOTAL_END" \

@@ -20,6 +20,10 @@
 #      spans join the client's traces; starcdn-trace -assemble stitches the
 #      two span files into exactly one rooted tree per sampled request with
 #      zero orphan spans
+#   9. performance observability (-phases + the always-on runtime bridge):
+#      /metrics exposes starcdn_phase_stage_seconds histograms and
+#      starcdn_go_* runtime gauges, /healthz carries the compact runtime
+#      line, and the replay prints its end-of-run phase breakdown
 #
 # Usage: scripts/obs_smoke.sh   (or `make obs`)
 set -eu
@@ -50,9 +54,9 @@ step "generate trace (4000 web requests)"
 "$WORK/spacegen" -synthesize-production -class web -requests 4000 \
 	-duration 600 -seed 7 -out "$WORK/web.sctr" >/dev/null
 
-step "replay with metrics + recorder + sketches + propagated tracing"
+step "replay with metrics + recorder + sketches + phases + propagated tracing"
 "$WORK/starcdn-replay" -in "$WORK/web.sctr" -cache-mb 64 -buckets 4 -fault \
-	-metrics-addr 127.0.0.1:0 -metrics-linger 30s -sketches \
+	-metrics-addr 127.0.0.1:0 -metrics-linger 30s -sketches -phases \
 	-record-epoch 1s -slo-hit-rate 0.1 -slo-window 10s \
 	-trace-out "$WORK/spans.jsonl" -trace-sample 1 \
 	-trace-propagate -server-trace-out "$WORK/server-spans.jsonl" \
@@ -81,8 +85,15 @@ fi
 echo "   metrics endpoint: $ADDR"
 
 step "scrape /healthz"
-curl -fsS "http://$ADDR/healthz" | grep -q '"ok"' || {
+curl -fsS "http://$ADDR/healthz" >"$WORK/healthz.json"
+grep -q '"ok"' "$WORK/healthz.json" || {
 	echo "healthz body missing ok field" >&2
+	exit 1
+}
+# The runtime bridge feeds /healthz its compact one-line summary.
+grep -q '"runtime":"goroutines=' "$WORK/healthz.json" || {
+	echo "healthz missing the runtime bridge line" >&2
+	cat "$WORK/healthz.json" >&2
 	exit 1
 }
 
@@ -109,7 +120,9 @@ curl -fsS "http://$ADDR/metrics" >"$WORK/metrics.txt"
 for series in \
 	'starcdn_replay_requests_total{source="' \
 	'starcdn_server_hit_rate{' \
-	'starcdn_client_attempts_total'; do
+	'starcdn_client_attempts_total' \
+	'starcdn_phase_stage_seconds' \
+	'starcdn_go_goroutines'; do
 	grep -q "$series" "$WORK/metrics.txt" || {
 		echo "metrics exposition missing $series" >&2
 		head -50 "$WORK/metrics.txt" >&2
@@ -178,10 +191,11 @@ kill "$REPLAY_PID" 2>/dev/null || true
 wait "$REPLAY_PID" 2>/dev/null || true
 REPLAY_PID=""
 
-# The replay's own stdout summarises the hot set when -sketches is on.
-for line in '^hot objects:' '^wire latency:'; do
+# The replay's own stdout summarises the hot set when -sketches is on and
+# the round-trip stage attribution when -phases is on.
+for line in '^hot objects:' '^wire latency:' '^phase breakdown (replay):'; do
 	grep -q "$line" "$WORK/replay.out" || {
-		echo "replay output missing \"$line\" sketch summary" >&2
+		echo "replay output missing \"$line\" summary" >&2
 		grep -v '^metrics:' "$WORK/replay.out" >&2
 		exit 1
 	}
